@@ -1,0 +1,276 @@
+package snnmap
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (DATE 2018), plus the ablations called out in DESIGN.md.
+// Each benchmark regenerates its experiment through the same harness as
+// cmd/experiments and reports the headline numbers via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces every row/series the paper reports (in quick mode; run
+// cmd/experiments without -quick for the full-fidelity numbers).
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/partition"
+)
+
+func benchOpts() ExpOptions { return ExpOptions{Quick: true, Seed: 1} }
+
+// BenchmarkFig5 regenerates Fig. 5: normalized interconnect energy for
+// NEUTRAMS, PACMAN and the proposed PSO across synthetic and realistic
+// applications. Reported metrics are the mean normalized PSO energy and the
+// mean improvement over both baselines (paper: 17–33% average).
+func BenchmarkFig5(b *testing.B) {
+	var rows []Fig5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunFig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var psoNorm, impN, impP float64
+	for _, r := range rows {
+		psoNorm += r.Normalized["PSO"]
+		if r.Normalized["NEUTRAMS"] > 0 {
+			impN += (1 - r.Normalized["PSO"]/r.Normalized["NEUTRAMS"]) * 100
+		}
+		if r.Normalized["PACMAN"] > 0 {
+			impP += (1 - r.Normalized["PSO"]/r.Normalized["PACMAN"]) * 100
+		}
+	}
+	n := float64(len(rows))
+	b.ReportMetric(psoNorm/n, "PSO-norm-energy")
+	b.ReportMetric(impN/n, "%improv-vs-NEUTRAMS")
+	b.ReportMetric(impP/n, "%improv-vs-PACMAN")
+}
+
+// BenchmarkTable2 regenerates Table II: SNN metrics for the realistic
+// applications under PACMAN and PSO. Reported metrics are the mean relative
+// reductions the paper headlines (37% ISI, 63% disorder, 22% latency).
+func BenchmarkTable2(b *testing.B) {
+	var rows []Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunTable2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var isi, lat float64
+	var n float64
+	for _, r := range rows {
+		if r.Pacman.ISIDistortionCycles > 0 {
+			isi += (1 - r.PSO.ISIDistortionCycles/r.Pacman.ISIDistortionCycles) * 100
+		}
+		if r.Pacman.MaxLatencyCycles > 0 {
+			lat += (1 - float64(r.PSO.MaxLatencyCycles)/float64(r.Pacman.MaxLatencyCycles)) * 100
+		}
+		n++
+	}
+	b.ReportMetric(isi/n, "%ISI-reduction")
+	b.ReportMetric(lat/n, "%latency-reduction")
+}
+
+// BenchmarkFig6 regenerates Fig. 6: the crossbar-size exploration of the
+// digit recognition application. Reported metrics locate the total-energy
+// optimum (the paper's "intermediate point between the extremes").
+func BenchmarkFig6(b *testing.B) {
+	var rows []Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunFig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := rows[0]
+	for _, r := range rows {
+		if r.TotalEnergyUJ < best.TotalEnergyUJ {
+			best = r
+		}
+	}
+	b.ReportMetric(float64(best.NeuronsPerCrossbar), "best-Nc")
+	b.ReportMetric(best.TotalEnergyUJ, "best-total-uJ")
+	b.ReportMetric(rows[0].GlobalEnergyUJ, "global-uJ-at-90")
+	b.ReportMetric(rows[len(rows)-1].LocalEnergyUJ, "local-uJ-at-1440")
+}
+
+// BenchmarkFig7 regenerates Fig. 7: interconnect energy versus swarm size.
+// The reported metric is the mean normalized energy at the smallest swarm
+// (>1 means larger swarms found better partitions, the paper's trend).
+func BenchmarkFig7(b *testing.B) {
+	var points []Fig7Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = RunFig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var smallest float64
+	var n float64
+	for _, p := range points {
+		if p.SwarmSize == 10 {
+			smallest += p.Normalized
+			n++
+		}
+	}
+	b.ReportMetric(smallest/n, "norm-energy-at-swarm10")
+}
+
+// BenchmarkAccuracy regenerates the §V-B heartbeat accuracy experiment.
+func BenchmarkAccuracy(b *testing.B) {
+	var rep *AccuracyReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = RunAccuracy(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rep.Rows {
+		switch r.Technique {
+		case "PACMAN":
+			b.ReportMetric(r.ISIDistortionCycles, "PACMAN-ISI-cycles")
+			b.ReportMetric(r.IntervalErrorPct, "PACMAN-beat-err-%")
+		case "PSO":
+			b.ReportMetric(r.ISIDistortionCycles, "PSO-ISI-cycles")
+			b.ReportMetric(r.IntervalErrorPct, "PSO-beat-err-%")
+		}
+	}
+}
+
+// BenchmarkAblationOptimizer compares PSO with SA, GA, greedy and random
+// partitioning (paper §III's computational-cost claim).
+func BenchmarkAblationOptimizer(b *testing.B) {
+	var rows []AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunOptimizerAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Technique == "PSO" || r.Technique == "SA" || r.Technique == "GA" {
+			b.ReportMetric(float64(r.Cost), r.Technique+"-fitness")
+		}
+	}
+}
+
+// BenchmarkAblationMulticast quantifies the Noxim++ multicast extension.
+func BenchmarkAblationMulticast(b *testing.B) {
+	var rows []AERModeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunAERModeAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.EnergyPJ, r.Mode+"-pJ")
+	}
+}
+
+// BenchmarkAblationTopology compares NoC-tree (CxQuad) against NoC-mesh
+// (TrueNorth/HiCANN) under the same mapping.
+func BenchmarkAblationTopology(b *testing.B) {
+	var rows []TopologyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunTopologyAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.EnergyPJ, r.Topology+"-pJ")
+	}
+}
+
+// --- Component micro-benchmarks -------------------------------------------
+
+// BenchmarkPSOPartition measures one full PSO optimization of a mid-sized
+// synthetic instance.
+func BenchmarkPSOPartition(b *testing.B) {
+	app, err := apps.Synthetic(AppConfig{Seed: 1, DurationMs: 250}, 2, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := NewProblem(app.Graph, 4, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pso := NewPSO(PSOConfig{SwarmSize: 30, Iterations: 30, Seed: int64(i + 1)})
+		if _, err := pso.Partition(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostEvaluation measures the fitness function (Eq. 7–8) on the
+// dense 4x200 topology.
+func BenchmarkCostEvaluation(b *testing.B) {
+	app, err := apps.Synthetic(AppConfig{Seed: 1, DurationMs: 250}, 4, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := NewProblem(app.Graph, 8, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := partition.Neutrams{}.Partition(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Cost(a)
+	}
+}
+
+// BenchmarkNoCSimulation measures interconnect replay throughput
+// (packets/s) on a congested mesh.
+func BenchmarkNoCSimulation(b *testing.B) {
+	app, err := apps.Synthetic(AppConfig{Seed: 1, DurationMs: 250}, 2, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arch := MeshChip(9, 32)
+	p, err := NewProblem(app.Graph, arch.Crossbars, arch.CrossbarSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := partition.Neutrams{}.Partition(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var packets int64
+	for i := 0; i < b.N; i++ {
+		res, err := SimulateTraffic(app.Graph, a, arch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		packets = res.Stats.Injected
+	}
+	b.ReportMetric(float64(packets)*float64(b.N)/b.Elapsed().Seconds(), "packets/s")
+}
+
+// BenchmarkSNNSimulation measures the application-level simulator: neuron
+// updates per second on the digit recognition network.
+func BenchmarkSNNSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := apps.DigitRecognition(AppConfig{Seed: 1, DurationMs: 200}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(1284*200)*float64(b.N)/b.Elapsed().Seconds(), "neuron-steps/s")
+}

@@ -1,0 +1,163 @@
+// Command snnmap runs the full mapping pipeline for one application on one
+// architecture with one partitioning technique and prints the resulting
+// energy, latency and SNN metrics (or JSON with -json).
+//
+// Examples:
+//
+//	snnmap -app HD -partitioner pso -crossbars 8 -size 200
+//	snnmap -app synth -layers 2 -width 200 -partitioner pacman
+//	snnmap -app HE -topology mesh -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	snnmap "repro"
+	"repro/internal/hardware"
+	"repro/internal/noc"
+	"repro/internal/partition"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snnmap: ")
+
+	var (
+		appName  = flag.String("app", "HW", "application: HW, IS, HD, HE or synth")
+		layers   = flag.Int("layers", 2, "synthetic app: number of layers")
+		width    = flag.Int("width", 200, "synthetic app: neurons per layer")
+		duration = flag.Int64("duration", 0, "characterization run length in ms (0 = app default)")
+		seed     = flag.Int64("seed", 1, "seed for all stochastic components")
+
+		tech      = flag.String("partitioner", "pso", "technique: pso, pacman, neutrams, greedy, kl, sa, ga, random")
+		swarm     = flag.Int("swarm", 100, "PSO swarm size")
+		iters     = flag.Int("iterations", 100, "PSO iterations")
+		crossbars = flag.Int("crossbars", 0, "crossbar count (0 = sized from the app)")
+		size      = flag.Int("size", 0, "neurons per crossbar (0 = sized from the app)")
+		topology  = flag.String("topology", "tree", "interconnect: tree or mesh")
+		aer       = flag.String("aer", "per-synapse", "AER packetization: per-synapse, per-crossbar, multicast")
+		asJSON    = flag.Bool("json", false, "print the full report as JSON")
+	)
+	flag.Parse()
+
+	app, err := buildApp(*appName, *layers, *width, *seed, *duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	arch, err := buildArch(app, *topology, *crossbars, *size, *aer)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pt, err := buildPartitioner(*tech, *swarm, *iters, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := snnmap.Run(app, arch, pt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	printReport(rep, arch)
+}
+
+func buildApp(name string, layers, width int, seed, duration int64) (*snnmap.App, error) {
+	cfg := snnmap.AppConfig{Seed: seed, DurationMs: duration}
+	if name == "synth" {
+		return snnmap.BuildSynthetic(cfg, layers, width)
+	}
+	return snnmap.BuildApp(name, cfg)
+}
+
+func buildArch(app *snnmap.App, topology string, crossbars, size int, aer string) (snnmap.Arch, error) {
+	n := app.Graph.Neurons
+	if size == 0 {
+		size = (n*115/100 + 3) / 4
+		if size < 1 {
+			size = 1
+		}
+	}
+	var arch snnmap.Arch
+	switch topology {
+	case "tree":
+		arch = hardware.ForNeurons(n, size)
+	case "mesh":
+		c := (n + size - 1) / size
+		arch = hardware.MeshChip(c, size)
+	default:
+		return snnmap.Arch{}, fmt.Errorf("unknown topology %q", topology)
+	}
+	if crossbars > 0 {
+		arch.Crossbars = crossbars
+	}
+	switch aer {
+	case "per-synapse":
+		arch.AER = hardware.PerSynapse
+	case "per-crossbar":
+		arch.AER = hardware.PerCrossbar
+	case "multicast":
+		arch.AER = hardware.MulticastAER
+	default:
+		return snnmap.Arch{}, fmt.Errorf("unknown AER mode %q", aer)
+	}
+	return arch, nil
+}
+
+func buildPartitioner(name string, swarm, iters int, seed int64) (snnmap.Partitioner, error) {
+	switch name {
+	case "pso":
+		return snnmap.NewPSO(snnmap.PSOConfig{SwarmSize: swarm, Iterations: iters, Seed: seed}), nil
+	case "pacman":
+		return snnmap.Pacman, nil
+	case "neutrams":
+		return snnmap.Neutrams, nil
+	case "greedy":
+		return snnmap.GreedyPartitioner, nil
+	case "kl":
+		return partition.KLRefine{Base: partition.Greedy{}}, nil
+	case "sa":
+		return partition.Annealing{Seed: seed}, nil
+	case "ga":
+		return partition.Genetic{Seed: seed}, nil
+	case "random":
+		return partition.Random{Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("unknown partitioner %q", name)
+	}
+}
+
+func printReport(rep *snnmap.Report, arch snnmap.Arch) {
+	fmt.Printf("application        %s (%d neurons, %d synapses)\n", rep.AppName, rep.Neurons, rep.Synapses)
+	fmt.Printf("architecture       %s: %d crossbars × %d neurons, %s interconnect, AER %s\n",
+		rep.ArchName, arch.Crossbars, arch.CrossbarSize, kindName(arch.Interconnect), arch.AER)
+	fmt.Printf("technique          %s\n", rep.Technique)
+	fmt.Println()
+	fmt.Printf("local synapses     %d\n", rep.LocalSynapseCount)
+	fmt.Printf("global synapses    %d\n", rep.GlobalSynapseCount)
+	fmt.Printf("fitness F          %d spikes on interconnect (Eq. 8)\n", rep.GlobalTraffic)
+	fmt.Println()
+	fmt.Printf("local energy       %.2f µJ (%d synaptic events)\n", rep.LocalEnergyPJ/1e6, rep.LocalEvents)
+	fmt.Printf("global energy      %.2f µJ (%d packets, %d hops)\n", rep.GlobalEnergyPJ/1e6, rep.NoC.Injected, rep.NoC.PacketHops)
+	fmt.Printf("total energy       %.2f µJ\n", rep.TotalEnergyPJ/1e6)
+	fmt.Println()
+	fmt.Printf("ISI distortion     %.1f cycles avg, %d max\n", rep.Metrics.ISIAvgCycles, rep.Metrics.ISIMaxCycles)
+	fmt.Printf("disorder count     %.2f%% of %d spikes\n", rep.Metrics.DisorderFrac*100, rep.Metrics.Delivered)
+	fmt.Printf("throughput         %.2f AER/ms\n", rep.Metrics.ThroughputPerMs)
+	fmt.Printf("latency            %.1f cycles avg, %d max\n", rep.Metrics.AvgLatencyCycles, rep.Metrics.MaxLatencyCycles)
+}
+
+func kindName(k noc.Kind) string { return k.String() }

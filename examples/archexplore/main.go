@@ -1,0 +1,52 @@
+// Architecture exploration (the paper's Fig. 6): given the digit
+// recognition application, is an architecture with a few large crossbars or
+// many small crossbars preferable? The sweep grows the crossbar size,
+// re-partitions with the PSO at every point, and reports the local/global
+// energy split and worst-case interconnect latency. Local energy rises with
+// crossbar size (longer nanowires, more local events) while global energy
+// and latency fall (fewer spikes cross) — the best design sits at an
+// intermediate point.
+//
+// Run with:
+//
+//	go run ./examples/archexplore [-quick] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	snnmap "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	quick := flag.Bool("quick", true, "shorter characterization run and smaller swarm")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	rows, err := snnmap.RunFig6(snnmap.ExpOptions{Quick: *quick, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("digit recognition on tree interconnects, PSO partitioning")
+	fmt.Println()
+	fmt.Printf("%8s %10s %12s %13s %12s %12s\n",
+		"Nc", "crossbars", "local (µJ)", "global (µJ)", "total (µJ)", "latency")
+	var best *snnmap.Fig6Row
+	for i := range rows {
+		r := &rows[i]
+		fmt.Printf("%8d %10d %12.2f %13.2f %12.2f %12d\n",
+			r.NeuronsPerCrossbar, r.Crossbars, r.LocalEnergyUJ, r.GlobalEnergyUJ,
+			r.TotalEnergyUJ, r.MaxLatencyCycles)
+		if best == nil || r.TotalEnergyUJ < best.TotalEnergyUJ {
+			best = r
+		}
+	}
+	fmt.Println()
+	fmt.Printf("best total energy at %d neurons per crossbar (%d crossbars)\n",
+		best.NeuronsPerCrossbar, best.Crossbars)
+	fmt.Println("the optimum is an intermediate point between the extremes (paper §V-C)")
+}

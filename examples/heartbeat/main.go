@@ -1,0 +1,46 @@
+// Heartbeat estimation under interconnect distortion: the temporally coded
+// LSM application of the paper's Table I (Das et al. 2017). A synthetic ECG
+// is encoded into UP/DOWN spikes by a level-crossing encoder (the paper's
+// Fig. 3 flowchart), driven through a 64-neuron liquid with a 16-neuron
+// readout, and the heart rate is estimated from the spike stream both at
+// the source and after crossing a congested interconnect — quantifying the
+// paper's §V-B observation that lower ISI distortion improves estimation
+// accuracy.
+//
+// Run with:
+//
+//	go run ./examples/heartbeat [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	snnmap "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	seed := flag.Int64("seed", 1, "seed for ECG generation, connectivity and PSO")
+	flag.Parse()
+
+	rep, err := snnmap.RunAccuracy(snnmap.ExpOptions{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("true heart rate:               %.1f BPM\n", rep.TrueBPM)
+	fmt.Printf("estimate from source times:    %.1f BPM\n\n", rep.SourceBPM)
+	fmt.Println("after crossing a heavily time-multiplexed interconnect:")
+	fmt.Printf("%-10s %22s %15s %12s %16s\n",
+		"technique", "ISI distortion (cyc)", "estimated BPM", "rate error", "interval error")
+	for _, r := range rep.Rows {
+		fmt.Printf("%-10s %22.1f %15.1f %11.1f%% %15.2f%%\n",
+			r.Technique, r.ISIDistortionCycles, r.EstimatedBPM, r.ErrorPct, r.IntervalErrorPct)
+	}
+	fmt.Println()
+	fmt.Println("The PSO mapping sends fewer spikes across the interconnect, so")
+	fmt.Println("congestion-induced ISI distortion is lower and the temporally")
+	fmt.Println("coded per-beat intervals stay closer to the source (paper §V-B).")
+}

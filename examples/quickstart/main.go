@@ -1,0 +1,72 @@
+// Quickstart: the smallest end-to-end use of the public API.
+//
+// It builds a small synthetic SNN (two fully connected feedforward layers
+// driven by ten Poisson sources, as in the paper's §V-A), maps it onto a
+// CxQuad-style architecture with the paper's PSO partitioner, and prints
+// the energy/latency/SNN metrics the framework reports.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	snnmap "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build and characterize an application. The simulator (the
+	// CARLsim substitute) runs the network for 500 ms and records every
+	// spike; the result is the spike graph G = (A, S) of the paper.
+	app, err := snnmap.BuildSynthetic(snnmap.AppConfig{Seed: 42, DurationMs: 500}, 2, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application: %s — %d neurons, %d synapses, %d spikes\n",
+		app.Name, app.Graph.Neurons, len(app.Graph.Synapses), app.Graph.TotalSpikes())
+
+	// 2. Describe the hardware: a tree-interconnect architecture with
+	// 32-neuron crossbars sized for this network.
+	arch := snnmap.ForNeurons(app.Graph.Neurons, 32)
+	fmt.Printf("architecture: %s — %d crossbars × %d neurons\n",
+		arch.Name, arch.Crossbars, arch.CrossbarSize)
+
+	// 3. Partition into local and global synapses with the paper's PSO
+	// and replay the global traffic on the interconnect simulator.
+	pso := snnmap.NewPSO(snnmap.PSOConfig{SwarmSize: 50, Iterations: 50, Seed: 1})
+	report, err := snnmap.Run(app, arch, pso)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Printf("local synapses:   %d (inside crossbars)\n", report.LocalSynapseCount)
+	fmt.Printf("global synapses:  %d (on the interconnect)\n", report.GlobalSynapseCount)
+	fmt.Printf("fitness F:        %d spikes on the interconnect\n", report.GlobalTraffic)
+	fmt.Printf("local energy:     %.2f µJ\n", report.LocalEnergyPJ/1e6)
+	fmt.Printf("global energy:    %.2f µJ\n", report.GlobalEnergyPJ/1e6)
+	fmt.Printf("ISI distortion:   %.1f cycles (avg), %d (max)\n",
+		report.Metrics.ISIAvgCycles, report.Metrics.ISIMaxCycles)
+	fmt.Printf("spike disorder:   %.2f%%\n", report.Metrics.DisorderFrac*100)
+	fmt.Printf("latency:          %.1f cycles (avg), %d (max)\n",
+		report.Metrics.AvgLatencyCycles, report.Metrics.MaxLatencyCycles)
+	fmt.Printf("throughput:       %.2f AER packets/ms\n", report.Metrics.ThroughputPerMs)
+
+	// 4. Compare against the two baselines of the paper's Fig. 5.
+	fmt.Println()
+	fmt.Println("technique   interconnect energy (pJ)")
+	reports, err := snnmap.Compare(app, arch, []snnmap.Partitioner{
+		snnmap.Neutrams, snnmap.Pacman, pso,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		fmt.Printf("%-10s  %.0f\n", r.Technique, r.GlobalEnergyPJ)
+	}
+}

@@ -1,0 +1,48 @@
+// Swarm-size exploration (the paper's Fig. 7): how many particles does the
+// PSO need? The sweep runs the optimizer with growing swarm sizes at a
+// fixed iteration budget on two realistic and two synthetic applications,
+// with heuristic seeding disabled so the curve reflects pure swarm search.
+// Larger swarms find better (or equal) partitions; the paper settles on
+// 1000 particles, past which no further improvement appears.
+//
+// Run with:
+//
+//	go run ./examples/swarmtuning [-quick] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	snnmap "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	quick := flag.Bool("quick", true, "sweep fewer swarm sizes with shorter runs")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	points, err := snnmap.RunFig7(snnmap.ExpOptions{Quick: *quick, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("interconnect energy vs PSO swarm size (normalized per app to the sweep minimum)")
+	fmt.Println()
+	app := ""
+	for _, p := range points {
+		if p.App != app {
+			app = p.App
+			fmt.Printf("\n%s\n", app)
+			fmt.Printf("%12s %16s %12s\n", "swarm size", "energy (pJ)", "normalized")
+		}
+		bar := ""
+		n := int((p.Normalized - 1) * 50)
+		for i := 0; i < n && i < 40; i++ {
+			bar += "#"
+		}
+		fmt.Printf("%12d %16.0f %12.3f %s\n", p.SwarmSize, p.EnergyPJ, p.Normalized, bar)
+	}
+}

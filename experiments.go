@@ -1,0 +1,622 @@
+package snnmap
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/hardware"
+	"repro/internal/partition"
+)
+
+// ExpOptions tunes the experiment harness.
+type ExpOptions struct {
+	// Quick trades fidelity for speed: shorter characterization runs and
+	// smaller swarms. Used by unit-style invocations and CI.
+	Quick bool
+	// Seed drives all stochastic components.
+	Seed int64
+}
+
+func (o ExpOptions) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o ExpOptions) duration(standard int64) int64 {
+	if o.Quick {
+		if standard > 2000 {
+			return standard / 5
+		}
+		d := standard / 4
+		if d < 250 {
+			d = 250
+		}
+		return d
+	}
+	return standard
+}
+
+func (o ExpOptions) pso(seed int64) *partition.PSO {
+	cfg := DefaultPSOConfig()
+	cfg.Seed = seed
+	if o.Quick {
+		cfg.SwarmSize = 30
+		cfg.Iterations = 30
+	}
+	return NewPSO(cfg)
+}
+
+// PacmanCapableArch sizes a CxQuad-style architecture with 128-neuron
+// crossbars (the CxQuad crossbar dimension; 32 for networks that would
+// otherwise fit a single crossbar) and enough crossbars for PACMAN's
+// population-exclusive placement — used by the Fig. 5 energy comparison.
+// Like CxQuad's NoC-tree, the interconnect is a single-root tree, so every
+// crossbar pair is two hops apart and interconnect energy is proportional
+// to the partitioning fitness F.
+func PacmanCapableArch(g *SpikeGraph) Arch {
+	nc := 128
+	if g.Neurons <= 256 {
+		nc = 32
+	}
+	fragments := 0
+	covered := 0
+	for _, grp := range g.Groups {
+		fragments += (grp.N + nc - 1) / nc
+		covered += grp.N
+	}
+	min := (g.Neurons + nc - 1) / nc
+	if covered != g.Neurons || fragments < min {
+		fragments = min
+	}
+	a := hardware.ForNeurons(g.Neurons, nc)
+	a.Crossbars = fragments
+	a.TreeArity = fragments // single-root tree: uniform 2-hop distances
+	if a.TreeArity < 2 {
+		a.TreeArity = 2
+	}
+	a.Name = fmt.Sprintf("star-%dx%d", fragments, nc)
+	return a
+}
+
+// QuadArch sizes a CxQuad-like 4-crossbar architecture tightly around the
+// application (crossbar size ≈ N/4 with 15% slack), forcing every
+// technique to distribute the network — used by the Table II congestion
+// metrics and the Fig. 7 swarm exploration.
+func QuadArch(g *SpikeGraph) Arch {
+	nc := (g.Neurons*115/100 + 3) / 4
+	if nc < 1 {
+		nc = 1
+	}
+	a := hardware.CxQuad()
+	a.CrossbarSize = nc
+	a.Name = fmt.Sprintf("quad-4x%d", nc)
+	return a
+}
+
+// Fig5Row is one bar group of the paper's Fig. 5: interconnect energy of
+// the three techniques on one application, normalized to NEUTRAMS.
+type Fig5Row struct {
+	App      string
+	Neurons  int
+	Synapses int
+	// EnergyPJ maps technique name to absolute interconnect energy.
+	EnergyPJ map[string]float64
+	// Normalized maps technique name to energy / NEUTRAMS energy.
+	Normalized map[string]float64
+}
+
+// fig5Workloads lists the Fig. 5 X axis: the synthetic topologies swept in
+// §V-A (four of the eight are plotted in the paper; all eight are listed in
+// the text) followed by the realistic applications.
+func fig5Workloads() []struct {
+	name    string
+	builder apps.Builder
+	durMs   int64
+} {
+	type w = struct {
+		name    string
+		builder apps.Builder
+		durMs   int64
+	}
+	out := []w{
+		{"1x200", apps.SyntheticBuilder(1, 200), 1000},
+		{"1x600", apps.SyntheticBuilder(1, 600), 1000},
+		{"1x800", apps.SyntheticBuilder(1, 800), 1000},
+		{"2x200", apps.SyntheticBuilder(2, 200), 1000},
+		{"2x400", apps.SyntheticBuilder(2, 400), 1000},
+		{"3x200", apps.SyntheticBuilder(3, 200), 1000},
+		{"4x100", apps.SyntheticBuilder(4, 100), 1000},
+		{"4x200", apps.SyntheticBuilder(4, 200), 1000},
+	}
+	real := []struct {
+		name  string
+		durMs int64
+	}{{"HW", 1000}, {"IS", 1000}, {"HD", 1000}, {"HE", 10000}}
+	for _, r := range real {
+		b, _ := apps.ByName(r.name)
+		out = append(out, w{r.name, b, r.durMs})
+	}
+	return out
+}
+
+// RunFig5 regenerates the paper's Fig. 5: normalized energy consumption on
+// the global synapse interconnect for NEUTRAMS, PACMAN and the proposed
+// PSO, over synthetic and realistic applications.
+func RunFig5(opts ExpOptions) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, w := range fig5Workloads() {
+		app, err := w.builder(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(w.durMs)})
+		if err != nil {
+			return nil, fmt.Errorf("snnmap: building %s: %w", w.name, err)
+		}
+		arch := PacmanCapableArch(app.Graph)
+		reports, err := Compare(app, arch, []Partitioner{
+			Neutrams, Pacman, opts.pso(opts.seed()),
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig5Row{
+			App:        w.name,
+			Neurons:    app.Graph.Neurons,
+			Synapses:   len(app.Graph.Synapses),
+			EnergyPJ:   map[string]float64{},
+			Normalized: map[string]float64{},
+		}
+		for _, r := range reports {
+			row.EnergyPJ[r.Technique] = r.GlobalEnergyPJ
+		}
+		base := row.EnergyPJ["NEUTRAMS"]
+		for k, v := range row.EnergyPJ {
+			if base > 0 {
+				row.Normalized[k] = v / base
+			} else {
+				row.Normalized[k] = 0
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table2Cell holds one technique's metric column of the paper's Table II.
+type Table2Cell struct {
+	ISIDistortionCycles float64
+	DisorderFrac        float64
+	ThroughputPerMs     float64
+	MaxLatencyCycles    int64
+}
+
+// Table2Row compares PACMAN and the proposed PSO on one realistic
+// application.
+type Table2Row struct {
+	App    string
+	Pacman Table2Cell
+	PSO    Table2Cell
+}
+
+// RunTable2 regenerates the paper's Table II: ISI distortion, spike
+// disorder, throughput and latency for the four realistic applications on a
+// tightly provisioned 4-crossbar architecture.
+func RunTable2(opts ExpOptions) ([]Table2Row, error) {
+	durations := map[string]int64{"HW": 1000, "IS": 1000, "HD": 1000, "HE": 10000}
+	var rows []Table2Row
+	for _, name := range apps.RealisticNames() {
+		b, err := apps.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		app, err := b(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(durations[name])})
+		if err != nil {
+			return nil, err
+		}
+		arch := QuadArch(app.Graph)
+		cell := func(pt Partitioner) (Table2Cell, error) {
+			rep, err := Run(app, arch, pt)
+			if err != nil {
+				return Table2Cell{}, err
+			}
+			return Table2Cell{
+				ISIDistortionCycles: rep.Metrics.ISIAvgCycles,
+				DisorderFrac:        rep.Metrics.DisorderFrac,
+				ThroughputPerMs:     rep.Metrics.ThroughputPerMs,
+				MaxLatencyCycles:    rep.Metrics.MaxLatencyCycles,
+			}, nil
+		}
+		pac, err := cell(Pacman)
+		if err != nil {
+			return nil, err
+		}
+		pso, err := cell(opts.pso(opts.seed()))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{App: name, Pacman: pac, PSO: pso})
+	}
+	return rows, nil
+}
+
+// Fig6Row is one X-axis point of the paper's Fig. 6 architecture
+// exploration: energies and worst-case latency at one crossbar size.
+type Fig6Row struct {
+	NeuronsPerCrossbar int
+	Crossbars          int
+	LocalEnergyUJ      float64
+	GlobalEnergyUJ     float64
+	TotalEnergyUJ      float64
+	MaxLatencyCycles   int64
+}
+
+// RunFig6 regenerates the paper's Fig. 6: local/global/total synapse energy
+// and worst-case interconnect latency for the digit recognition application
+// as the crossbar size grows from 90 to 1440 neurons.
+func RunFig6(opts ExpOptions) ([]Fig6Row, error) {
+	app, err := apps.DigitRecognition(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(1000)})
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{90, 180, 360, 720, 1080, 1440}
+	var rows []Fig6Row
+	for _, nc := range sizes {
+		arch := hardware.ForNeurons(app.Graph.Neurons, nc)
+		rep, err := Run(app, arch, opts.pso(opts.seed()))
+		if err != nil {
+			return nil, fmt.Errorf("snnmap: Fig6 at Nc=%d: %w", nc, err)
+		}
+		rows = append(rows, Fig6Row{
+			NeuronsPerCrossbar: nc,
+			Crossbars:          arch.Crossbars,
+			LocalEnergyUJ:      rep.LocalEnergyPJ / 1e6,
+			GlobalEnergyUJ:     rep.GlobalEnergyPJ / 1e6,
+			TotalEnergyUJ:      rep.TotalEnergyPJ / 1e6,
+			MaxLatencyCycles:   rep.Metrics.MaxLatencyCycles,
+		})
+	}
+	return rows, nil
+}
+
+// Fig7Point is one (application, swarm size) sample of the paper's Fig. 7.
+type Fig7Point struct {
+	App        string
+	SwarmSize  int
+	EnergyPJ   float64
+	Normalized float64 // energy / best energy across the app's sweep
+}
+
+// RunFig7 regenerates the paper's Fig. 7: interconnect energy versus PSO
+// swarm size (iterations fixed at 100) for two realistic and two synthetic
+// applications, normalized per application to the sweep's minimum.
+// Heuristic seeding is disabled so the sweep reflects pure swarm behavior.
+func RunFig7(opts ExpOptions) ([]Fig7Point, error) {
+	type workload struct {
+		name    string
+		builder apps.Builder
+		durMs   int64
+	}
+	workloads := []workload{
+		{"hello_world", apps.Builder(apps.HelloWorld), 1000},
+		{"heartbeat_estimation", nil, 10000},
+		{"synth_1x800", apps.SyntheticBuilder(1, 800), 1000},
+		{"synth_2x200", apps.SyntheticBuilder(2, 200), 1000},
+	}
+	heBuilder, err := apps.ByName("HE")
+	if err != nil {
+		return nil, err
+	}
+	workloads[1].builder = heBuilder
+
+	sizes := []int{10, 32, 105, 330, 1000}
+	if opts.Quick {
+		sizes = []int{10, 32, 105}
+	}
+	iterations := 100
+	if opts.Quick {
+		iterations = 40
+	}
+
+	var points []Fig7Point
+	for _, w := range workloads {
+		app, err := w.builder(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(w.durMs)})
+		if err != nil {
+			return nil, err
+		}
+		arch := QuadArch(app.Graph)
+		var energies []float64
+		for _, swarm := range sizes {
+			cfg := PSOConfig{
+				SwarmSize:      swarm,
+				Iterations:     iterations,
+				Seed:           opts.seed(),
+				DisableSeeding: true,
+			}
+			rep, err := Run(app, arch, NewPSO(cfg))
+			if err != nil {
+				return nil, err
+			}
+			energies = append(energies, rep.GlobalEnergyPJ)
+		}
+		best := energies[0]
+		for _, e := range energies {
+			if e < best {
+				best = e
+			}
+		}
+		for i, swarm := range sizes {
+			norm := 0.0
+			if best > 0 {
+				norm = energies[i] / best
+			}
+			points = append(points, Fig7Point{
+				App: w.name, SwarmSize: swarm,
+				EnergyPJ: energies[i], Normalized: norm,
+			})
+		}
+	}
+	return points, nil
+}
+
+// AccuracyReport quantifies the §V-B claim that reducing ISI distortion
+// improves the temporally coded heartbeat estimation.
+type AccuracyReport struct {
+	TrueBPM float64
+	// SourceBPM is the estimate from undistorted spike creation times.
+	SourceBPM float64
+	// Rows compare techniques under a heavily time-multiplexed (slow)
+	// interconnect where congestion reaches the temporal-code scale.
+	Rows []AccuracyRow
+}
+
+// AccuracyRow is one technique's outcome in the accuracy experiment.
+type AccuracyRow struct {
+	Technique           string
+	ISIDistortionCycles float64
+	EstimatedBPM        float64
+	// ErrorPct is |estimate − truth| / truth × 100 for the mean rate.
+	ErrorPct float64
+	// IntervalErrorPct is the mean absolute per-beat-interval error of
+	// the arrival-time beat sequence against the source beat sequence —
+	// the accuracy of instantaneous heart-rate estimation, which ISI
+	// distortion directly corrupts.
+	IntervalErrorPct float64
+}
+
+// RunAccuracy regenerates the heartbeat-accuracy experiment of §V-B. The
+// heartbeat LSM is mapped with PACMAN and PSO onto an interconnect whose
+// clock is provisioned just above the PACMAN mapping's average load, so
+// congestion-induced queueing reaches the millisecond scale of the
+// temporal code. The heart rate is then re-estimated from the UP-channel
+// encoder spikes as they *arrive* across the interconnect: the technique
+// with lower interconnect traffic suffers less ISI distortion and its
+// estimate stays closer to the truth.
+func RunAccuracy(opts ExpOptions) (*AccuracyReport, error) {
+	he, err := apps.Heartbeat(apps.HeartbeatConfig{
+		Config: AppConfig{Seed: opts.seed(), DurationMs: opts.duration(20000)},
+		BPM:    72,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := he.App.Graph
+	durMs := g.DurationMs
+	arch := QuadArch(g)
+
+	// The UP channel is the first neuron of the input group.
+	upNeuron := int32(0)
+	for _, grp := range g.Groups {
+		if grp.Kind == "input" {
+			upNeuron = int32(grp.Start)
+			break
+		}
+	}
+
+	// Provision the interconnect clock at ~1.35× the PACMAN mapping's
+	// average packet rate: PACMAN runs near saturation while the leaner
+	// PSO mapping keeps headroom.
+	p, err := NewProblem(g, arch.Crossbars, arch.CrossbarSize)
+	if err != nil {
+		return nil, err
+	}
+	pacRes, err := partition.Solve(Pacman, p)
+	if err != nil {
+		return nil, err
+	}
+	load := pacRes.Cost / durMs // packets per ms
+	arch.CyclesPerMs = load*120/100 + 1
+
+	out := &AccuracyReport{TrueBPM: he.TrueBPM}
+	srcEst := apps.EstimateBPMMedian(he.Up, 250, 4)
+	out.SourceBPM = srcEst
+
+	for _, pt := range []Partitioner{Pacman, opts.pso(opts.seed())} {
+		rep, err := RunOpts(he.App, arch, pt, Options{KeepTrace: true})
+		if err != nil {
+			return nil, err
+		}
+		// Reconstruct the UP-channel train as received by the liquid's
+		// crossbars: keep the destination crossbar receiving the most
+		// UP spikes (a duplicate-free stream) and convert arrival cycles
+		// back to milliseconds.
+		arrivalsByDst := map[int][]int64{}
+		for _, d := range rep.Deliveries {
+			if d.SrcNeuron == upNeuron {
+				arrivalsByDst[d.Dst] = append(arrivalsByDst[d.Dst], d.ArriveCycle/arch.CyclesPerMs)
+			}
+		}
+		var arrival []int64
+		for _, a := range arrivalsByDst {
+			if len(a) > len(arrival) {
+				arrival = a
+			}
+		}
+		arrTrain := toTrain(arrival)
+		est := apps.EstimateBPMMedian(arrTrain, 250, 4)
+		errPct := 0.0
+		if out.TrueBPM > 0 {
+			errPct = abs64(est-out.TrueBPM) / out.TrueBPM * 100
+		}
+		srcBeats := apps.BurstStarts(he.Up, 250, 4)
+		arrBeats := apps.BurstStarts(arrTrain, 250, 4)
+		out.Rows = append(out.Rows, AccuracyRow{
+			Technique:           rep.Technique,
+			ISIDistortionCycles: rep.Metrics.ISIAvgCycles,
+			EstimatedBPM:        est,
+			ErrorPct:            errPct,
+			IntervalErrorPct:    apps.BeatIntervalError(srcBeats, arrBeats) * 100,
+		})
+	}
+	return out, nil
+}
+
+// AblationRow is one technique's outcome in the optimizer ablation.
+type AblationRow struct {
+	Technique string
+	Cost      int64
+	WallClock time.Duration
+}
+
+// RunOptimizerAblation compares the PSO against simulated annealing, the
+// genetic algorithm, greedy and random partitioning on one application —
+// the quantitative backing for the paper's §III claim that PSO converges
+// faster than GA/SA at comparable quality.
+func RunOptimizerAblation(opts ExpOptions) ([]AblationRow, error) {
+	app, err := apps.Synthetic(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(1000)}, 2, 200)
+	if err != nil {
+		return nil, err
+	}
+	arch := QuadArch(app.Graph)
+	p, err := NewProblem(app.Graph, arch.Crossbars, arch.CrossbarSize)
+	if err != nil {
+		return nil, err
+	}
+	techniques := []Partitioner{
+		partition.Random{Seed: opts.seed()},
+		Neutrams,
+		Pacman,
+		GreedyPartitioner,
+		partition.KLRefine{Base: partition.Greedy{}},
+		partition.Annealing{Seed: opts.seed()},
+		partition.Genetic{Seed: opts.seed()},
+		opts.pso(opts.seed()),
+	}
+	var rows []AblationRow
+	for _, pt := range techniques {
+		start := time.Now()
+		res, err := partition.Solve(pt, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Technique: res.Technique,
+			Cost:      res.Cost,
+			WallClock: time.Since(start),
+		})
+	}
+	return rows, nil
+}
+
+// AERModeRow is one packetization mode's outcome in the multicast ablation.
+type AERModeRow struct {
+	Mode       string
+	Injected   int64
+	HopCount   int64
+	EnergyPJ   float64
+	AvgLatency float64
+}
+
+// RunAERModeAblation quantifies the Noxim++ multicast extension: the same
+// NEUTRAMS mapping (whose scattered placement gives spikes multi-crossbar
+// destination sets, the case multicast exists for) replayed with
+// per-synapse, per-crossbar and multicast AER packetization.
+func RunAERModeAblation(opts ExpOptions) ([]AERModeRow, error) {
+	app, err := apps.DigitRecognition(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(1000)})
+	if err != nil {
+		return nil, err
+	}
+	arch := QuadArch(app.Graph)
+	p, err := NewProblem(app.Graph, arch.Crossbars, arch.CrossbarSize)
+	if err != nil {
+		return nil, err
+	}
+	res, err := partition.Solve(Neutrams, p)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AERModeRow
+	for _, mode := range []hardware.AERMode{hardware.PerSynapse, hardware.PerCrossbar, hardware.MulticastAER} {
+		a := arch
+		a.AER = mode
+		nr, err := SimulateTraffic(app.Graph, res.Assign, a)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AERModeRow{
+			Mode:       mode.String(),
+			Injected:   nr.Stats.Injected,
+			HopCount:   nr.Stats.PacketHops,
+			EnergyPJ:   nr.Stats.EnergyPJ,
+			AvgLatency: nr.Stats.AvgLatency,
+		})
+	}
+	return rows, nil
+}
+
+// TopologyRow is one interconnect topology's outcome in the topology
+// ablation (NoC-tree as in CxQuad versus NoC-mesh as in TrueNorth).
+type TopologyRow struct {
+	Topology   string
+	EnergyPJ   float64
+	AvgLatency float64
+	MaxLatency int64
+}
+
+// RunTopologyAblation compares tree and mesh interconnects under the same
+// PSO mapping of the image smoothing application.
+func RunTopologyAblation(opts ExpOptions) ([]TopologyRow, error) {
+	app, err := apps.ImageSmoothing(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(1000)})
+	if err != nil {
+		return nil, err
+	}
+	base := hardware.ForNeurons(app.Graph.Neurons, 256)
+	var rows []TopologyRow
+	for _, kind := range []struct {
+		name string
+		make func() Arch
+	}{
+		{"tree", func() Arch { a := base; return a }},
+		{"mesh", func() Arch {
+			a := hardware.MeshChip(base.Crossbars, base.CrossbarSize)
+			a.Energy = base.Energy
+			return a
+		}},
+	} {
+		rep, err := Run(app, kind.make(), opts.pso(opts.seed()))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TopologyRow{
+			Topology:   kind.name,
+			EnergyPJ:   rep.GlobalEnergyPJ,
+			AvgLatency: rep.Metrics.AvgLatencyCycles,
+			MaxLatency: rep.Metrics.MaxLatencyCycles,
+		})
+	}
+	return rows, nil
+}
+
+func toTrain(times []int64) []int64 {
+	out := make([]int64, len(times))
+	copy(out, times)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

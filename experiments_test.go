@@ -1,0 +1,267 @@
+package snnmap
+
+import "testing"
+
+// The harness integration tests run every experiment in quick mode and
+// assert the paper's qualitative claims (orderings and curve shapes), which
+// are the reproduction targets — absolute numbers live in EXPERIMENTS.md.
+// They are skipped under -short.
+
+func TestRunFig5Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode experiment still costs tens of seconds")
+	}
+	rows, err := RunFig5(ExpOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 8 synthetic + 4 realistic", len(rows))
+	}
+	for _, r := range rows {
+		if r.Normalized["NEUTRAMS"] != 1.0 {
+			t.Fatalf("%s: NEUTRAMS not the normalization base: %v", r.App, r.Normalized)
+		}
+		// The paper's headline: the proposed PSO achieves the minimum
+		// energy of the three techniques.
+		pso := r.Normalized["PSO"]
+		if pso > r.Normalized["NEUTRAMS"] || pso > r.Normalized["PACMAN"] {
+			t.Fatalf("%s: PSO not minimal: %v", r.App, r.Normalized)
+		}
+	}
+}
+
+func TestRunTable2Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode experiment still costs tens of seconds")
+	}
+	rows, err := RunTable2(ExpOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 realistic apps", len(rows))
+	}
+	lowerLatency := 0
+	for _, r := range rows {
+		// Paper §V-B: PACMAN communicates more spikes, so its
+		// throughput is at least the PSO's on every app.
+		if r.Pacman.ThroughputPerMs < r.PSO.ThroughputPerMs {
+			t.Fatalf("%s: PACMAN throughput below PSO (%f < %f)",
+				r.App, r.Pacman.ThroughputPerMs, r.PSO.ThroughputPerMs)
+		}
+		if r.PSO.MaxLatencyCycles <= r.Pacman.MaxLatencyCycles {
+			lowerLatency++
+		}
+		// Disorder can never be negative and is a fraction.
+		for _, c := range []Table2Cell{r.Pacman, r.PSO} {
+			if c.DisorderFrac < 0 || c.DisorderFrac > 1 {
+				t.Fatalf("%s: disorder fraction %f out of range", r.App, c.DisorderFrac)
+			}
+		}
+	}
+	// Paper: spike propagation latency is lower with PSO (2–35% across
+	// apps); require it on at least 3 of the 4 applications.
+	if lowerLatency < 3 {
+		t.Fatalf("PSO latency lower on only %d of 4 apps", lowerLatency)
+	}
+}
+
+func TestRunFig6Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode experiment still costs tens of seconds")
+	}
+	rows, err := RunFig6(ExpOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Paper Fig. 6: local energy rises with crossbar size, global energy
+	// falls (to zero once everything is local).
+	if last.LocalEnergyUJ <= first.LocalEnergyUJ {
+		t.Fatalf("local energy not increasing: %f -> %f", first.LocalEnergyUJ, last.LocalEnergyUJ)
+	}
+	if last.GlobalEnergyUJ >= first.GlobalEnergyUJ {
+		t.Fatalf("global energy not decreasing: %f -> %f", first.GlobalEnergyUJ, last.GlobalEnergyUJ)
+	}
+	// The best total sits strictly between the extremes.
+	best := 0
+	for i, r := range rows {
+		if r.TotalEnergyUJ < rows[best].TotalEnergyUJ {
+			best = i
+		}
+	}
+	if best == 0 || best == len(rows)-1 {
+		t.Logf("warning: total-energy optimum at sweep boundary (index %d)", best)
+	}
+	// Single-crossbar end point: everything local.
+	if last.Crossbars == 1 && last.GlobalEnergyUJ != 0 {
+		t.Fatal("single crossbar must have zero global energy")
+	}
+}
+
+func TestRunFig7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode experiment still costs tens of seconds")
+	}
+	points, err := RunFig7(ExpOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string][]Fig7Point{}
+	for _, p := range points {
+		byApp[p.App] = append(byApp[p.App], p)
+	}
+	if len(byApp) != 4 {
+		t.Fatalf("apps = %d, want 4", len(byApp))
+	}
+	for app, ps := range byApp {
+		// Normalization: the sweep minimum is 1.0 and everything else
+		// is >= 1.
+		min := ps[0].Normalized
+		for _, p := range ps {
+			if p.Normalized < min {
+				min = p.Normalized
+			}
+			if p.Normalized < 1.0-1e-9 {
+				t.Fatalf("%s: normalized %f < 1", app, p.Normalized)
+			}
+		}
+		if min > 1.0+1e-9 {
+			t.Fatalf("%s: sweep minimum %f != 1", app, min)
+		}
+	}
+}
+
+func TestRunAccuracyShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode experiment still costs tens of seconds")
+	}
+	rep, err := RunAccuracy(ExpOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrueBPM != 72 {
+		t.Fatalf("TrueBPM = %f", rep.TrueBPM)
+	}
+	// Source estimate must be close to truth (the encoder+estimator
+	// work); the arrival estimates carry the distortion.
+	if rep.SourceBPM < 60 || rep.SourceBPM > 85 {
+		t.Fatalf("source estimate %f implausible", rep.SourceBPM)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	var pacman, pso AccuracyRow
+	for _, r := range rep.Rows {
+		switch r.Technique {
+		case "PACMAN":
+			pacman = r
+		case "PSO":
+			pso = r
+		}
+	}
+	// Paper §V-B: the PSO mapping suffers less ISI distortion.
+	if pso.ISIDistortionCycles >= pacman.ISIDistortionCycles {
+		t.Fatalf("PSO ISI distortion %f >= PACMAN %f",
+			pso.ISIDistortionCycles, pacman.ISIDistortionCycles)
+	}
+}
+
+func TestRunOptimizerAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode experiment still costs tens of seconds")
+	}
+	rows, err := RunOptimizerAblation(ExpOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := map[string]int64{}
+	for _, r := range rows {
+		costs[r.Technique] = r.Cost
+		if r.WallClock <= 0 {
+			t.Fatalf("%s: no wall clock measured", r.Technique)
+		}
+	}
+	// Seeded PSO is never worse than the heuristics it is seeded with.
+	for _, base := range []string{"PACMAN", "Greedy", "NEUTRAMS"} {
+		if costs["PSO"] > costs[base] {
+			t.Fatalf("PSO (%d) worse than %s (%d)", costs["PSO"], base, costs[base])
+		}
+	}
+}
+
+func TestRunAERModeAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode experiment still costs tens of seconds")
+	}
+	rows, err := RunAERModeAblation(ExpOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byMode := map[string]AERModeRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	// Deduplication can only reduce packets; multicast can only reduce
+	// hops further.
+	if byMode["per-crossbar"].Injected > byMode["per-synapse"].Injected {
+		t.Fatal("per-crossbar dedup increased packets")
+	}
+	if byMode["multicast"].HopCount > byMode["per-crossbar"].HopCount {
+		t.Fatal("multicast increased hops over per-crossbar unicast")
+	}
+	if byMode["multicast"].EnergyPJ > byMode["per-synapse"].EnergyPJ {
+		t.Fatal("multicast more expensive than per-synapse")
+	}
+}
+
+func TestRunTopologyAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode experiment still costs tens of seconds")
+	}
+	rows, err := RunTopologyAblation(ExpOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.EnergyPJ <= 0 || r.MaxLatency <= 0 {
+			t.Fatalf("%s: degenerate stats %+v", r.Topology, r)
+		}
+	}
+}
+
+func TestQuadArchAndPacmanCapableArch(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 1, DurationMs: 250}, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := QuadArch(app.Graph)
+	if q.Crossbars != 4 {
+		t.Fatalf("QuadArch crossbars = %d, want 4", q.Crossbars)
+	}
+	if !q.Fits(app.Graph.Neurons) {
+		t.Fatal("QuadArch does not fit the app")
+	}
+	pc := PacmanCapableArch(app.Graph)
+	if !pc.Fits(app.Graph.Neurons) {
+		t.Fatal("PacmanCapableArch does not fit the app")
+	}
+	// PACMAN's population-exclusive placement must be feasible.
+	p, err := NewProblem(app.Graph, pc.Crossbars, pc.CrossbarSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pacman.Partition(p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package apps builds the SNN applications of the paper's evaluation
+// (Table I): hello world, image smoothing, handwritten digit recognition
+// (Diehl & Cook-style), heartbeat estimation (liquid state machine), and
+// the synthetic m×n feedforward topologies of §V-A. Each builder constructs
+// the network with internal/snn, runs a characterization simulation, and
+// exports the spike graph consumed by the partitioning framework.
+//
+// Data substitutions (documented in DESIGN.md): MNIST images are replaced
+// by synthetic digit stroke bitmaps, and wearable ECG traces by a synthetic
+// PQRST generator; both preserve the topology and the spike statistics the
+// mapping problem depends on.
+package apps
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Config holds the common application-construction parameters.
+type Config struct {
+	// Seed drives every stochastic choice (connectivity, input trains).
+	Seed int64
+	// DurationMs is the characterization run length (default 1000 ms).
+	DurationMs int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DurationMs == 0 {
+		c.DurationMs = 1000
+	}
+	return c
+}
+
+// App is a built application: its name and the spike graph of the trained,
+// characterized network.
+type App struct {
+	// Name is the short identifier used across benchmarks (e.g. "HW").
+	Name string
+	// Description states topology and coding scheme as in Table I.
+	Description string
+	// Graph is the spike graph handed to the partitioner.
+	Graph *graph.SpikeGraph
+}
+
+// Validate checks the app invariants.
+func (a *App) Validate() error {
+	if a == nil || a.Graph == nil {
+		return errors.New("apps: nil app or graph")
+	}
+	if a.Name == "" {
+		return errors.New("apps: empty name")
+	}
+	return a.Graph.Validate()
+}
+
+// Builder constructs one application. All builders in this package are of
+// this shape so experiment harnesses can sweep them.
+type Builder func(cfg Config) (*App, error)
+
+// ByName returns the builder of a realistic application by its Table I
+// short name (HW, IS, HD, HE).
+func ByName(name string) (Builder, error) {
+	switch name {
+	case "HW", "hello_world":
+		return HelloWorld, nil
+	case "IS", "image_smoothing":
+		return ImageSmoothing, nil
+	case "HD", "digit_recognition":
+		return DigitRecognition, nil
+	case "HE", "heartbeat_estimation":
+		return func(cfg Config) (*App, error) {
+			r, err := Heartbeat(HeartbeatConfig{Config: cfg})
+			if err != nil {
+				return nil, err
+			}
+			return r.App, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("apps: unknown application %q", name)
+	}
+}
+
+// RealisticNames lists the Table I applications in paper order.
+func RealisticNames() []string { return []string{"HW", "IS", "HD", "HE"} }

@@ -1,0 +1,174 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/neuron"
+	"repro/internal/snn"
+	"repro/internal/spike"
+)
+
+// digitSide is the edge of the digit bitmaps (28×28, MNIST-shaped).
+const digitSide = 28
+
+// digitStrokes defines each digit 0–9 as straight strokes in a unit square
+// ((0,0) top-left). The bitmaps substitute for MNIST, which is unavailable
+// offline; the mapping experiments depend only on the input topology and
+// spike statistics, which these stroke images preserve.
+var digitStrokes = map[int][][4]float64{
+	0: {{0.3, 0.2, 0.7, 0.2}, {0.7, 0.2, 0.7, 0.8}, {0.7, 0.8, 0.3, 0.8}, {0.3, 0.8, 0.3, 0.2}},
+	1: {{0.5, 0.15, 0.5, 0.85}, {0.35, 0.3, 0.5, 0.15}},
+	2: {{0.3, 0.25, 0.7, 0.25}, {0.7, 0.25, 0.7, 0.5}, {0.7, 0.5, 0.3, 0.8}, {0.3, 0.8, 0.7, 0.8}},
+	3: {{0.3, 0.2, 0.7, 0.2}, {0.7, 0.2, 0.7, 0.8}, {0.3, 0.5, 0.7, 0.5}, {0.3, 0.8, 0.7, 0.8}},
+	4: {{0.35, 0.2, 0.35, 0.5}, {0.35, 0.5, 0.7, 0.5}, {0.65, 0.2, 0.65, 0.85}},
+	5: {{0.7, 0.2, 0.3, 0.2}, {0.3, 0.2, 0.3, 0.5}, {0.3, 0.5, 0.7, 0.5}, {0.7, 0.5, 0.7, 0.8}, {0.7, 0.8, 0.3, 0.8}},
+	6: {{0.65, 0.2, 0.35, 0.35}, {0.35, 0.35, 0.35, 0.8}, {0.35, 0.8, 0.7, 0.8}, {0.7, 0.8, 0.7, 0.55}, {0.7, 0.55, 0.35, 0.55}},
+	7: {{0.3, 0.2, 0.7, 0.2}, {0.7, 0.2, 0.45, 0.85}},
+	8: {{0.35, 0.2, 0.65, 0.2}, {0.65, 0.2, 0.65, 0.8}, {0.65, 0.8, 0.35, 0.8}, {0.35, 0.8, 0.35, 0.2}, {0.35, 0.5, 0.65, 0.5}},
+	9: {{0.65, 0.5, 0.35, 0.5}, {0.35, 0.5, 0.35, 0.25}, {0.35, 0.25, 0.65, 0.25}, {0.65, 0.25, 0.65, 0.8}},
+}
+
+// SyntheticDigit rasterizes a digit (0–9) into a 28×28 grayscale bitmap in
+// [0,1], with stroke thickness ≈2 px and a small random offset. It panics
+// on digits outside 0–9.
+func SyntheticDigit(rng *rand.Rand, digit int) []float64 {
+	strokes, ok := digitStrokes[digit]
+	if !ok {
+		panic("apps: digit outside 0-9")
+	}
+	img := make([]float64, digitSide*digitSide)
+	ox := (rng.Float64() - 0.5) * 0.08
+	oy := (rng.Float64() - 0.5) * 0.08
+	const thickness = 1.4 // pixels
+	for y := 0; y < digitSide; y++ {
+		for x := 0; x < digitSide; x++ {
+			px := (float64(x) + 0.5) / digitSide
+			py := (float64(y) + 0.5) / digitSide
+			for _, s := range strokes {
+				d := pointSegmentDist(px-ox, py-oy, s[0], s[1], s[2], s[3]) * digitSide
+				if d < thickness {
+					v := 1 - d/thickness
+					if v > img[y*digitSide+x] {
+						img[y*digitSide+x] = v
+					}
+				}
+			}
+		}
+	}
+	return img
+}
+
+// pointSegmentDist returns the distance from point (px,py) to segment
+// (x1,y1)-(x2,y2) in unit coordinates.
+func pointSegmentDist(px, py, x1, y1, x2, y2 float64) float64 {
+	dx, dy := x2-x1, y2-y1
+	l2 := dx*dx + dy*dy
+	t := 0.0
+	if l2 > 0 {
+		t = ((px-x1)*dx + (py-y1)*dy) / l2
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	cx, cy := x1+t*dx, y1+t*dy
+	return math.Hypot(px-cx, py-cy)
+}
+
+// DigitRecognition builds the handwritten digit application of Table I
+// (Diehl & Cook 2015): an unsupervised recurrent (250, 250) network. The
+// 28×28 Poisson input layer projects fully onto 250 excitatory neurons with
+// STDP; each excitatory neuron drives one inhibitory partner, and every
+// inhibitory neuron suppresses all excitatory neurons except its partner
+// (winner-take-all lateral inhibition). The characterization run presents a
+// sequence of synthetic digits.
+func DigitRecognition(cfg Config) (*App, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := snn.New(rng.Int63())
+
+	const nExc = 250
+	in := net.CreateSpikeSource("input", digitSide*digitSide)
+	exc := net.CreateGroup("excitatory", nExc, snn.Excitatory)
+	inh := net.CreateGroup("inhibitory", nExc, snn.Inhibitory)
+
+	// Input -> excitatory: full projection with random initial weights
+	// and pair-based STDP (the unsupervised learning of Diehl & Cook).
+	// Weights are scaled so a presented digit (≈50 lit pixels at ≈30 Hz
+	// effective rate) drives excitatory neurons past threshold.
+	inToExc, err := net.ConnectRandom(in, exc, 1.0, 0.2, 0.8, 1)
+	if err != nil {
+		return nil, err
+	}
+	inToExc.Plastic = true
+	inToExc.STDP = neuron.DefaultSTDP()
+
+	// Excitatory -> inhibitory one-to-one, strong.
+	if _, err := net.ConnectOneToOne(exc, inh, 12.0, 1); err != nil {
+		return nil, err
+	}
+
+	// Inhibitory -> excitatory lateral inhibition: every inhibitory
+	// neuron suppresses all excitatory neurons except its partner.
+	edges := make([]snn.Edge, 0, nExc*(nExc-1))
+	for i := 0; i < nExc; i++ {
+		for j := 0; j < nExc; j++ {
+			if i == j {
+				continue
+			}
+			edges = append(edges, snn.Edge{SrcLocal: int32(i), DstLocal: int32(j), Weight: -1.0, DelayMs: 1})
+		}
+	}
+	if _, err := net.ConnectCustom(inh, exc, edges); err != nil {
+		return nil, err
+	}
+
+	sim, err := snn.NewSim(net)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.SetSpikeTrains(in, digitPresentations(rng, cfg.DurationMs)); err != nil {
+		return nil, err
+	}
+	if err := sim.Run(cfg.DurationMs); err != nil {
+		return nil, err
+	}
+	g, err := sim.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &App{
+		Name:        "HD",
+		Description: "handwritten digit: unsupervised recurrent (250, 250) with STDP and lateral inhibition (Diehl & Cook), rate coding",
+		Graph:       g,
+	}, nil
+}
+
+// digitPresentations builds input spike trains that present one random
+// digit every presentationMs window (250 ms, as in Diehl & Cook's 350 ms
+// with rests, compressed): pixel intensity maps to a Poisson rate of up to
+// 55 Hz during the digit's window.
+func digitPresentations(rng *rand.Rand, durationMs int64) []spike.Train {
+	const presentationMs = 250
+	n := digitSide * digitSide
+	trains := make([]spike.Train, n)
+	for start := int64(0); start < durationMs; start += presentationMs {
+		img := SyntheticDigit(rng, rng.Intn(10))
+		end := start + presentationMs
+		if end > durationMs {
+			end = durationMs
+		}
+		for px, v := range img {
+			if v <= 0 {
+				continue
+			}
+			window := spike.Poisson(rng, v*55, end-start)
+			for _, t := range window {
+				trains[px] = append(trains[px], t+start)
+			}
+		}
+	}
+	return trains
+}

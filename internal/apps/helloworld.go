@@ -1,0 +1,50 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/snn"
+	"repro/internal/spike"
+)
+
+// HelloWorld builds the CARLsim-native "hello world" application of
+// Table I: a feedforward (117, 9) network — a 13×9 input grid projecting
+// onto 9 output neurons — driven by Poisson input, rate coded.
+func HelloWorld(cfg Config) (*App, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := snn.New(rng.Int63())
+
+	in := net.CreateSpikeSource("input", 117) // 13×9 grid
+	out := net.CreateGroup("output", 9, snn.Excitatory)
+	// Full projection with mild weight spread, as in the CARLsim
+	// tutorial's random connectivity.
+	if _, err := net.ConnectRandom(in, out, 1.0, 0.2, 0.4, 1); err != nil {
+		return nil, err
+	}
+
+	sim, err := snn.NewSim(net)
+	if err != nil {
+		return nil, err
+	}
+	// Poisson drive between 10 and 50 Hz per input neuron.
+	rates := make([]float64, 117)
+	for i := range rates {
+		rates[i] = 10 + rng.Float64()*40
+	}
+	if err := sim.SetSpikeTrains(in, spike.PoissonRates(rng, rates, cfg.DurationMs)); err != nil {
+		return nil, err
+	}
+	if err := sim.Run(cfg.DurationMs); err != nil {
+		return nil, err
+	}
+	g, err := sim.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &App{
+		Name:        "HW",
+		Description: "hello world: feedforward (117, 9), Poisson input, rate coding (CARLsim native)",
+		Graph:       g,
+	}, nil
+}

@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/snn"
+	"repro/internal/spike"
+)
+
+// imageSide is the edge length of the image smoothing grids: 32×32 = 1024
+// neurons per layer, matching Table I's feedforward (1024, 1024).
+const imageSide = 32
+
+// SyntheticImage generates a deterministic-plus-noise grayscale test image
+// in [0,1]: a diagonal luminance gradient with two bright Gaussian blobs —
+// enough spatial structure for a smoothing kernel to act on. It substitutes
+// for the camera input of the CARLsim image smoothing tutorial.
+func SyntheticImage(rng *rand.Rand, side int) []float64 {
+	img := make([]float64, side*side)
+	blob := func(x, y, cx, cy, sigma float64) float64 {
+		d2 := (x-cx)*(x-cx) + (y-cy)*(y-cy)
+		return math.Exp(-d2 / (2 * sigma * sigma))
+	}
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			fx, fy := float64(x), float64(y)
+			v := 0.25 * (fx + fy) / float64(2*side-2) // gradient
+			v += 0.7 * blob(fx, fy, float64(side)*0.3, float64(side)*0.35, float64(side)*0.12)
+			v += 0.5 * blob(fx, fy, float64(side)*0.72, float64(side)*0.65, float64(side)*0.10)
+			v += 0.05 * rng.Float64() // sensor noise
+			if v > 1 {
+				v = 1
+			}
+			img[y*side+x] = v
+		}
+	}
+	return img
+}
+
+// GaussianKernel returns a normalized (sum = 1) square Gaussian smoothing
+// kernel of the given radius and sigma.
+func GaussianKernel(radius int, sigma float64) [][]float64 {
+	size := 2*radius + 1
+	k := make([][]float64, size)
+	var sum float64
+	for dy := -radius; dy <= radius; dy++ {
+		row := make([]float64, size)
+		for dx := -radius; dx <= radius; dx++ {
+			v := math.Exp(-float64(dx*dx+dy*dy) / (2 * sigma * sigma))
+			row[dx+radius] = v
+			sum += v
+		}
+		k[dy+radius] = row
+	}
+	for _, row := range k {
+		for i := range row {
+			row[i] /= sum
+		}
+	}
+	return k
+}
+
+// ImageSmoothing builds the CARLsim-native image smoothing application of
+// Table I: a feedforward (1024, 1024) network where a 32×32 rate-coded
+// input layer drives a 32×32 output layer through a Gaussian convolution
+// kernel, so the output spike rates are a smoothed version of the input
+// image.
+func ImageSmoothing(cfg Config) (*App, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := snn.New(rng.Int63())
+
+	n := imageSide * imageSide
+	in := net.CreateSpikeSource("input", n)
+	out := net.CreateGroup("output", n, snn.Excitatory)
+	kernel := GaussianKernel(1, 0.85)
+	// Scale chosen so bright regions (≈60 Hz local rate) drive outputs
+	// above threshold while dark regions stay quiet.
+	if _, err := net.ConnectKernel2D(in, out, imageSide, imageSide, kernel, 18.0, 1); err != nil {
+		return nil, err
+	}
+
+	sim, err := snn.NewSim(net)
+	if err != nil {
+		return nil, err
+	}
+	img := SyntheticImage(rng, imageSide)
+	rates := make([]float64, n)
+	for i, v := range img {
+		rates[i] = v * 60 // rate coding: pixel intensity → up to 60 Hz
+	}
+	if err := sim.SetSpikeTrains(in, spike.PoissonRates(rng, rates, cfg.DurationMs)); err != nil {
+		return nil, err
+	}
+	if err := sim.Run(cfg.DurationMs); err != nil {
+		return nil, err
+	}
+	g, err := sim.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &App{
+		Name:        "IS",
+		Description: "image smoothing: feedforward (1024, 1024), Gaussian kernel, rate coding (CARLsim native)",
+		Graph:       g,
+	}, nil
+}

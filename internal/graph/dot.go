@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the spike graph in Graphviz DOT format, with one cluster
+// per population group and neurons labelled by index and spike count.
+// assign, when non-nil, colors neurons by their crossbar. Intended for
+// inspecting small networks; graphs beyond a few hundred neurons are better
+// viewed through summary statistics.
+func (g *SpikeGraph) WriteDOT(w io.Writer, assign []int) error {
+	if assign != nil && len(assign) != g.Neurons {
+		return fmt.Errorf("graph: assignment covers %d of %d neurons", len(assign), g.Neurons)
+	}
+	if _, err := fmt.Fprintln(w, "digraph snn {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=circle, fontsize=8];")
+
+	// Color palette for crossbars (cycled).
+	palette := []string{
+		"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+		"#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+	}
+
+	covered := make([]bool, g.Neurons)
+	for gi, grp := range g.Groups {
+		fmt.Fprintf(w, "  subgraph cluster_%d {\n", gi)
+		fmt.Fprintf(w, "    label=%q;\n", fmt.Sprintf("%s (%s)", grp.Name, grp.Kind))
+		for i := grp.Start; i < grp.Start+grp.N; i++ {
+			writeNode(w, g, i, assign, palette)
+			covered[i] = true
+		}
+		fmt.Fprintln(w, "  }")
+	}
+	for i := 0; i < g.Neurons; i++ {
+		if !covered[i] {
+			writeNode(w, g, i, assign, palette)
+		}
+	}
+	for _, s := range g.Synapses {
+		style := ""
+		if assign != nil && assign[s.Pre] != assign[s.Post] {
+			style = " [style=dashed, color=red]" // global synapse
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", s.Pre, s.Post, style); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func writeNode(w io.Writer, g *SpikeGraph, i int, assign []int, palette []string) {
+	label := fmt.Sprintf("%d\\n%d sp", i, len(g.Spikes[i]))
+	if assign != nil {
+		color := palette[assign[i]%len(palette)]
+		fmt.Fprintf(w, "    n%d [label=%q, style=filled, fillcolor=%q];\n", i, label, color)
+		return
+	}
+	fmt.Fprintf(w, "    n%d [label=%q];\n", i, label)
+}

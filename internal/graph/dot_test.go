@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph snn {",
+		"cluster_0",
+		`label="in (input)"`,
+		"n0 -> n1;",
+		"n0 -> n3;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTWithAssignment(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, []int{0, 0, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Synapse 1->2 crosses crossbars: must be styled as a global synapse.
+	if !strings.Contains(out, "n1 -> n2 [style=dashed, color=red];") {
+		t.Fatalf("global synapse not highlighted:\n%s", out)
+	}
+	// Synapse 0->1 is local: plain edge.
+	if !strings.Contains(out, "n0 -> n1;") {
+		t.Fatalf("local synapse wrongly styled:\n%s", out)
+	}
+	if !strings.Contains(out, "fillcolor") {
+		t.Fatal("nodes not colored by crossbar")
+	}
+}
+
+func TestWriteDOTRejectsBadAssignment(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, []int{0}); err == nil {
+		t.Fatal("short assignment must be rejected")
+	}
+}

@@ -1,0 +1,173 @@
+// Package metrics computes the SNN-specific interconnect metrics the paper
+// introduces (§II): spike disorder count — a measure of information loss
+// caused by interconnect arbitration reordering spikes — and inter-spike
+// interval (ISI) distortion — a measure of information distortion in
+// temporally coded SNNs caused by congestion delaying some spike packets
+// more than others. It also summarizes the conventional metrics (latency,
+// throughput) from the same delivery trace.
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/noc"
+)
+
+// Report aggregates all interconnect metrics of one simulation, matching
+// the rows of the paper's Table II.
+type Report struct {
+	// Delivered is the number of packet arrivals analyzed.
+	Delivered int64
+	// DisorderCount is the number of spikes that arrived at a crossbar
+	// after a spike that was created later than them (paper §II: spikes
+	// from B received at C before the spike from A).
+	DisorderCount int64
+	// DisorderFrac is DisorderCount as a fraction of delivered spikes
+	// (paper §III: "the spike disorder count as the fraction of total
+	// spikes arriving out of order at the neurons").
+	DisorderFrac float64
+	// ISIAvgCycles is the average absolute difference between source and
+	// destination inter-spike intervals, in interconnect cycles
+	// (Table II row "ISI Distortion").
+	ISIAvgCycles float64
+	// ISIMaxCycles is the maximum ISI difference (paper §III: "the
+	// maximum difference between the inter-spike interval of source and
+	// destination neurons").
+	ISIMaxCycles int64
+	// ISICount is the number of inter-spike intervals compared.
+	ISICount int64
+	// AvgLatencyCycles is the mean spike latency on the interconnect.
+	AvgLatencyCycles float64
+	// MaxLatencyCycles is the worst-case spike latency (Table II row
+	// "Latency").
+	MaxLatencyCycles int64
+	// ThroughputPerMs is delivered AER packets per millisecond
+	// (Table II row "Throughput").
+	ThroughputPerMs float64
+}
+
+// Analyze computes the full metric report from a delivery trace.
+// durationMs is the wall-clock length of the SNN run that produced the
+// traffic; it only affects ThroughputPerMs. The trace may be in any order;
+// deliveries are re-sorted by arrival cycle.
+func Analyze(deliveries []noc.Delivery, durationMs int64) Report {
+	var r Report
+	r.Delivered = int64(len(deliveries))
+	if len(deliveries) == 0 {
+		return r
+	}
+
+	sorted := make([]noc.Delivery, len(deliveries))
+	copy(sorted, deliveries)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].ArriveCycle < sorted[j].ArriveCycle
+	})
+
+	// Latency.
+	var totalLat int64
+	for _, d := range sorted {
+		lat := d.Latency()
+		totalLat += lat
+		if lat > r.MaxLatencyCycles {
+			r.MaxLatencyCycles = lat
+		}
+	}
+	r.AvgLatencyCycles = float64(totalLat) / float64(len(sorted))
+
+	// Disorder: per destination crossbar, count arrivals whose creation
+	// time precedes the maximum creation time already seen.
+	r.DisorderCount = disorderCount(sorted)
+	r.DisorderFrac = float64(r.DisorderCount) / float64(len(sorted))
+
+	// ISI distortion: per (source neuron, destination crossbar) stream.
+	r.ISIAvgCycles, r.ISIMaxCycles, r.ISICount = isiDistortion(sorted)
+
+	if durationMs > 0 {
+		r.ThroughputPerMs = float64(len(sorted)) / float64(durationMs)
+	}
+	return r
+}
+
+// disorderCount counts spikes arriving out of creation order at each
+// destination. The input must be sorted by arrival cycle.
+func disorderCount(sorted []noc.Delivery) int64 {
+	maxCreated := map[int]int64{}
+	var count int64
+	for _, d := range sorted {
+		if prev, ok := maxCreated[d.Dst]; ok && d.CreatedCycle < prev {
+			count++
+		}
+		if prev, ok := maxCreated[d.Dst]; !ok || d.CreatedCycle > prev {
+			maxCreated[d.Dst] = d.CreatedCycle
+		}
+	}
+	return count
+}
+
+// stream identifies a source-neuron-to-destination-crossbar spike stream.
+type stream struct {
+	neuron int32
+	dst    int
+}
+
+// isiDistortion compares source and destination inter-spike intervals per
+// stream. The input must be sorted by arrival cycle so destination ISIs
+// reflect arrival order.
+func isiDistortion(sorted []noc.Delivery) (avg float64, max int64, n int64) {
+	byStream := map[stream][]noc.Delivery{}
+	for _, d := range sorted {
+		k := stream{d.SrcNeuron, d.Dst}
+		byStream[k] = append(byStream[k], d)
+	}
+	var total int64
+	for _, ds := range byStream {
+		for i := 1; i < len(ds); i++ {
+			srcISI := ds[i].CreatedCycle - ds[i-1].CreatedCycle
+			dstISI := ds[i].ArriveCycle - ds[i-1].ArriveCycle
+			dist := srcISI - dstISI
+			if dist < 0 {
+				dist = -dist
+			}
+			total += dist
+			if dist > max {
+				max = dist
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		avg = float64(total) / float64(n)
+	}
+	return avg, max, n
+}
+
+// PerDestination summarizes arrivals per destination crossbar, for
+// congestion hot-spot reporting.
+type PerDestination struct {
+	Dst        int
+	Arrivals   int64
+	MaxLatency int64
+}
+
+// ByDestination aggregates the trace per destination crossbar, ordered by
+// crossbar index.
+func ByDestination(deliveries []noc.Delivery) []PerDestination {
+	agg := map[int]*PerDestination{}
+	for _, d := range deliveries {
+		p := agg[d.Dst]
+		if p == nil {
+			p = &PerDestination{Dst: d.Dst}
+			agg[d.Dst] = p
+		}
+		p.Arrivals++
+		if lat := d.Latency(); lat > p.MaxLatency {
+			p.MaxLatency = lat
+		}
+	}
+	out := make([]PerDestination, 0, len(agg))
+	for _, p := range agg {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dst < out[j].Dst })
+	return out
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+func d(neuron int32, src, dst int, created, arrive int64) noc.Delivery {
+	return noc.Delivery{
+		SrcNeuron: neuron, Src: src, Dst: dst,
+		CreatedCycle: created, ArriveCycle: arrive,
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	r := Analyze(nil, 100)
+	if r.Delivered != 0 || r.DisorderCount != 0 || r.ISIAvgCycles != 0 {
+		t.Fatalf("empty report = %+v", r)
+	}
+}
+
+func TestDisorderZeroWhenOrdered(t *testing.T) {
+	ds := []noc.Delivery{
+		d(1, 0, 2, 0, 5),
+		d(2, 0, 2, 10, 15),
+		d(3, 1, 2, 20, 24),
+	}
+	r := Analyze(ds, 100)
+	if r.DisorderCount != 0 {
+		t.Fatalf("ordered trace has disorder %d", r.DisorderCount)
+	}
+}
+
+func TestDisorderDetectsPaperExample(t *testing.T) {
+	// Paper §II example: A spikes before B but B's crossbar wins
+	// arbitration, so B's spike arrives at C first. A's spike is out of
+	// order.
+	ds := []noc.Delivery{
+		d(100 /* B */, 1, 2, 10, 12), // created later...
+		d(200 /* A */, 0, 2, 5, 20),  // ...but A (created earlier) arrives after B
+	}
+	r := Analyze(ds, 100)
+	if r.DisorderCount != 1 {
+		t.Fatalf("disorder = %d, want 1", r.DisorderCount)
+	}
+	if math.Abs(r.DisorderFrac-0.5) > 1e-12 {
+		t.Fatalf("disorder frac = %f, want 0.5", r.DisorderFrac)
+	}
+}
+
+func TestDisorderPerDestinationIndependent(t *testing.T) {
+	// Reordering across different destinations is not disorder.
+	ds := []noc.Delivery{
+		d(1, 0, 2, 10, 12),
+		d(2, 0, 3, 5, 20),
+	}
+	r := Analyze(ds, 100)
+	if r.DisorderCount != 0 {
+		t.Fatalf("cross-destination disorder = %d, want 0", r.DisorderCount)
+	}
+}
+
+func TestISIZeroWithConstantDelay(t *testing.T) {
+	// Constant per-spike delay preserves ISIs exactly.
+	ds := []noc.Delivery{
+		d(1, 0, 2, 0, 7),
+		d(1, 0, 2, 100, 107),
+		d(1, 0, 2, 250, 257),
+	}
+	r := Analyze(ds, 100)
+	if r.ISIAvgCycles != 0 || r.ISIMaxCycles != 0 {
+		t.Fatalf("constant-delay ISI distortion = %+v", r)
+	}
+	if r.ISICount != 2 {
+		t.Fatalf("ISI count = %d, want 2", r.ISICount)
+	}
+}
+
+func TestISIDistortionMeasuresJitter(t *testing.T) {
+	// Source ISIs: 100, 100. Arrival ISIs: 103, 95.
+	ds := []noc.Delivery{
+		d(1, 0, 2, 0, 10),
+		d(1, 0, 2, 100, 113),
+		d(1, 0, 2, 200, 208),
+	}
+	r := Analyze(ds, 100)
+	// |100-103| = 3, |100-95| = 5 -> avg 4, max 5.
+	if r.ISIAvgCycles != 4 {
+		t.Fatalf("ISI avg = %f, want 4", r.ISIAvgCycles)
+	}
+	if r.ISIMaxCycles != 5 {
+		t.Fatalf("ISI max = %d, want 5", r.ISIMaxCycles)
+	}
+}
+
+func TestISIStreamsSeparated(t *testing.T) {
+	// Two neurons interleaved at the same destination must not mix
+	// streams.
+	ds := []noc.Delivery{
+		d(1, 0, 2, 0, 5),
+		d(2, 0, 2, 50, 55),
+		d(1, 0, 2, 100, 105),
+		d(2, 0, 2, 150, 155),
+	}
+	r := Analyze(ds, 100)
+	if r.ISIAvgCycles != 0 {
+		t.Fatalf("separated streams should have 0 distortion, got %f", r.ISIAvgCycles)
+	}
+	if r.ISICount != 2 {
+		t.Fatalf("ISI count = %d, want 2", r.ISICount)
+	}
+}
+
+func TestLatencyAndThroughput(t *testing.T) {
+	ds := []noc.Delivery{
+		d(1, 0, 2, 0, 10),
+		d(2, 0, 2, 0, 30),
+	}
+	r := Analyze(ds, 4)
+	if r.AvgLatencyCycles != 20 {
+		t.Fatalf("avg latency = %f, want 20", r.AvgLatencyCycles)
+	}
+	if r.MaxLatencyCycles != 30 {
+		t.Fatalf("max latency = %d, want 30", r.MaxLatencyCycles)
+	}
+	if r.ThroughputPerMs != 0.5 {
+		t.Fatalf("throughput = %f, want 0.5", r.ThroughputPerMs)
+	}
+}
+
+func TestAnalyzeUnsortedInput(t *testing.T) {
+	// The analyzer must sort by arrival before computing metrics.
+	ds := []noc.Delivery{
+		d(1, 0, 2, 100, 113),
+		d(1, 0, 2, 0, 10),
+		d(1, 0, 2, 200, 208),
+	}
+	r := Analyze(ds, 100)
+	if r.ISIAvgCycles != 4 || r.ISIMaxCycles != 5 {
+		t.Fatalf("unsorted input mishandled: %+v", r)
+	}
+}
+
+func TestByDestination(t *testing.T) {
+	ds := []noc.Delivery{
+		d(1, 0, 2, 0, 10),
+		d(2, 0, 2, 0, 30),
+		d(3, 0, 5, 0, 7),
+	}
+	per := ByDestination(ds)
+	if len(per) != 2 {
+		t.Fatalf("destinations = %d, want 2", len(per))
+	}
+	if per[0].Dst != 2 || per[0].Arrivals != 2 || per[0].MaxLatency != 30 {
+		t.Fatalf("per[0] = %+v", per[0])
+	}
+	if per[1].Dst != 5 || per[1].Arrivals != 1 || per[1].MaxLatency != 7 {
+		t.Fatalf("per[1] = %+v", per[1])
+	}
+}

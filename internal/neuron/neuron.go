@@ -1,0 +1,160 @@
+// Package neuron implements the point-neuron dynamics used by the
+// application-level SNN simulator (the CARLsim substitute of this
+// reproduction): leaky integrate-and-fire (LIF) and Izhikevich models,
+// plus a pair-based spike-timing-dependent plasticity (STDP) rule.
+//
+// All models are integrated with a 1 ms timestep, matching the simulator.
+package neuron
+
+// Model integrates one neuron by one 1 ms timestep under the given input
+// current (arbitrary units, scaled by the model parameters) and reports
+// whether the neuron fired during that step.
+type Model interface {
+	// Step advances the state by 1 ms and returns true if a spike occurred.
+	Step(current float64) bool
+	// Reset restores the initial (resting) state.
+	Reset()
+	// Potential returns the current membrane potential in mV.
+	Potential() float64
+}
+
+// LIFParams parameterizes a leaky integrate-and-fire neuron.
+type LIFParams struct {
+	TauMs    float64 // membrane time constant in ms
+	VRest    float64 // resting potential in mV
+	VReset   float64 // post-spike reset potential in mV
+	VThresh  float64 // firing threshold in mV
+	R        float64 // membrane resistance: current is multiplied by R
+	RefracMs int     // absolute refractory period in ms
+}
+
+// DefaultLIF returns LIF parameters typical for cortical excitatory neurons.
+func DefaultLIF() LIFParams {
+	return LIFParams{
+		TauMs:    20,
+		VRest:    -65,
+		VReset:   -65,
+		VThresh:  -52,
+		R:        1,
+		RefracMs: 2,
+	}
+}
+
+// FastLIF returns LIF parameters for a fast inhibitory neuron: shorter time
+// constant and refractory period.
+func FastLIF() LIFParams {
+	return LIFParams{
+		TauMs:    10,
+		VRest:    -60,
+		VReset:   -60,
+		VThresh:  -50,
+		R:        1,
+		RefracMs: 1,
+	}
+}
+
+// LIF is a leaky integrate-and-fire neuron. Create with NewLIF.
+type LIF struct {
+	p          LIFParams
+	v          float64
+	refracLeft int
+}
+
+// NewLIF returns a LIF neuron at rest.
+func NewLIF(p LIFParams) *LIF {
+	return &LIF{p: p, v: p.VRest}
+}
+
+// Step advances the membrane by 1 ms using exact exponential integration of
+// the leak plus an impulse current.
+func (n *LIF) Step(current float64) bool {
+	if n.refracLeft > 0 {
+		n.refracLeft--
+		n.v = n.p.VReset
+		return false
+	}
+	// Leak integrated with dt=1ms (Euler); synaptic input is a delta
+	// impulse that kicks the membrane by R*I directly.
+	n.v += (n.p.VRest-n.v)/n.p.TauMs + n.p.R*current
+	if n.v >= n.p.VThresh {
+		n.v = n.p.VReset
+		n.refracLeft = n.p.RefracMs
+		return true
+	}
+	return false
+}
+
+// Reset restores the resting state.
+func (n *LIF) Reset() {
+	n.v = n.p.VRest
+	n.refracLeft = 0
+}
+
+// Potential returns the membrane potential in mV.
+func (n *LIF) Potential() float64 { return n.v }
+
+// IzhParams parameterizes an Izhikevich neuron (Izhikevich 2003).
+type IzhParams struct {
+	A, B, C, D float64
+}
+
+// Named Izhikevich presets from the 2003 paper.
+var (
+	// RegularSpiking models cortical excitatory pyramidal neurons.
+	RegularSpiking = IzhParams{A: 0.02, B: 0.2, C: -65, D: 8}
+	// FastSpiking models cortical inhibitory interneurons.
+	FastSpiking = IzhParams{A: 0.1, B: 0.2, C: -65, D: 2}
+	// Chattering models bursting excitatory neurons.
+	Chattering = IzhParams{A: 0.02, B: 0.2, C: -50, D: 2}
+	// IntrinsicallyBursting models layer-5 bursting pyramidal neurons.
+	IntrinsicallyBursting = IzhParams{A: 0.02, B: 0.2, C: -55, D: 4}
+	// LowThreshold models low-threshold spiking inhibitory neurons.
+	LowThreshold = IzhParams{A: 0.02, B: 0.25, C: -65, D: 2}
+)
+
+// Izhikevich is an Izhikevich point neuron:
+//
+//	v' = 0.04v^2 + 5v + 140 - u + I
+//	u' = a(bv - u)
+//	if v >= 30 mV: v <- c, u <- u + d
+//
+// Create with NewIzhikevich.
+type Izhikevich struct {
+	p    IzhParams
+	v, u float64
+}
+
+// NewIzhikevich returns an Izhikevich neuron at rest.
+func NewIzhikevich(p IzhParams) *Izhikevich {
+	return &Izhikevich{p: p, v: -65, u: p.B * -65}
+}
+
+// Step advances the neuron by 1 ms using two 0.5 ms sub-steps for numerical
+// stability (as in Izhikevich's reference implementation and CARLsim).
+func (n *Izhikevich) Step(current float64) bool {
+	for i := 0; i < 2; i++ {
+		n.v += 0.5 * (0.04*n.v*n.v + 5*n.v + 140 - n.u + current)
+		if n.v >= 30 {
+			break
+		}
+	}
+	n.u += n.p.A * (n.p.B*n.v - n.u)
+	if n.v >= 30 {
+		n.v = n.p.C
+		n.u += n.p.D
+		return true
+	}
+	return false
+}
+
+// Reset restores the resting state.
+func (n *Izhikevich) Reset() {
+	n.v = -65
+	n.u = n.p.B * -65
+}
+
+// Potential returns the membrane potential in mV.
+func (n *Izhikevich) Potential() float64 { return n.v }
+
+// Recovery returns the recovery variable u.
+func (n *Izhikevich) Recovery() float64 { return n.u }

@@ -1,0 +1,218 @@
+package neuron
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLIFRestStaysAtRest(t *testing.T) {
+	n := NewLIF(DefaultLIF())
+	for i := 0; i < 100; i++ {
+		if n.Step(0) {
+			t.Fatal("LIF fired with zero input")
+		}
+	}
+	if math.Abs(n.Potential()-DefaultLIF().VRest) > 1e-9 {
+		t.Fatalf("potential drifted to %v", n.Potential())
+	}
+}
+
+func TestLIFFiresUnderStrongInput(t *testing.T) {
+	n := NewLIF(DefaultLIF())
+	fired := false
+	for i := 0; i < 50; i++ {
+		if n.Step(5) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("LIF did not fire under sustained strong input")
+	}
+	if n.Potential() != DefaultLIF().VReset {
+		t.Fatalf("potential after spike = %v, want reset %v", n.Potential(), DefaultLIF().VReset)
+	}
+}
+
+func TestLIFRefractoryPeriod(t *testing.T) {
+	p := DefaultLIF()
+	p.RefracMs = 3
+	n := NewLIF(p)
+	// Drive until first spike.
+	for !n.Step(20) {
+	}
+	// During the 3 ms refractory period the neuron must not fire even
+	// under very strong input.
+	for i := 0; i < p.RefracMs; i++ {
+		if n.Step(1000) {
+			t.Fatalf("fired during refractory step %d", i)
+		}
+	}
+	if !n.Step(1000) {
+		t.Fatal("did not fire immediately after refractory period under strong input")
+	}
+}
+
+func TestLIFRateMonotoneInInput(t *testing.T) {
+	rate := func(current float64) int {
+		n := NewLIF(DefaultLIF())
+		count := 0
+		for i := 0; i < 1000; i++ {
+			if n.Step(current) {
+				count++
+			}
+		}
+		return count
+	}
+	r1, r2, r3 := rate(1.0), rate(2.0), rate(4.0)
+	if !(r1 < r2 && r2 < r3) {
+		t.Fatalf("rates not monotone: %d %d %d", r1, r2, r3)
+	}
+}
+
+func TestLIFReset(t *testing.T) {
+	n := NewLIF(DefaultLIF())
+	n.Step(10)
+	n.Reset()
+	if n.Potential() != DefaultLIF().VRest {
+		t.Fatalf("Reset did not restore rest: %v", n.Potential())
+	}
+}
+
+func TestIzhikevichRegularSpiking(t *testing.T) {
+	n := NewIzhikevich(RegularSpiking)
+	count := 0
+	for i := 0; i < 1000; i++ {
+		if n.Step(10) {
+			count++
+		}
+	}
+	// RS neurons under 10 units DC fire regularly in the tens of Hz.
+	if count < 5 || count > 200 {
+		t.Fatalf("RS spike count over 1s = %d, want O(tens)", count)
+	}
+}
+
+func TestIzhikevichFastSpikingFasterThanRS(t *testing.T) {
+	countFor := func(p IzhParams) int {
+		n := NewIzhikevich(p)
+		c := 0
+		for i := 0; i < 1000; i++ {
+			if n.Step(10) {
+				c++
+			}
+		}
+		return c
+	}
+	if fs, rs := countFor(FastSpiking), countFor(RegularSpiking); fs <= rs {
+		t.Fatalf("FS (%d) should fire more than RS (%d)", fs, rs)
+	}
+}
+
+func TestIzhikevichQuietAtRest(t *testing.T) {
+	n := NewIzhikevich(RegularSpiking)
+	for i := 0; i < 500; i++ {
+		if n.Step(0) {
+			t.Fatal("Izhikevich fired with zero input")
+		}
+	}
+}
+
+func TestIzhikevichReset(t *testing.T) {
+	n := NewIzhikevich(RegularSpiking)
+	for i := 0; i < 100; i++ {
+		n.Step(15)
+	}
+	n.Reset()
+	if n.Potential() != -65 || n.Recovery() != RegularSpiking.B*-65 {
+		t.Fatalf("Reset state v=%v u=%v", n.Potential(), n.Recovery())
+	}
+}
+
+func TestTraceDecay(t *testing.T) {
+	tr := NewTrace(20)
+	tr.Bump(0)
+	if got := tr.At(0); got != 1 {
+		t.Fatalf("trace at bump = %v, want 1", got)
+	}
+	if got := tr.At(20); math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("trace after tau = %v, want e^-1", got)
+	}
+	tr.Bump(20)
+	want := math.Exp(-1) + 1
+	if got := tr.At(20); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("accumulated trace = %v, want %v", got, want)
+	}
+}
+
+func TestTraceZeroValue(t *testing.T) {
+	var tr Trace
+	if tr.At(100) != 0 {
+		t.Fatal("zero-value trace must read 0")
+	}
+}
+
+func TestSTDPPotentiationAndDepression(t *testing.T) {
+	s := STDP{P: DefaultSTDP()}
+	pre := NewTrace(s.P.TauPlusMs)
+	post := NewTrace(s.P.TauMinus)
+
+	// Pre fires at t=0, post at t=5: potentiation on post spike.
+	pre.Bump(0)
+	w := 0.5
+	w2 := s.OnPost(w, &pre, 5)
+	if w2 <= w {
+		t.Fatalf("pre-before-post should potentiate: %v -> %v", w, w2)
+	}
+
+	// Post fires at t=0, pre at t=5: depression on pre spike.
+	post.Bump(0)
+	w3 := s.OnPre(w, &post, 5)
+	if w3 >= w {
+		t.Fatalf("post-before-pre should depress: %v -> %v", w, w3)
+	}
+}
+
+func TestSTDPClamping(t *testing.T) {
+	p := DefaultSTDP()
+	p.APlus = 10
+	p.AMinus = 10
+	s := STDP{P: p}
+	pre := NewTrace(p.TauPlusMs)
+	post := NewTrace(p.TauMinus)
+	pre.Bump(0)
+	post.Bump(0)
+	if w := s.OnPost(0.9, &pre, 1); w > p.WMax {
+		t.Fatalf("weight exceeded WMax: %v", w)
+	}
+	if w := s.OnPre(0.1, &post, 1); w < p.WMin {
+		t.Fatalf("weight below WMin: %v", w)
+	}
+}
+
+func TestSTDPCausalWindowDecays(t *testing.T) {
+	s := STDP{P: DefaultSTDP()}
+	pre := NewTrace(s.P.TauPlusMs)
+	pre.Bump(0)
+	dwShort := s.OnPost(0.5, &pre, 2) - 0.5
+	pre = NewTrace(s.P.TauPlusMs)
+	pre.Bump(0)
+	dwLong := s.OnPost(0.5, &pre, 50) - 0.5
+	if dwShort <= dwLong {
+		t.Fatalf("potentiation should decay with lag: short=%v long=%v", dwShort, dwLong)
+	}
+}
+
+func BenchmarkLIFStep(b *testing.B) {
+	n := NewLIF(DefaultLIF())
+	for i := 0; i < b.N; i++ {
+		n.Step(1.0)
+	}
+}
+
+func BenchmarkIzhikevichStep(b *testing.B) {
+	n := NewIzhikevich(RegularSpiking)
+	for i := 0; i < b.N; i++ {
+		n.Step(10)
+	}
+}

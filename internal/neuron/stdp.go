@@ -1,0 +1,92 @@
+package neuron
+
+import "math"
+
+// STDPParams parameterizes a pair-based spike-timing-dependent plasticity
+// rule with exponential windows, as used for the unsupervised handwritten
+// digit application (Diehl & Cook 2015) in the paper's Table I.
+type STDPParams struct {
+	APlus     float64 // potentiation amplitude (applied on post spike)
+	AMinus    float64 // depression amplitude (applied on pre spike)
+	TauPlusMs float64 // potentiation trace time constant in ms
+	TauMinus  float64 // depression trace time constant in ms
+	WMin      float64 // lower weight bound
+	WMax      float64 // upper weight bound
+}
+
+// DefaultSTDP returns a conservative STDP parameterization suitable for
+// unsupervised rate-coded learning.
+func DefaultSTDP() STDPParams {
+	return STDPParams{
+		APlus:     0.01,
+		AMinus:    0.012,
+		TauPlusMs: 20,
+		TauMinus:  20,
+		WMin:      0,
+		WMax:      1,
+	}
+}
+
+// Trace is an exponentially decaying spike trace, the standard on-line
+// primitive for pair-based STDP. The zero value is a fully decayed trace.
+type Trace struct {
+	value  float64
+	lastMs int64
+	tauMs  float64
+}
+
+// NewTrace returns a trace with the given time constant.
+func NewTrace(tauMs float64) Trace {
+	return Trace{tauMs: tauMs}
+}
+
+// Bump records a spike at time ms: the trace is decayed to ms and then
+// incremented by 1.
+func (tr *Trace) Bump(ms int64) {
+	tr.value = tr.At(ms) + 1
+	tr.lastMs = ms
+}
+
+// At returns the trace value decayed to time ms (which must not precede the
+// last Bump).
+func (tr *Trace) At(ms int64) float64 {
+	if tr.tauMs <= 0 || tr.value == 0 {
+		return 0
+	}
+	dt := float64(ms - tr.lastMs)
+	if dt <= 0 {
+		return tr.value
+	}
+	return tr.value * math.Exp(-dt/tr.tauMs)
+}
+
+// STDP applies the pair rule using pre/post traces.
+type STDP struct {
+	P STDPParams
+}
+
+// OnPre returns the updated weight when the pre-synaptic neuron fires at
+// time ms, given the post-synaptic trace. Firing before the post neuron
+// (negative correlation) depresses the synapse.
+func (s STDP) OnPre(w float64, post *Trace, ms int64) float64 {
+	w -= s.P.AMinus * post.At(ms)
+	return s.clamp(w)
+}
+
+// OnPost returns the updated weight when the post-synaptic neuron fires at
+// time ms, given the pre-synaptic trace. Pre-before-post (positive
+// correlation) potentiates the synapse.
+func (s STDP) OnPost(w float64, pre *Trace, ms int64) float64 {
+	w += s.P.APlus * pre.At(ms)
+	return s.clamp(w)
+}
+
+func (s STDP) clamp(w float64) float64 {
+	if w < s.P.WMin {
+		return s.P.WMin
+	}
+	if w > s.P.WMax {
+		return s.P.WMax
+	}
+	return w
+}

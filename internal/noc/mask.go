@@ -1,0 +1,92 @@
+// Package noc is the global-synapse interconnect simulator of this
+// reproduction — the substitute for the paper's Noxim++ (extended Noxim,
+// §IV). It simulates a time-multiplexed network-on-chip at cycle
+// granularity with per-port FIFO buffers, round-robin arbitration,
+// configurable topology (NoC-mesh as in TrueNorth/HiCANN, NoC-tree as in
+// CxQuad), multicast spike delivery, and an energy model. Its delivery
+// trace feeds the SNN-specific metrics (spike disorder, ISI distortion) of
+// internal/metrics.
+package noc
+
+import "math/bits"
+
+// Mask is a bitset over destination endpoints (crossbars), used to address
+// multicast AER packets to a selected subset of crossbars — one of the
+// paper's Noxim extensions.
+type Mask []uint64
+
+// NewMask returns a mask able to address n endpoints.
+func NewMask(n int) Mask {
+	return make(Mask, (n+63)/64)
+}
+
+// Set marks endpoint i.
+func (m Mask) Set(i int) { m[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear unmarks endpoint i.
+func (m Mask) Clear(i int) { m[i/64] &^= 1 << (uint(i) % 64) }
+
+// Test reports whether endpoint i is marked.
+func (m Mask) Test(i int) bool {
+	w := i / 64
+	if w >= len(m) {
+		return false
+	}
+	return m[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Count returns the number of marked endpoints.
+func (m Mask) Count() int {
+	total := 0
+	for _, w := range m {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Empty reports whether no endpoint is marked.
+func (m Mask) Empty() bool {
+	for _, w := range m {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the mask.
+func (m Mask) Clone() Mask {
+	out := make(Mask, len(m))
+	copy(out, m)
+	return out
+}
+
+// ForEach calls f for every marked endpoint in ascending order.
+func (m Mask) ForEach(f func(i int)) {
+	for wi, w := range m {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// First returns the lowest marked endpoint, or -1 if the mask is empty.
+func (m Mask) First() int {
+	for wi, w := range m {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// AndNot removes all endpoints of other from m in place.
+func (m Mask) AndNot(other Mask) {
+	for i := range m {
+		if i < len(other) {
+			m[i] &^= other[i]
+		}
+	}
+}

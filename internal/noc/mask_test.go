@@ -1,0 +1,110 @@
+package noc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskBasics(t *testing.T) {
+	m := NewMask(130)
+	if !m.Empty() {
+		t.Fatal("new mask must be empty")
+	}
+	m.Set(0)
+	m.Set(64)
+	m.Set(129)
+	if m.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", m.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !m.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if m.Test(1) || m.Test(128) {
+		t.Fatal("unexpected bits set")
+	}
+	m.Clear(64)
+	if m.Test(64) || m.Count() != 2 {
+		t.Fatal("Clear failed")
+	}
+	if m.First() != 0 {
+		t.Fatalf("First = %d", m.First())
+	}
+}
+
+func TestMaskForEachOrder(t *testing.T) {
+	m := NewMask(200)
+	want := []int{3, 64, 65, 199}
+	for _, i := range want {
+		m.Set(i)
+	}
+	var got []int
+	m.ForEach(func(i int) { got = append(got, i) })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ForEach order = %v, want %v", got, want)
+	}
+}
+
+func TestMaskAndNot(t *testing.T) {
+	a := NewMask(100)
+	b := NewMask(100)
+	a.Set(1)
+	a.Set(70)
+	a.Set(99)
+	b.Set(70)
+	b.Set(2)
+	a.AndNot(b)
+	if a.Test(70) || !a.Test(1) || !a.Test(99) {
+		t.Fatalf("AndNot result wrong: %v", a)
+	}
+}
+
+func TestMaskFirstEmpty(t *testing.T) {
+	if NewMask(10).First() != -1 {
+		t.Fatal("First on empty mask must be -1")
+	}
+}
+
+func TestMaskTestOutOfRange(t *testing.T) {
+	m := NewMask(10)
+	if m.Test(1000) {
+		t.Fatal("out-of-range Test must be false")
+	}
+}
+
+func TestMaskCloneIndependent(t *testing.T) {
+	a := NewMask(64)
+	a.Set(5)
+	b := a.Clone()
+	b.Set(6)
+	if a.Test(6) {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestMaskSetClearProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		m := NewMask(256)
+		seen := map[int]bool{}
+		for _, v := range raw {
+			i := int(v)
+			m.Set(i)
+			seen[i] = true
+		}
+		if m.Count() != len(seen) {
+			return false
+		}
+		for i := range seen {
+			if !m.Test(i) {
+				return false
+			}
+			m.Clear(i)
+		}
+		return m.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

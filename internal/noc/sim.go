@@ -1,0 +1,542 @@
+package noc
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Config parameterizes the interconnect simulator. The configurable
+// parameters mirror Noxim's (buffer size, network size, packet size, routing
+// per topology) plus the paper's extensions (neuromorphic topologies,
+// multicast, SNN metrics via the delivery trace).
+type Config struct {
+	// Kind is the interconnect topology (Tree for CxQuad, Mesh for
+	// TrueNorth-like chips).
+	Kind Kind
+	// Endpoints is the number of crossbars attached to the interconnect.
+	Endpoints int
+	// MeshWidth fixes the mesh width; 0 selects the squarest grid.
+	MeshWidth int
+	// TreeArity is the tree fan-out (default 2).
+	TreeArity int
+	// BufferDepth is the input-port FIFO capacity in packets (default 4).
+	BufferDepth int
+	// PacketFlits is the AER packet size in flits (default 1).
+	PacketFlits int
+	// CyclesPerMs converts SNN milliseconds to interconnect clock cycles
+	// (default 10000, i.e. a 10 MHz interconnect against a 1 ms timestep).
+	CyclesPerMs int64
+	// Multicast enables multicast packets; when false every destination
+	// crossbar receives its own unicast packet (ablation of the paper's
+	// multicast extension).
+	Multicast bool
+	// HopEnergyPJ is the energy per flit per link traversal.
+	HopEnergyPJ float64
+	// RouterEnergyPJ is the energy per flit per router traversal.
+	RouterEnergyPJ float64
+	// StallLimit aborts the simulation if no event occurs for this many
+	// consecutive cycles while packets remain (deadlock/livelock guard;
+	// default 1e6).
+	StallLimit int64
+}
+
+// DefaultConfig returns the reference configuration for the given topology
+// and crossbar count: 4-deep buffers, single-flit AER packets, multicast on,
+// 10 000 cycles per ms, and energy constants calibrated in
+// internal/hardware.
+func DefaultConfig(kind Kind, endpoints int) Config {
+	return Config{
+		Kind:           kind,
+		Endpoints:      endpoints,
+		TreeArity:      2,
+		BufferDepth:    4,
+		PacketFlits:    1,
+		CyclesPerMs:    10000,
+		Multicast:      true,
+		HopEnergyPJ:    1.8,
+		RouterEnergyPJ: 0.9,
+		StallLimit:     1_000_000,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	if c.TreeArity == 0 {
+		c.TreeArity = 2
+	}
+	if c.BufferDepth == 0 {
+		c.BufferDepth = 4
+	}
+	if c.PacketFlits == 0 {
+		c.PacketFlits = 1
+	}
+	if c.CyclesPerMs == 0 {
+		c.CyclesPerMs = 10000
+	}
+	if c.StallLimit == 0 {
+		c.StallLimit = 1_000_000
+	}
+}
+
+// Packet is one AER spike transfer request: a spike of SrcNeuron emitted at
+// CreatedMs must reach every crossbar in Dst.
+type Packet struct {
+	// SrcNeuron is the global index of the spiking neuron.
+	SrcNeuron int32
+	// Src is the crossbar (endpoint) hosting the neuron.
+	Src int
+	// Dst marks every crossbar that hosts at least one post-synaptic
+	// neuron of SrcNeuron outside Src.
+	Dst Mask
+	// CreatedMs is the spike time in SNN milliseconds.
+	CreatedMs int64
+}
+
+// Delivery records one packet arrival at one destination crossbar.
+type Delivery struct {
+	SrcNeuron    int32
+	Src, Dst     int
+	CreatedMs    int64
+	CreatedCycle int64
+	ArriveCycle  int64
+}
+
+// Latency returns the spike's interconnect latency in cycles, from emission
+// to arrival (including AER encoder queueing).
+func (d Delivery) Latency() int64 { return d.ArriveCycle - d.CreatedCycle }
+
+// Stats aggregates interconnect-level results, the "conventional metrics"
+// of paper §II.
+type Stats struct {
+	Injected   int64   // packets entering the network
+	Delivered  int64   // packet arrivals (multicast counts per destination)
+	PacketHops int64   // link traversals
+	EnergyPJ   float64 // total interconnect energy
+	Cycles     int64   // last event cycle
+	AvgLatency float64 // mean delivery latency in cycles
+	MaxLatency int64   // worst-case delivery latency in cycles
+	// ThroughputPerMs is delivered packets per simulated millisecond.
+	ThroughputPerMs float64
+}
+
+// Result bundles the aggregate statistics with the full delivery trace
+// needed by the SNN metrics.
+type Result struct {
+	Stats      Stats
+	Deliveries []Delivery
+}
+
+// flight is a packet in the network. Multicast flights fork at routing
+// divergence points; Dst always holds the destinations still to be served
+// by this flight.
+type flight struct {
+	id           int64
+	srcNeuron    int32
+	src          int
+	dst          Mask
+	createdMs    int64
+	createdCycle int64
+}
+
+// arrival is a scheduled buffer insertion after a link traversal.
+type arrival struct {
+	cycle  int64
+	router int
+	port   int
+	f      *flight
+	seq    int64 // tie-break for deterministic ordering
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulator is a single-shot interconnect simulation: construct, inject the
+// full spike trace, then Run. Create with NewSimulator.
+type Simulator struct {
+	cfg  Config
+	topo topology
+
+	// Router state, indexed [router][port].
+	buf      [][][]*flight // input FIFOs
+	reserved [][]int       // credits held by in-flight packets
+	rr       [][]int       // round-robin pointer per output port
+	linkFree [][]int64     // cycle at which the output link is free
+
+	pending   []Packet // injection requests, sorted at Run
+	arrivals  arrivalHeap
+	nextID    int64
+	nextSeq   int64
+	result    Result
+	endpointR []int // endpoint -> router
+	routerE   []int // router -> endpoint or -1
+
+	// routeTable[r][dst] caches topology.Route for O(1) lookups.
+	routeTable [][]uint8
+	// buffered[r] counts packets sitting in router r's input FIFOs so
+	// idle routers are skipped during arbitration.
+	buffered []int
+}
+
+// NewSimulator validates the configuration and builds the topology.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	cfg.applyDefaults()
+	if cfg.Endpoints < 1 {
+		return nil, fmt.Errorf("noc: need at least 1 endpoint, got %d", cfg.Endpoints)
+	}
+	if cfg.BufferDepth < 1 {
+		return nil, fmt.Errorf("noc: buffer depth %d < 1", cfg.BufferDepth)
+	}
+	if cfg.PacketFlits < 1 {
+		return nil, fmt.Errorf("noc: packet size %d < 1 flit", cfg.PacketFlits)
+	}
+	var topo topology
+	var err error
+	switch cfg.Kind {
+	case Mesh:
+		topo, err = newMesh(cfg.Endpoints, cfg.MeshWidth)
+	case Tree:
+		topo, err = newTree(cfg.Endpoints, cfg.TreeArity)
+	default:
+		err = fmt.Errorf("noc: unknown topology kind %d", cfg.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, topo: topo}
+	nr, np := topo.Routers(), topo.Ports()
+	s.buf = make([][][]*flight, nr)
+	s.reserved = make([][]int, nr)
+	s.rr = make([][]int, nr)
+	s.linkFree = make([][]int64, nr)
+	for r := 0; r < nr; r++ {
+		s.buf[r] = make([][]*flight, np)
+		s.reserved[r] = make([]int, np)
+		s.rr[r] = make([]int, np)
+		s.linkFree[r] = make([]int64, np)
+	}
+	s.endpointR = make([]int, cfg.Endpoints)
+	s.routerE = make([]int, nr)
+	for r := range s.routerE {
+		s.routerE[r] = -1
+	}
+	for ep := 0; ep < cfg.Endpoints; ep++ {
+		r := topo.EndpointRouter(ep)
+		s.endpointR[ep] = r
+		s.routerE[r] = ep
+	}
+	s.routeTable = make([][]uint8, nr)
+	for r := 0; r < nr; r++ {
+		s.routeTable[r] = make([]uint8, cfg.Endpoints)
+		for d := 0; d < cfg.Endpoints; d++ {
+			s.routeTable[r][d] = uint8(topo.Route(r, d))
+		}
+	}
+	s.buffered = make([]int, nr)
+	return s, nil
+}
+
+// route returns the cached output port at router r toward endpoint dst.
+func (s *Simulator) route(r, dst int) int { return int(s.routeTable[r][dst]) }
+
+// HopDistance returns the link count on the route between two endpoints.
+func (s *Simulator) HopDistance(a, b int) (int, error) {
+	if a < 0 || a >= s.cfg.Endpoints || b < 0 || b >= s.cfg.Endpoints {
+		return 0, fmt.Errorf("noc: endpoint out of range (%d, %d)", a, b)
+	}
+	return s.topo.HopDistance(a, b), nil
+}
+
+// Inject queues a spike packet for transmission. The destination mask must
+// not include the source and must address valid endpoints.
+func (s *Simulator) Inject(p Packet) error {
+	if p.Src < 0 || p.Src >= s.cfg.Endpoints {
+		return fmt.Errorf("noc: source endpoint %d out of range", p.Src)
+	}
+	if p.Dst.Empty() {
+		return errors.New("noc: packet with empty destination mask")
+	}
+	bad := -1
+	p.Dst.ForEach(func(i int) {
+		if i >= s.cfg.Endpoints || i == p.Src {
+			bad = i
+		}
+	})
+	if bad >= 0 {
+		return fmt.Errorf("noc: invalid destination %d for source %d", bad, p.Src)
+	}
+	if p.CreatedMs < 0 {
+		return errors.New("noc: negative creation time")
+	}
+	s.pending = append(s.pending, p)
+	return nil
+}
+
+// Run executes the simulation to completion and returns the aggregate
+// statistics with the full delivery trace. Run may only be called once.
+func (s *Simulator) Run() (*Result, error) {
+	// Expand to unicast if multicast is disabled, then order by creation.
+	queue := make([]*flight, 0, len(s.pending))
+	for _, p := range s.pending {
+		cc := p.CreatedMs * s.cfg.CyclesPerMs
+		if s.cfg.Multicast {
+			queue = append(queue, &flight{
+				id: s.nextID, srcNeuron: p.SrcNeuron, src: p.Src,
+				dst: p.Dst.Clone(), createdMs: p.CreatedMs, createdCycle: cc,
+			})
+			s.nextID++
+		} else {
+			p.Dst.ForEach(func(d int) {
+				m := NewMask(s.cfg.Endpoints)
+				m.Set(d)
+				queue = append(queue, &flight{
+					id: s.nextID, srcNeuron: p.SrcNeuron, src: p.Src,
+					dst: m, createdMs: p.CreatedMs, createdCycle: cc,
+				})
+				s.nextID++
+			})
+		}
+	}
+	sort.SliceStable(queue, func(i, j int) bool {
+		if queue[i].createdCycle != queue[j].createdCycle {
+			return queue[i].createdCycle < queue[j].createdCycle
+		}
+		return queue[i].id < queue[j].id
+	})
+	// Per-endpoint NI queues preserving creation order.
+	ni := make([][]*flight, s.cfg.Endpoints)
+	for _, f := range queue {
+		ni[f.src] = append(ni[f.src], f)
+	}
+	niHead := make([]int, s.cfg.Endpoints)
+	remaining := int64(len(queue))
+	inFlight := int64(0)
+
+	s.result.Stats.Injected = int64(len(queue))
+
+	var now int64
+	var lastEvent int64
+	var totalLatency int64
+	flits := int64(s.cfg.PacketFlits)
+
+	nextInjection := func() int64 {
+		next := int64(-1)
+		for ep := 0; ep < s.cfg.Endpoints; ep++ {
+			if niHead[ep] < len(ni[ep]) {
+				c := ni[ep][niHead[ep]].createdCycle
+				if next < 0 || c < next {
+					next = c
+				}
+			}
+		}
+		return next
+	}
+
+	if n := nextInjection(); n > 0 {
+		now = n
+	}
+
+	for remaining > 0 || inFlight > 0 || len(s.arrivals) > 0 {
+		progressed := false
+
+		// 1. Buffer insertions for completed link traversals.
+		for len(s.arrivals) > 0 && s.arrivals[0].cycle <= now {
+			a := heap.Pop(&s.arrivals).(arrival)
+			s.buf[a.router][a.port] = append(s.buf[a.router][a.port], a.f)
+			s.reserved[a.router][a.port]--
+			s.buffered[a.router]++
+			progressed = true
+		}
+
+		// 2. Injection: one packet per endpoint per cycle into the local
+		// input port, respecting buffer depth.
+		for ep := 0; ep < s.cfg.Endpoints; ep++ {
+			h := niHead[ep]
+			if h >= len(ni[ep]) || ni[ep][h].createdCycle > now {
+				continue
+			}
+			r := s.endpointR[ep]
+			if len(s.buf[r][localPort])+s.reserved[r][localPort] >= s.cfg.BufferDepth {
+				continue
+			}
+			s.buf[r][localPort] = append(s.buf[r][localPort], ni[ep][h])
+			s.buffered[r]++
+			niHead[ep]++
+			remaining--
+			inFlight++
+			progressed = true
+		}
+
+		// 3. Per-router arbitration: each output port forwards at most one
+		// packet per cycle, chosen round-robin across input ports.
+		for r := 0; r < s.topo.Routers(); r++ {
+			if s.buffered[r] == 0 {
+				continue
+			}
+			for p := 0; p < s.topo.Ports(); p++ {
+				if s.linkFree[r][p] > now {
+					continue
+				}
+				nin := s.topo.Ports()
+				granted := -1
+				for k := 0; k < nin; k++ {
+					in := (s.rr[r][p] + k) % nin
+					q := s.buf[r][in]
+					if len(q) == 0 {
+						continue
+					}
+					f := q[0]
+					wants, all := s.portsFor(r, f, p)
+					if !wants {
+						continue
+					}
+					if p == localPort {
+						// Delivery to the endpoint attached here.
+						ep := s.routerE[r]
+						s.deliver(f, ep, now)
+						totalLatency += now - f.createdCycle
+						f.dst.Clear(ep)
+						s.result.Stats.EnergyPJ += float64(flits) * s.cfg.RouterEnergyPJ
+						if f.dst.Empty() {
+							s.buf[r][in] = q[1:]
+							s.buffered[r]--
+							inFlight--
+						}
+						granted = in
+						break
+					}
+					// Forward the sub-flight routed via port p.
+					nr, np := s.topo.Neighbor(r, p)
+					if nr < 0 {
+						continue // unwired port; cannot happen with valid routes
+					}
+					if len(s.buf[nr][np])+s.reserved[nr][np] >= s.cfg.BufferDepth {
+						continue // back-pressure
+					}
+					var sub *flight
+					if all {
+						// Every remaining destination leaves through p:
+						// move the flight itself, no allocation.
+						sub = f
+						s.buf[r][in] = q[1:]
+						s.buffered[r]--
+						inFlight--
+					} else {
+						sub = s.splitForPort(r, f, p)
+						if f.dst.Empty() {
+							s.buf[r][in] = q[1:]
+							s.buffered[r]--
+							inFlight--
+						}
+					}
+					s.reserved[nr][np]++
+					inFlight++
+					s.nextSeq++
+					heap.Push(&s.arrivals, arrival{
+						cycle: now + int64(s.cfg.PacketFlits), router: nr, port: np,
+						f: sub, seq: s.nextSeq,
+					})
+					s.linkFree[r][p] = now + int64(s.cfg.PacketFlits)
+					s.result.Stats.PacketHops++
+					s.result.Stats.EnergyPJ += float64(flits) * (s.cfg.HopEnergyPJ + s.cfg.RouterEnergyPJ)
+					granted = in
+					break
+				}
+				if granted >= 0 {
+					s.rr[r][p] = (granted + 1) % nin
+					progressed = true
+				}
+			}
+		}
+
+		if progressed {
+			lastEvent = now
+			s.result.Stats.Cycles = now
+		} else if now-lastEvent > s.cfg.StallLimit {
+			return nil, fmt.Errorf("noc: no progress for %d cycles with %d packets outstanding (deadlock?)", s.cfg.StallLimit, remaining+inFlight)
+		}
+
+		// 4. Advance time, fast-forwarding across idle gaps.
+		now++
+		if inFlight == 0 && len(s.arrivals) == 0 {
+			if remaining == 0 {
+				break
+			}
+			if n := nextInjection(); n > now {
+				now = n
+			}
+		}
+	}
+
+	st := &s.result.Stats
+	if st.Delivered > 0 {
+		st.AvgLatency = float64(totalLatency) / float64(st.Delivered)
+	}
+	if st.Cycles > 0 && s.cfg.CyclesPerMs > 0 {
+		st.ThroughputPerMs = float64(st.Delivered) * float64(s.cfg.CyclesPerMs) / float64(st.Cycles)
+	}
+	return &s.result, nil
+}
+
+// portsFor reports whether any remaining destination of f routes through
+// output port p at router r (wants), and whether every remaining
+// destination does (all) — the latter enables allocation-free forwarding.
+func (s *Simulator) portsFor(r int, f *flight, p int) (wants, all bool) {
+	all = true
+	f.dst.ForEach(func(d int) {
+		if s.route(r, d) == p {
+			wants = true
+		} else {
+			all = false
+		}
+	})
+	return wants, wants && all
+}
+
+// splitForPort extracts from f the sub-flight of destinations routed via
+// port p at router r, removing them from f's mask.
+func (s *Simulator) splitForPort(r int, f *flight, p int) *flight {
+	m := NewMask(s.cfg.Endpoints)
+	f.dst.ForEach(func(d int) {
+		if s.route(r, d) == p {
+			m.Set(d)
+		}
+	})
+	f.dst.AndNot(m)
+	s.nextID++
+	return &flight{
+		id: s.nextID, srcNeuron: f.srcNeuron, src: f.src,
+		dst: m, createdMs: f.createdMs, createdCycle: f.createdCycle,
+	}
+}
+
+func (s *Simulator) deliver(f *flight, ep int, now int64) {
+	s.result.Deliveries = append(s.result.Deliveries, Delivery{
+		SrcNeuron:    f.srcNeuron,
+		Src:          f.src,
+		Dst:          ep,
+		CreatedMs:    f.createdMs,
+		CreatedCycle: f.createdCycle,
+		ArriveCycle:  now,
+	})
+	s.result.Stats.Delivered++
+	if lat := now - f.createdCycle; lat > s.result.Stats.MaxLatency {
+		s.result.Stats.MaxLatency = lat
+	}
+}

@@ -1,0 +1,384 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mask(n int, dsts ...int) Mask {
+	m := NewMask(n)
+	for _, d := range dsts {
+		m.Set(d)
+	}
+	return m
+}
+
+func TestSimSinglePacketTree(t *testing.T) {
+	cfg := DefaultConfig(Tree, 4)
+	cfg.TreeArity = 4
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(Packet{SrcNeuron: 7, Src: 0, Dst: mask(4, 3), CreatedMs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", res.Stats.Delivered)
+	}
+	d := res.Deliveries[0]
+	if d.Src != 0 || d.Dst != 3 || d.SrcNeuron != 7 || d.CreatedMs != 1 {
+		t.Fatalf("delivery = %+v", d)
+	}
+	// Quad tree: 2 link hops.
+	if res.Stats.PacketHops != 2 {
+		t.Fatalf("hops = %d, want 2", res.Stats.PacketHops)
+	}
+	if d.Latency() <= 0 {
+		t.Fatalf("latency = %d, want > 0", d.Latency())
+	}
+	if res.Stats.EnergyPJ <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestSimSinglePacketMeshLatency(t *testing.T) {
+	cfg := DefaultConfig(Mesh, 9)
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(Packet{Src: 0, Dst: mask(9, 8), CreatedMs: 0}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 hops, 1 flit each, plus 1 cycle injection: uncongested latency is
+	// small and deterministic.
+	if res.Stats.Delivered != 1 {
+		t.Fatalf("delivered = %d", res.Stats.Delivered)
+	}
+	if res.Stats.PacketHops != 4 {
+		t.Fatalf("hops = %d, want 4", res.Stats.PacketHops)
+	}
+	if res.Stats.MaxLatency > 10 {
+		t.Fatalf("uncongested latency = %d, unexpectedly high", res.Stats.MaxLatency)
+	}
+}
+
+func TestSimMulticastDeliversAllAndSavesHops(t *testing.T) {
+	run := func(multicast bool) *Result {
+		cfg := DefaultConfig(Tree, 8)
+		cfg.TreeArity = 2
+		cfg.Multicast = multicast
+		s, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One spike from crossbar 0 to crossbars 4..7 (other half of the
+		// tree): multicast shares the up-path.
+		if err := s.Inject(Packet{Src: 0, Dst: mask(8, 4, 5, 6, 7), CreatedMs: 0}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	mc := run(true)
+	uc := run(false)
+	if mc.Stats.Delivered != 4 || uc.Stats.Delivered != 4 {
+		t.Fatalf("delivered mc=%d uc=%d, want 4 each", mc.Stats.Delivered, uc.Stats.Delivered)
+	}
+	if mc.Stats.PacketHops >= uc.Stats.PacketHops {
+		t.Fatalf("multicast hops %d should be < unicast hops %d", mc.Stats.PacketHops, uc.Stats.PacketHops)
+	}
+	if mc.Stats.EnergyPJ >= uc.Stats.EnergyPJ {
+		t.Fatalf("multicast energy %f should be < unicast %f", mc.Stats.EnergyPJ, uc.Stats.EnergyPJ)
+	}
+}
+
+func TestSimCongestionIncreasesLatency(t *testing.T) {
+	// Many simultaneous packets from distinct sources to one destination
+	// serialize at the destination: later arrivals see higher latency.
+	cfg := DefaultConfig(Mesh, 16)
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 1; src < 16; src++ {
+		if err := s.Inject(Packet{SrcNeuron: int32(src), Src: src, Dst: mask(16, 0), CreatedMs: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Delivered != 15 {
+		t.Fatalf("delivered = %d, want 15", res.Stats.Delivered)
+	}
+	if res.Stats.MaxLatency <= int64(res.Stats.AvgLatency) {
+		t.Fatalf("congestion should spread latencies: max %d avg %f", res.Stats.MaxLatency, res.Stats.AvgLatency)
+	}
+	// The destination local port accepts one packet per cycle, so the
+	// last of 15 packets arrives at least ~15 cycles after creation.
+	if res.Stats.MaxLatency < 15 {
+		t.Fatalf("max latency %d too small for 15-way contention", res.Stats.MaxLatency)
+	}
+}
+
+func TestSimBackToBackFromOneSourceSerializes(t *testing.T) {
+	cfg := DefaultConfig(Tree, 4)
+	cfg.TreeArity = 4
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s.Inject(Packet{SrcNeuron: int32(i), Src: 1, Dst: mask(4, 2), CreatedMs: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Delivered != n {
+		t.Fatalf("delivered = %d", res.Stats.Delivered)
+	}
+	// Single-source injection is one packet per cycle: the last packet
+	// cannot leave before cycle n-1.
+	if res.Stats.MaxLatency < n-1 {
+		t.Fatalf("max latency %d, want >= %d (NI serialization)", res.Stats.MaxLatency, n-1)
+	}
+}
+
+func TestSimArrivalOrderPreservedSameStream(t *testing.T) {
+	// Packets from the same source to the same destination must arrive in
+	// creation order (FIFO buffers + deterministic arbitration).
+	cfg := DefaultConfig(Mesh, 9)
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Inject(Packet{SrcNeuron: int32(i), Src: 0, Dst: mask(9, 8), CreatedMs: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Deliveries); i++ {
+		if res.Deliveries[i].ArriveCycle <= res.Deliveries[i-1].ArriveCycle {
+			t.Fatal("same-stream deliveries out of order")
+		}
+		if res.Deliveries[i].SrcNeuron <= res.Deliveries[i-1].SrcNeuron {
+			t.Fatal("same-stream neuron order broken")
+		}
+	}
+}
+
+func TestSimFastForwardSparseTraffic(t *testing.T) {
+	// Two packets separated by an enormous idle gap should simulate
+	// quickly (fast-forward) and still deliver.
+	cfg := DefaultConfig(Tree, 4)
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(Packet{Src: 0, Dst: mask(4, 1), CreatedMs: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(Packet{Src: 0, Dst: mask(4, 1), CreatedMs: 1_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Delivered != 2 {
+		t.Fatalf("delivered = %d", res.Stats.Delivered)
+	}
+	if res.Stats.Cycles < 1_000_000*cfg.CyclesPerMs {
+		t.Fatalf("end cycle %d before second packet creation", res.Stats.Cycles)
+	}
+}
+
+func TestSimInjectValidation(t *testing.T) {
+	s, err := NewSimulator(DefaultConfig(Mesh, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(Packet{Src: -1, Dst: mask(4, 1)}); err == nil {
+		t.Fatal("negative source must fail")
+	}
+	if err := s.Inject(Packet{Src: 0, Dst: NewMask(4)}); err == nil {
+		t.Fatal("empty destination must fail")
+	}
+	if err := s.Inject(Packet{Src: 0, Dst: mask(4, 0)}); err == nil {
+		t.Fatal("self destination must fail")
+	}
+	if err := s.Inject(Packet{Src: 0, Dst: mask(4, 1), CreatedMs: -1}); err == nil {
+		t.Fatal("negative creation time must fail")
+	}
+}
+
+func TestSimConfigValidation(t *testing.T) {
+	if _, err := NewSimulator(Config{Kind: Mesh, Endpoints: 0}); err == nil {
+		t.Fatal("0 endpoints must fail")
+	}
+	if _, err := NewSimulator(Config{Kind: Kind(99), Endpoints: 4}); err == nil {
+		t.Fatal("unknown topology must fail")
+	}
+}
+
+func TestSimEmptyRun(t *testing.T) {
+	s, err := NewSimulator(DefaultConfig(Tree, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Delivered != 0 || res.Stats.Injected != 0 {
+		t.Fatalf("empty run stats = %+v", res.Stats)
+	}
+}
+
+func TestSimConservationRandomTraffic(t *testing.T) {
+	// Property: every injected (packet, destination) pair is delivered
+	// exactly once, under random traffic on both topologies.
+	for _, kind := range []Kind{Mesh, Tree} {
+		rng := rand.New(rand.NewSource(123))
+		const n = 12
+		cfg := DefaultConfig(kind, n)
+		s, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type key struct {
+			neuron int32
+			dst    int
+		}
+		want := map[key]int{}
+		const packets = 500
+		for i := 0; i < packets; i++ {
+			src := rng.Intn(n)
+			m := NewMask(n)
+			ndst := 1 + rng.Intn(3)
+			for j := 0; j < ndst; j++ {
+				d := rng.Intn(n)
+				if d != src {
+					m.Set(d)
+				}
+			}
+			if m.Empty() {
+				continue
+			}
+			p := Packet{SrcNeuron: int32(i), Src: src, Dst: m, CreatedMs: int64(rng.Intn(50))}
+			if err := s.Inject(p); err != nil {
+				t.Fatal(err)
+			}
+			m.ForEach(func(d int) { want[key{int32(i), d}]++ })
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[key]int{}
+		for _, d := range res.Deliveries {
+			got[key{d.SrcNeuron, d.Dst}]++
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: delivered %d distinct pairs, want %d", kind, len(got), len(want))
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("%v: pair %+v delivered %d times, want %d", kind, k, got[k], c)
+			}
+		}
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() *Result {
+		rng := rand.New(rand.NewSource(55))
+		cfg := DefaultConfig(Mesh, 9)
+		s, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			src := rng.Intn(9)
+			dst := rng.Intn(9)
+			if dst == src {
+				continue
+			}
+			if err := s.Inject(Packet{SrcNeuron: int32(i), Src: src, Dst: mask(9, dst), CreatedMs: int64(rng.Intn(20))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Stats != b.Stats {
+		t.Fatalf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+	for i := range a.Deliveries {
+		if a.Deliveries[i] != b.Deliveries[i] {
+			t.Fatalf("delivery %d differs", i)
+		}
+	}
+}
+
+func TestSimPacketFlitsSlowerLinks(t *testing.T) {
+	lat := func(flits int) int64 {
+		cfg := DefaultConfig(Mesh, 9)
+		cfg.PacketFlits = flits
+		s, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Inject(Packet{Src: 0, Dst: mask(9, 8), CreatedMs: 0}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.MaxLatency
+	}
+	if l1, l4 := lat(1), lat(4); l4 <= l1 {
+		t.Fatalf("4-flit packets should be slower: %d vs %d", l4, l1)
+	}
+}
+
+func TestHopDistanceValidation(t *testing.T) {
+	s, err := NewSimulator(DefaultConfig(Tree, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HopDistance(0, 4); err == nil {
+		t.Fatal("out-of-range endpoint must fail")
+	}
+	d, err := s.HopDistance(0, 1)
+	if err != nil || d <= 0 {
+		t.Fatalf("HopDistance(0,1) = %d, %v", d, err)
+	}
+}

@@ -1,0 +1,284 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects the interconnect topology.
+type Kind int
+
+// Supported interconnect topologies (paper §II): NoC-tree is used by
+// CxQuad, NoC-mesh by TrueNorth and HiCANN.
+const (
+	Tree Kind = iota
+	Mesh
+)
+
+// String returns the topology name.
+func (k Kind) String() string {
+	switch k {
+	case Tree:
+		return "tree"
+	case Mesh:
+		return "mesh"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// topology abstracts routing and wiring. Routers are numbered 0..Routers()-1
+// and each has Ports() ports; port 0 is always the local/endpoint port.
+type topology interface {
+	// Routers returns the number of routers.
+	Routers() int
+	// Ports returns the number of ports per router (including local).
+	Ports() int
+	// EndpointRouter returns the router to which endpoint ep attaches.
+	EndpointRouter(ep int) int
+	// Route returns the output port a packet at router r must take to
+	// reach destination endpoint dst. It returns 0 (local) when the
+	// endpoint attaches to r.
+	Route(r, dst int) int
+	// Neighbor returns the router and its input port reached by leaving
+	// router r through output port p, or (-1, -1) if the port is unwired.
+	Neighbor(r, p int) (router, inPort int)
+	// HopDistance returns the number of router-to-router links on the
+	// path between two endpoints (0 if they share a router).
+	HopDistance(a, b int) int
+}
+
+// localPort is the port index of the endpoint attachment on every router.
+const localPort = 0
+
+// meshTopo is a W×H 2D mesh with XY (dimension-ordered) routing — the
+// deadlock-free routing Noxim defaults to. Endpoint i attaches to router i.
+type meshTopo struct {
+	w, h int
+}
+
+// Mesh port numbering after the local port.
+const (
+	meshNorth = 1
+	meshEast  = 2
+	meshSouth = 3
+	meshWest  = 4
+)
+
+func newMesh(endpoints, width int) (*meshTopo, error) {
+	if endpoints < 1 {
+		return nil, fmt.Errorf("noc: mesh needs at least 1 endpoint, got %d", endpoints)
+	}
+	w := width
+	if w <= 0 {
+		w = int(math.Ceil(math.Sqrt(float64(endpoints))))
+	}
+	h := (endpoints + w - 1) / w
+	return &meshTopo{w: w, h: h}, nil
+}
+
+func (m *meshTopo) Routers() int { return m.w * m.h }
+func (m *meshTopo) Ports() int   { return 5 }
+
+func (m *meshTopo) EndpointRouter(ep int) int { return ep }
+
+func (m *meshTopo) coord(r int) (x, y int) { return r % m.w, r / m.w }
+
+func (m *meshTopo) Route(r, dst int) int {
+	cx, cy := m.coord(r)
+	dx, dy := m.coord(m.EndpointRouter(dst))
+	switch {
+	case dx > cx:
+		return meshEast
+	case dx < cx:
+		return meshWest
+	case dy > cy:
+		return meshSouth
+	case dy < cy:
+		return meshNorth
+	default:
+		return localPort
+	}
+}
+
+func (m *meshTopo) Neighbor(r, p int) (int, int) {
+	x, y := m.coord(r)
+	switch p {
+	case meshNorth:
+		if y == 0 {
+			return -1, -1
+		}
+		return r - m.w, meshSouth
+	case meshSouth:
+		if y == m.h-1 {
+			return -1, -1
+		}
+		return r + m.w, meshNorth
+	case meshEast:
+		if x == m.w-1 {
+			return -1, -1
+		}
+		return r + 1, meshWest
+	case meshWest:
+		if x == 0 {
+			return -1, -1
+		}
+		return r - 1, meshEast
+	default:
+		return -1, -1
+	}
+}
+
+func (m *meshTopo) HopDistance(a, b int) int {
+	ax, ay := m.coord(m.EndpointRouter(a))
+	bx, by := m.coord(m.EndpointRouter(b))
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// treeTopo is a complete a-ary tree. Endpoints attach to the leaves; spikes
+// route up to the lowest common ancestor and back down (CxQuad's NoC-tree).
+// Router 0 is the root; the children of router i are a·i+1 … a·i+a. Leaves
+// occupy the last level.
+type treeTopo struct {
+	arity    int
+	depth    int // number of edge levels; 0 means a single root-leaf
+	routers  int
+	leafBase int // index of first leaf router
+}
+
+// Tree port numbering: port 0 local, port 1 up (toward root), ports 2..
+// toward children.
+const treeUp = 1
+
+func newTree(endpoints, arity int) (*treeTopo, error) {
+	if endpoints < 1 {
+		return nil, fmt.Errorf("noc: tree needs at least 1 endpoint, got %d", endpoints)
+	}
+	if arity < 2 {
+		return nil, fmt.Errorf("noc: tree arity must be >= 2, got %d", arity)
+	}
+	depth := 0
+	leaves := 1
+	for leaves < endpoints {
+		leaves *= arity
+		depth++
+	}
+	// routers = (arity^(depth+1) - 1) / (arity - 1)
+	routers := 1
+	level := 1
+	for d := 0; d < depth; d++ {
+		level *= arity
+		routers += level
+	}
+	return &treeTopo{
+		arity:    arity,
+		depth:    depth,
+		routers:  routers,
+		leafBase: routers - leaves,
+	}, nil
+}
+
+func (t *treeTopo) Routers() int { return t.routers }
+func (t *treeTopo) Ports() int   { return 2 + t.arity }
+
+func (t *treeTopo) EndpointRouter(ep int) int { return t.leafBase + ep }
+
+func (t *treeTopo) parent(r int) int {
+	if r == 0 {
+		return -1
+	}
+	return (r - 1) / t.arity
+}
+
+// contains reports whether the subtree rooted at r contains router x.
+func (t *treeTopo) contains(r, x int) bool {
+	for x >= 0 {
+		if x == r {
+			return true
+		}
+		if x < r {
+			return false
+		}
+		x = t.parent(x)
+	}
+	return false
+}
+
+func (t *treeTopo) Route(r, dst int) int {
+	leaf := t.EndpointRouter(dst)
+	if leaf == r {
+		return localPort
+	}
+	if !t.contains(r, leaf) {
+		return treeUp
+	}
+	// Walk down: find which child subtree holds the leaf.
+	x := leaf
+	for t.parent(x) != r {
+		x = t.parent(x)
+	}
+	child := x - (t.arity*r + 1)
+	return 2 + child
+}
+
+func (t *treeTopo) Neighbor(r, p int) (int, int) {
+	switch {
+	case p == treeUp:
+		parent := t.parent(r)
+		if parent < 0 {
+			return -1, -1
+		}
+		childIdx := r - (t.arity*parent + 1)
+		return parent, 2 + childIdx
+	case p >= 2 && p < 2+t.arity:
+		child := t.arity*r + 1 + (p - 2)
+		if child >= t.routers {
+			return -1, -1
+		}
+		return child, treeUp
+	default:
+		return -1, -1
+	}
+}
+
+func (t *treeTopo) levelOf(r int) int {
+	level := 0
+	for r != 0 {
+		r = t.parent(r)
+		level++
+	}
+	return level
+}
+
+func (t *treeTopo) HopDistance(a, b int) int {
+	x, y := t.EndpointRouter(a), t.EndpointRouter(b)
+	if x == y {
+		return 0
+	}
+	// Climb the deeper node until the two meet at the LCA.
+	dist := 0
+	lx, ly := t.levelOf(x), t.levelOf(y)
+	for lx > ly {
+		x = t.parent(x)
+		lx--
+		dist++
+	}
+	for ly > lx {
+		y = t.parent(y)
+		ly--
+		dist++
+	}
+	for x != y {
+		x = t.parent(x)
+		y = t.parent(y)
+		dist += 2
+	}
+	return dist
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

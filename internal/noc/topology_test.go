@@ -1,0 +1,171 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// followRoute walks a packet from the router of endpoint src to endpoint
+// dst using Route/Neighbor and returns the number of link hops, or -1 if the
+// walk does not terminate within limit steps.
+func followRoute(t *testing.T, topo topology, src, dst, limit int) int {
+	t.Helper()
+	r := topo.EndpointRouter(src)
+	hops := 0
+	for steps := 0; steps < limit; steps++ {
+		p := topo.Route(r, dst)
+		if p == localPort {
+			if r != topo.EndpointRouter(dst) {
+				t.Fatalf("local delivery at router %d but endpoint %d attaches to %d", r, dst, topo.EndpointRouter(dst))
+			}
+			return hops
+		}
+		nr, _ := topo.Neighbor(r, p)
+		if nr < 0 {
+			t.Fatalf("route leads through unwired port %d at router %d", p, r)
+		}
+		r = nr
+		hops++
+	}
+	return -1
+}
+
+func TestMeshRouteReachesAndMatchesManhattan(t *testing.T) {
+	topo, err := newMesh(9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 9; src++ {
+		for dst := 0; dst < 9; dst++ {
+			hops := followRoute(t, topo, src, dst, 100)
+			if hops < 0 {
+				t.Fatalf("route %d->%d did not terminate", src, dst)
+			}
+			want := topo.HopDistance(src, dst)
+			if hops != want {
+				t.Fatalf("route %d->%d took %d hops, HopDistance says %d", src, dst, hops, want)
+			}
+		}
+	}
+}
+
+func TestMeshManhattanDistance(t *testing.T) {
+	topo, _ := newMesh(9, 3) // 3x3
+	// endpoint 0 at (0,0), endpoint 8 at (2,2)
+	if d := topo.HopDistance(0, 8); d != 4 {
+		t.Fatalf("corner-to-corner distance = %d, want 4", d)
+	}
+	if d := topo.HopDistance(4, 4); d != 0 {
+		t.Fatalf("self distance = %d, want 0", d)
+	}
+}
+
+func TestMeshNeighborSymmetry(t *testing.T) {
+	topo, _ := newMesh(12, 4) // 4x3
+	for r := 0; r < topo.Routers(); r++ {
+		for p := 1; p < topo.Ports(); p++ {
+			nr, np := topo.Neighbor(r, p)
+			if nr < 0 {
+				continue
+			}
+			br, bp := topo.Neighbor(nr, np)
+			if br != r || bp != p {
+				t.Fatalf("neighbor not symmetric: (%d,%d)->(%d,%d)->(%d,%d)", r, p, nr, np, br, bp)
+			}
+		}
+	}
+}
+
+func TestTreeRouteReachesViaLCA(t *testing.T) {
+	for _, arity := range []int{2, 4} {
+		for _, endpoints := range []int{1, 2, 4, 5, 8, 16} {
+			topo, err := newTree(endpoints, arity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for src := 0; src < endpoints; src++ {
+				for dst := 0; dst < endpoints; dst++ {
+					hops := followRoute(t, topo, src, dst, 100)
+					if hops < 0 {
+						t.Fatalf("arity %d n %d: route %d->%d did not terminate", arity, endpoints, src, dst)
+					}
+					if want := topo.HopDistance(src, dst); hops != want {
+						t.Fatalf("arity %d n %d: route %d->%d hops %d != distance %d", arity, endpoints, src, dst, hops, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTreeQuadSingleRoot(t *testing.T) {
+	// CxQuad: 4 endpoints, arity 4 -> one root + 4 leaves, distance 2
+	// between any two distinct crossbars.
+	topo, err := newTree(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Routers() != 5 {
+		t.Fatalf("routers = %d, want 5", topo.Routers())
+	}
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			want := 2
+			if a == b {
+				want = 0
+			}
+			if d := topo.HopDistance(a, b); d != want {
+				t.Fatalf("distance %d->%d = %d, want %d", a, b, d, want)
+			}
+		}
+	}
+}
+
+func TestTreeBinaryDepth(t *testing.T) {
+	topo, err := newTree(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Routers() != 15 {
+		t.Fatalf("binary tree over 8 leaves: routers = %d, want 15", topo.Routers())
+	}
+	// Endpoints 0 and 1 share a parent: distance 2. Endpoints 0 and 7
+	// meet at the root: distance 6.
+	if d := topo.HopDistance(0, 1); d != 2 {
+		t.Fatalf("sibling distance = %d, want 2", d)
+	}
+	if d := topo.HopDistance(0, 7); d != 6 {
+		t.Fatalf("cross-root distance = %d, want 6", d)
+	}
+}
+
+func TestTreeRejectsBadParams(t *testing.T) {
+	if _, err := newTree(0, 2); err == nil {
+		t.Fatal("0 endpoints must fail")
+	}
+	if _, err := newTree(4, 1); err == nil {
+		t.Fatal("arity 1 must fail")
+	}
+	if _, err := newMesh(0, 0); err == nil {
+		t.Fatal("0-endpoint mesh must fail")
+	}
+}
+
+func TestRouteSymmetricDistanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		var topo topology
+		if rng.Intn(2) == 0 {
+			topo, _ = newMesh(n, 0)
+		} else {
+			topo, _ = newTree(n, 2+rng.Intn(3))
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		return topo.HopDistance(a, b) == topo.HopDistance(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package partition
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Annealing is a simulated-annealing partitioner, implemented as the
+// counterpart for the paper's §III claim that PSO "is computationally less
+// expensive with faster convergence compared to its counterparts such as
+// genetic algorithm (GA) or simulated annealing (SA)". Moves are single
+// neuron relocations subject to capacity; acceptance follows the
+// Metropolis criterion under geometric cooling.
+type Annealing struct {
+	// Moves is the total number of proposed moves (default 200·N).
+	Moves int
+	// T0 is the initial temperature (default: 10% of the initial cost,
+	// or 1 if the initial cost is 0).
+	T0 float64
+	// Alpha is the geometric cooling factor applied every N moves
+	// (default 0.95).
+	Alpha float64
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// Name implements Partitioner.
+func (Annealing) Name() string { return "SA" }
+
+// Partition implements Partitioner.
+func (s Annealing) Partition(p *Problem) (Assignment, error) {
+	n := p.Graph.Neurons
+	if n == 0 {
+		return Assignment{}, nil
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	a := randomFeasible(p, rng)
+	loads := p.Loads(a)
+	cost := p.Cost(a)
+
+	best := a.Clone()
+	bestCost := cost
+
+	moves := s.Moves
+	if moves <= 0 {
+		moves = 200 * n
+	}
+	alpha := s.Alpha
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.95
+	}
+	temp := s.T0
+	if temp <= 0 {
+		temp = 0.1 * float64(cost)
+		if temp <= 0 {
+			temp = 1
+		}
+	}
+	if p.Crossbars < 2 {
+		return a, nil
+	}
+
+	for m := 0; m < moves; m++ {
+		i := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			// Relocation move (changes loads).
+			k := rng.Intn(p.Crossbars)
+			if k != a[i] && loads[k] < p.CrossbarSize {
+				delta := p.CostDelta(a, i, k)
+				if delta <= 0 || rng.Float64() < math.Exp(-float64(delta)/temp) {
+					loads[a[i]]--
+					a[i] = k
+					loads[k]++
+					cost += delta
+				}
+			}
+		} else {
+			// Swap move (load-preserving; essential when crossbars are
+			// full and relocations are never feasible).
+			j := rng.Intn(n)
+			if a[i] != a[j] {
+				delta := p.SwapDelta(a, i, j)
+				if delta <= 0 || rng.Float64() < math.Exp(-float64(delta)/temp) {
+					a[i], a[j] = a[j], a[i]
+					cost += delta
+				}
+			}
+		}
+		if cost < bestCost {
+			bestCost = cost
+			copy(best, a)
+		}
+		if m%n == n-1 {
+			temp *= alpha
+		}
+	}
+	if err := p.Validate(best); err != nil {
+		return nil, errors.New("partition: SA internal error: " + err.Error())
+	}
+	return best, nil
+}

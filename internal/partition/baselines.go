@@ -1,0 +1,148 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pacman is the PACMAN baseline (Galluppi et al., the SpiNNaker mapper)
+// adapted for a crossbar architecture, as in the paper's evaluation (§V).
+// PACMAN is a hierarchical configuration system: each population is split
+// into fragments that fit a core, and every fragment is placed on its own
+// core — SpiNNaker cores never host neurons of two populations. When the
+// architecture has too few crossbars for population-exclusive placement,
+// Pacman degrades to sequential contiguous filling (fragments share
+// crossbars), still without modelling spike traffic.
+type Pacman struct{}
+
+// Name implements Partitioner.
+func (Pacman) Name() string { return "PACMAN" }
+
+// Partition implements Partitioner.
+func (Pacman) Partition(p *Problem) (Assignment, error) {
+	n := p.Graph.Neurons
+	a := make(Assignment, n)
+
+	// Population-exclusive placement when every neuron belongs to a
+	// group and the fragment count fits the crossbar budget.
+	covered := 0
+	fragments := 0
+	for _, grp := range p.Graph.Groups {
+		covered += grp.N
+		fragments += (grp.N + p.CrossbarSize - 1) / p.CrossbarSize
+	}
+	if covered == n && fragments <= p.Crossbars {
+		k := 0
+		for _, grp := range p.Graph.Groups {
+			used := 0
+			for i := grp.Start; i < grp.Start+grp.N; i++ {
+				if used == p.CrossbarSize {
+					k++
+					used = 0
+				}
+				a[i] = k
+				used++
+			}
+			if grp.N > 0 {
+				k++ // fresh crossbar for the next population
+			}
+		}
+		return a, nil
+	}
+
+	// Fallback: sequential contiguous fill in population order.
+	k, used := 0, 0
+	place := func(i int) error {
+		if used == p.CrossbarSize {
+			k++
+			used = 0
+		}
+		if k >= p.Crossbars {
+			return fmt.Errorf("partition: PACMAN ran out of crossbars at neuron %d", i)
+		}
+		a[i] = k
+		used++
+		return nil
+	}
+	seen := make([]bool, n)
+	for _, grp := range p.Graph.Groups {
+		for i := grp.Start; i < grp.Start+grp.N; i++ {
+			if err := place(i); err != nil {
+				return nil, err
+			}
+			seen[i] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			if err := place(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+// Neutrams is the NEUTRAMS baseline (Ji et al., MICRO 2016) as
+// characterized by the paper: an ad-hoc mapping that uses a NoC simulator
+// to evaluate energy "without solving the local and global synapse
+// partitioning problem". Neurons are distributed round-robin, which
+// balances crossbar load but ignores synapse locality and spike traffic.
+type Neutrams struct{}
+
+// Name implements Partitioner.
+func (Neutrams) Name() string { return "NEUTRAMS" }
+
+// Partition implements Partitioner.
+func (Neutrams) Partition(p *Problem) (Assignment, error) {
+	n := p.Graph.Neurons
+	a := make(Assignment, n)
+	// Round-robin over crossbars; capacity holds because ceil(n/C) <= Nc
+	// whenever the instance is feasible and loads stay within ±1 of each
+	// other.
+	if (n+p.Crossbars-1)/p.Crossbars > p.CrossbarSize {
+		return nil, fmt.Errorf("partition: NEUTRAMS round-robin overflows Nc=%d", p.CrossbarSize)
+	}
+	for i := 0; i < n; i++ {
+		a[i] = i % p.Crossbars
+	}
+	return a, nil
+}
+
+// Random assigns neurons to crossbars uniformly at random subject to the
+// capacity constraint. It serves as the floor reference in ablations.
+type Random struct {
+	// Seed makes the assignment reproducible.
+	Seed int64
+}
+
+// Name implements Partitioner.
+func (Random) Name() string { return "Random" }
+
+// Partition implements Partitioner.
+func (r Random) Partition(p *Problem) (Assignment, error) {
+	rng := rand.New(rand.NewSource(r.Seed))
+	return randomFeasible(p, rng), nil
+}
+
+// randomFeasible draws a uniform feasible assignment: neurons in random
+// order pick a uniformly random crossbar with remaining capacity.
+func randomFeasible(p *Problem, rng *rand.Rand) Assignment {
+	n := p.Graph.Neurons
+	a := make(Assignment, n)
+	loads := make([]int, p.Crossbars)
+	open := make([]int, 0, p.Crossbars)
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		open = open[:0]
+		for k := 0; k < p.Crossbars; k++ {
+			if loads[k] < p.CrossbarSize {
+				open = append(open, k)
+			}
+		}
+		k := open[rng.Intn(len(open))]
+		a[i] = k
+		loads[k]++
+	}
+	return a
+}

@@ -1,0 +1,159 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Greedy is a deterministic traffic-aware heuristic used as an ablation
+// reference: neurons are placed in descending order of total incident
+// traffic, each onto the open crossbar that minimizes the incremental cut
+// cost against already-placed neighbors.
+type Greedy struct{}
+
+// Name implements Partitioner.
+func (Greedy) Name() string { return "Greedy" }
+
+// Partition implements Partitioner.
+func (Greedy) Partition(p *Problem) (Assignment, error) {
+	n := p.Graph.Neurons
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = -1
+	}
+	loads := make([]int, p.Crossbars)
+
+	// Total traffic incident to each neuron: outgoing spikes × fan-out
+	// plus incoming traffic.
+	weight := make([]int64, n)
+	for i := 0; i < n; i++ {
+		weight[i] += p.counts[i] * int64(len(p.csr.Out(i)))
+		for q := p.inCSR.start[i]; q < p.inCSR.start[i+1]; q++ {
+			weight[i] += p.inCSR.w[q]
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return weight[order[x]] > weight[order[y]] })
+
+	for _, i := range order {
+		bestK, bestGain := -1, int64(0)
+		for k := 0; k < p.Crossbars; k++ {
+			if loads[k] >= p.CrossbarSize {
+				continue
+			}
+			// Affinity: traffic to/from already-placed neighbors on k.
+			var gain int64
+			for _, s := range p.csr.Out(i) {
+				if a[s.Post] == k {
+					gain += p.counts[i]
+				}
+			}
+			for q := p.inCSR.start[i]; q < p.inCSR.start[i+1]; q++ {
+				if a[p.inCSR.pre[q]] == k {
+					gain += p.inCSR.w[q]
+				}
+			}
+			// Prefer higher affinity; tie-break on lower load for balance.
+			if bestK < 0 || gain > bestGain || (gain == bestGain && loads[k] < loads[bestK]) {
+				bestK, bestGain = k, gain
+			}
+		}
+		if bestK < 0 {
+			return nil, fmt.Errorf("partition: greedy ran out of capacity at neuron %d", i)
+		}
+		a[i] = bestK
+		loads[bestK]++
+	}
+	return a, nil
+}
+
+// KLRefine wraps another partitioner with a Kernighan–Lin-style pairwise
+// improvement pass: repeatedly try the best single-neuron move or swap that
+// reduces the cut, until a local optimum or MaxPasses is reached. Used in
+// ablations to measure how far the PSO is from a strong local search.
+type KLRefine struct {
+	// Base produces the initial assignment.
+	Base Partitioner
+	// MaxPasses bounds the number of full improvement sweeps (default 8).
+	MaxPasses int
+}
+
+// Name implements Partitioner.
+func (k KLRefine) Name() string { return k.Base.Name() + "+KL" }
+
+// Partition implements Partitioner.
+func (k KLRefine) Partition(p *Problem) (Assignment, error) {
+	a, err := k.Base.Partition(p)
+	if err != nil {
+		return nil, err
+	}
+	passes := k.MaxPasses
+	if passes <= 0 {
+		passes = 8
+	}
+	Refine(p, a, passes)
+	return a, nil
+}
+
+// Refine greedily applies improving single-neuron moves (into crossbars
+// with spare capacity) and improving swaps with synaptic neighbors (which
+// work even at full capacity) until no change improves or maxPasses sweeps
+// have run. The assignment is modified in place; the return value is the
+// total cost reduction.
+func Refine(p *Problem, a Assignment, maxPasses int) int64 {
+	loads := p.Loads(a)
+	var totalGain int64
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := 0; i < p.Graph.Neurons; i++ {
+			bestDelta := int64(0)
+			bestK := -1
+			for k := 0; k < p.Crossbars; k++ {
+				if k == a[i] || loads[k] >= p.CrossbarSize {
+					continue
+				}
+				if d := p.CostDelta(a, i, k); d < bestDelta {
+					bestDelta, bestK = d, k
+				}
+			}
+			if bestK >= 0 {
+				loads[a[i]]--
+				a[i] = bestK
+				loads[bestK]++
+				totalGain -= bestDelta
+				improved = true
+				continue
+			}
+			// No relocation improves: try swapping with synaptic
+			// neighbors on other crossbars.
+			bestJ := -1
+			bestDelta = 0
+			consider := func(j int) {
+				if j == i || a[j] == a[i] {
+					return
+				}
+				if d := p.SwapDelta(a, i, j); d < bestDelta {
+					bestDelta, bestJ = d, j
+				}
+			}
+			for _, s := range p.csr.Out(i) {
+				consider(int(s.Post))
+			}
+			for q := p.inCSR.start[i]; q < p.inCSR.start[i+1]; q++ {
+				consider(int(p.inCSR.pre[q]))
+			}
+			if bestJ >= 0 {
+				a[i], a[bestJ] = a[bestJ], a[i]
+				totalGain -= bestDelta
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return totalGain
+}

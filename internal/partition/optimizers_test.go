@@ -1,0 +1,349 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// allPartitioners returns every technique for feasibility sweeps.
+func allPartitioners() []Partitioner {
+	return []Partitioner{
+		NewPSO(PSOConfig{SwarmSize: 20, Iterations: 20, Seed: 1}),
+		Pacman{},
+		Neutrams{},
+		Random{Seed: 1},
+		Greedy{},
+		KLRefine{Base: Pacman{}},
+		Annealing{Seed: 1, Moves: 2000},
+		Genetic{Seed: 1, Population: 20, Generations: 20},
+	}
+}
+
+func TestAllPartitionersProduceFeasibleAssignments(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		g := randomGraph(rng, n, rng.Intn(120))
+		c := 2 + rng.Intn(4)
+		nc := (n+c-1)/c + rng.Intn(3)
+		p, err := NewProblem(g, c, nc)
+		if err != nil {
+			return true // infeasible instance generated; skip
+		}
+		for _, pt := range allPartitioners() {
+			a, err := pt.Partition(p)
+			if err != nil {
+				return false
+			}
+			if err := p.Validate(a); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSOBeatsNaiveBaselinesOnLayeredNet(t *testing.T) {
+	// A layered feedforward net has an obvious good partition (layers
+	// contiguous); NEUTRAMS round-robin destroys it. PSO must recover
+	// something at least as good as PACMAN and far better than NEUTRAMS.
+	g := chainGraph(4, 32, 10) // 128 neurons
+	p, err := NewProblem(g, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pso, err := Solve(NewPSO(PSOConfig{SwarmSize: 60, Iterations: 80, Seed: 7}), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pacman, err := Solve(Pacman{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neutrams, err := Solve(Neutrams{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pso.Cost > pacman.Cost {
+		t.Fatalf("PSO (%d) worse than PACMAN (%d)", pso.Cost, pacman.Cost)
+	}
+	if pso.Cost >= neutrams.Cost {
+		t.Fatalf("PSO (%d) not better than NEUTRAMS (%d)", pso.Cost, neutrams.Cost)
+	}
+}
+
+func TestPSOImprovesOverRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 60, 600)
+	p, err := NewProblem(g, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Solve(Random{Seed: 3}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pso, err := Solve(NewPSO(PSOConfig{SwarmSize: 40, Iterations: 60, Seed: 3}), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pso.Cost >= random.Cost {
+		t.Fatalf("PSO (%d) not better than random (%d)", pso.Cost, random.Cost)
+	}
+}
+
+func TestPSODeterminism(t *testing.T) {
+	g := chainGraph(3, 10, 4)
+	p, err := NewProblem(g, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PSOConfig{SwarmSize: 30, Iterations: 30, Seed: 42}
+	a1, err := NewPSO(cfg).Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewPSO(cfg).Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("PSO with same seed must be deterministic")
+	}
+	// Different parallelism must not change the result.
+	cfg.Workers = 1
+	a3, err := NewPSO(cfg).Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a3) {
+		t.Fatal("PSO result must be independent of worker count")
+	}
+}
+
+func TestPSOSingleCrossbarShortcut(t *testing.T) {
+	g := chainGraph(2, 4, 2)
+	p, err := NewProblem(g, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewPSO(PSOConfig{SwarmSize: 5, Iterations: 5, Seed: 1}).Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range a {
+		if k != 0 {
+			t.Fatal("single crossbar must map everything to 0")
+		}
+	}
+	if p.Cost(a) != 0 {
+		t.Fatal("single-crossbar cost must be 0")
+	}
+}
+
+func TestPSOMoreParticlesNotWorse(t *testing.T) {
+	// Fig. 7 of the paper: larger swarms find equal or better optima for
+	// a fixed iteration budget (on average; with fixed seeds we assert a
+	// weak monotonicity between extreme sizes).
+	g := chainGraph(3, 20, 5)
+	p, err := NewProblem(g, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := func(swarm int) int64 {
+		r, err := Solve(NewPSO(PSOConfig{SwarmSize: swarm, Iterations: 40, Seed: 5}), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cost
+	}
+	if small, large := cost(4), cost(80); large > small {
+		t.Fatalf("80-particle swarm (%d) worse than 4-particle swarm (%d)", large, small)
+	}
+}
+
+func TestPSOProgressCallback(t *testing.T) {
+	g := chainGraph(2, 8, 3)
+	p, err := NewProblem(g, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iters []int
+	var lastBest int64 = 1 << 62
+	cfg := PSOConfig{SwarmSize: 10, Iterations: 15, Seed: 2,
+		Progress: func(it int, best int64) {
+			iters = append(iters, it)
+			if best > lastBest {
+				t.Fatal("gbest must be non-increasing")
+			}
+			lastBest = best
+		}}
+	if _, err := NewPSO(cfg).Partition(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != 15 {
+		t.Fatalf("progress called %d times, want 15", len(iters))
+	}
+}
+
+func TestPacmanKeepsPopulationsContiguous(t *testing.T) {
+	g := chainGraph(4, 8, 1) // 4 groups of 8
+	p, err := NewProblem(g, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Pacman{}.Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With Nc = group size, each layer must land on its own crossbar.
+	for l := 0; l < 4; l++ {
+		for i := 0; i < 8; i++ {
+			if a[l*8+i] != l {
+				t.Fatalf("neuron %d of layer %d on crossbar %d", i, l, a[l*8+i])
+			}
+		}
+	}
+}
+
+func TestNeutramsBalancesLoad(t *testing.T) {
+	g := chainGraph(3, 10, 1) // 30 neurons
+	p, err := NewProblem(g, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Neutrams{}.Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := p.Loads(a)
+	min, max := loads[0], loads[0]
+	for _, l := range loads {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("round-robin load imbalance: %v", loads)
+	}
+}
+
+func TestRefineNeverIncreasesCost(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(20)
+		g := randomGraph(rng, n, rng.Intn(100))
+		c := 2 + rng.Intn(3)
+		nc := (n+c-1)/c + 2
+		p, err := NewProblem(g, c, nc)
+		if err != nil {
+			return true
+		}
+		a := randomFeasible(p, rng)
+		before := p.Cost(a)
+		gain := Refine(p, a, 4)
+		after := p.Cost(a)
+		return after <= before && before-after == gain && p.Validate(a) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKLRefineImprovesPacman(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomGraph(rng, 40, 400)
+	p, err := NewProblem(g, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Solve(Pacman{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Solve(KLRefine{Base: Pacman{}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Cost > base.Cost {
+		t.Fatalf("KL refinement made things worse: %d > %d", refined.Cost, base.Cost)
+	}
+}
+
+func TestAnnealingAndGeneticBeatRandom(t *testing.T) {
+	g := chainGraph(4, 16, 6)
+	p, err := NewProblem(g, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Solve(Random{Seed: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := Solve(Annealing{Seed: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := Solve(Genetic{Seed: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Cost >= random.Cost {
+		t.Fatalf("SA (%d) not better than random (%d)", sa.Cost, random.Cost)
+	}
+	if ga.Cost >= random.Cost {
+		t.Fatalf("GA (%d) not better than random (%d)", ga.Cost, random.Cost)
+	}
+}
+
+func TestGreedyRespectsCapacityUnderPressure(t *testing.T) {
+	// Exactly full capacity: every crossbar must end at exactly Nc.
+	rng := rand.New(rand.NewSource(23))
+	g := randomGraph(rng, 24, 200)
+	p, err := NewProblem(g, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Greedy{}.Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(a); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range p.Loads(a) {
+		if l != 6 {
+			t.Fatalf("loads = %v, want all 6", p.Loads(a))
+		}
+	}
+}
+
+func TestNeutramsInfeasibleRoundRobin(t *testing.T) {
+	// 10 neurons, 4 crossbars of 2: round-robin needs ceil(10/4)=3 > 2.
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 10, 20)
+	if _, err := NewProblem(g, 4, 2); err == nil {
+		t.Fatal("instance should be infeasible overall (capacity 8 < 10)")
+	}
+	g2 := randomGraph(rng, 7, 10)
+	p, err := NewProblem(g2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 over 4 crossbars round-robin: loads 2,2,2,1 — feasible.
+	a, err := Neutrams{}.Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(a); err != nil {
+		t.Fatal(err)
+	}
+}

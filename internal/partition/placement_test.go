@@ -1,0 +1,141 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// lineHop is a 1D placement distance: |a-b| hops.
+func lineHop(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestPlaceCrossbarsPreservesFitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 40, 300)
+	p, err := NewProblem(g, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randomFeasible(p, rng)
+	before := p.Cost(a)
+	placed, err := PlaceCrossbars(p, a, lineHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Cost(placed); got != before {
+		t.Fatalf("placement changed fitness: %d -> %d", before, got)
+	}
+	if err := p.Validate(placed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceCrossbarsReducesDistanceWeightedTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 60, 500)
+	p, err := NewProblem(g, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randomFeasible(p, rng)
+
+	weighted := func(x Assignment) int64 {
+		m := p.TrafficMatrix(x)
+		var total int64
+		for i := range m {
+			for j := range m[i] {
+				total += m[i][j] * int64(lineHop(i, j))
+			}
+		}
+		return total
+	}
+	before := weighted(a)
+	placed, err := PlaceCrossbars(p, a, lineHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := weighted(placed); after > before {
+		t.Fatalf("placement increased weighted traffic: %d -> %d", before, after)
+	}
+}
+
+func TestPlaceCrossbarsIdentityUnderUniformDistance(t *testing.T) {
+	// With uniform distances every permutation is equivalent; the
+	// 2-opt must terminate and return a valid relabelling.
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 20, 100)
+	p, err := NewProblem(g, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randomFeasible(p, rng)
+	placed, err := PlaceCrossbars(p, a, func(x, y int) int { return 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost(placed) != p.Cost(a) {
+		t.Fatal("uniform placement changed fitness")
+	}
+}
+
+func TestPlaceCrossbarsRejectsInfeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 10, 30)
+	p, err := NewProblem(g, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make(Assignment, 10) // all on crossbar 0: 10 > Nc=6
+	if _, err := PlaceCrossbars(p, bad, lineHop); err == nil {
+		t.Fatal("infeasible input must be rejected")
+	}
+}
+
+func TestPlaceCrossbarsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(30)
+		g := randomGraph(rng, n, rng.Intn(200))
+		c := 2 + rng.Intn(5)
+		nc := (n+c-1)/c + 2
+		p, err := NewProblem(g, c, nc)
+		if err != nil {
+			return true
+		}
+		a := randomFeasible(p, rng)
+		placed, err := PlaceCrossbars(p, a, lineHop)
+		if err != nil {
+			return false
+		}
+		// Placement is a bijective relabelling: crossbar loads are a
+		// permutation of the originals and fitness is invariant.
+		if p.Cost(placed) != p.Cost(a) {
+			return false
+		}
+		before := p.Loads(a)
+		after := p.Loads(placed)
+		used := make([]bool, c)
+		for _, l := range after {
+			found := false
+			for i, b := range before {
+				if !used[i] && b == l {
+					used[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return p.Validate(placed) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

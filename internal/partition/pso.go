@@ -1,0 +1,359 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// PSOConfig parameterizes the binary particle swarm optimizer of paper
+// §III. The search space has D = N·C dimensions x_{i,k} ∈ {0,1} indicating
+// that neuron i is allocated to crossbar k; velocities are real-valued and
+// binarized through a sigmoid (Eq. 2–3); position/velocity updates follow
+// Eq. 1; constraints Eq. 4–5 are enforced by a capacity-aware sampling
+// repair.
+type PSOConfig struct {
+	// SwarmSize is np, the number of particles. The paper settles on 1000
+	// (Fig. 7); the default here is 100, which reaches the same optima on
+	// the evaluated applications at a fraction of the wall clock.
+	SwarmSize int
+	// Iterations is the number of synchronous swarm updates (paper: 100).
+	Iterations int
+	// Phi1 weighs the particle's own experience Pbest (Eq. 1).
+	Phi1 float64
+	// Phi2 weighs the neighborhood experience Gbest (Eq. 1).
+	Phi2 float64
+	// Inertia scales the previous velocity. The paper's Eq. 1 uses 1.0;
+	// values slightly below 1 damp oscillation.
+	Inertia float64
+	// VMax clamps velocity components to [-VMax, VMax], keeping the
+	// sigmoid responsive (standard binary-PSO practice).
+	VMax float64
+	// Seed makes the optimization reproducible.
+	Seed int64
+	// Workers bounds the parallelism of fitness evaluation; 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives the best fitness after every
+	// iteration (used by the swarm-size exploration of Fig. 7).
+	Progress func(iteration int, best int64)
+	// DisableSeeding turns off heuristic swarm seeding. By default three
+	// particles start from the PACMAN, Greedy and NEUTRAMS solutions, so
+	// the swarm never returns anything worse than the strongest known
+	// heuristic; the remaining particles start at random feasible
+	// positions.
+	DisableSeeding bool
+	// NeighborhoodK switches from global-best to ring-neighborhood
+	// (lbest) PSO: each particle follows the best position among the K
+	// particles on either side of it in a ring, matching the paper's
+	// description of Gbest as "the experience of its neighbors". 0 keeps
+	// the fully informed gbest swarm.
+	NeighborhoodK int
+}
+
+// DefaultPSOConfig returns the reference configuration used throughout the
+// experiments.
+func DefaultPSOConfig() PSOConfig {
+	return PSOConfig{
+		SwarmSize:  100,
+		Iterations: 100,
+		Phi1:       2.0,
+		Phi2:       2.0,
+		Inertia:    0.9,
+		VMax:       4.0,
+		Seed:       1,
+	}
+}
+
+// PSO is the paper's PSO-based partitioner.
+type PSO struct {
+	Cfg PSOConfig
+}
+
+// NewPSO returns a PSO partitioner with the given configuration, filling
+// zero fields with defaults.
+func NewPSO(cfg PSOConfig) *PSO {
+	def := DefaultPSOConfig()
+	if cfg.SwarmSize == 0 {
+		cfg.SwarmSize = def.SwarmSize
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = def.Iterations
+	}
+	if cfg.Phi1 == 0 {
+		cfg.Phi1 = def.Phi1
+	}
+	if cfg.Phi2 == 0 {
+		cfg.Phi2 = def.Phi2
+	}
+	if cfg.Inertia == 0 {
+		cfg.Inertia = def.Inertia
+	}
+	if cfg.VMax == 0 {
+		cfg.VMax = def.VMax
+	}
+	return &PSO{Cfg: cfg}
+}
+
+// Name implements Partitioner.
+func (*PSO) Name() string { return "PSO" }
+
+// particle is one swarm member: a velocity matrix over (neuron, crossbar)
+// dimensions, the current binarized position, and the particle's best.
+type particle struct {
+	vel         []float32 // N*C, row-major by neuron
+	pos         Assignment
+	cost        int64
+	best        Assignment
+	bestCost    int64
+	rng         *rand.Rand
+	loadScratch []int
+	probScratch []float64
+}
+
+// Partition implements Partitioner.
+func (o *PSO) Partition(p *Problem) (Assignment, error) {
+	cfg := o.Cfg
+	if cfg.SwarmSize < 1 {
+		return nil, errors.New("partition: PSO swarm size < 1")
+	}
+	if cfg.Iterations < 1 {
+		return nil, errors.New("partition: PSO iterations < 1")
+	}
+	n, c := p.Graph.Neurons, p.Crossbars
+	if n == 0 {
+		return Assignment{}, nil
+	}
+	if c == 1 {
+		return make(Assignment, n), nil
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	master := rand.New(rand.NewSource(cfg.Seed))
+	var seeds []Assignment
+	if !cfg.DisableSeeding {
+		for _, h := range []Partitioner{Pacman{}, Greedy{}, Neutrams{}} {
+			if a, err := h.Partition(p); err == nil && p.Validate(a) == nil {
+				seeds = append(seeds, a)
+			}
+		}
+	}
+	swarm := make([]*particle, cfg.SwarmSize)
+	for s := range swarm {
+		pt := &particle{
+			vel:         make([]float32, n*c),
+			pos:         make(Assignment, n),
+			rng:         rand.New(rand.NewSource(master.Int63())),
+			loadScratch: make([]int, c),
+			probScratch: make([]float64, c),
+		}
+		if s < len(seeds) {
+			// Heuristic seed: adopt the baseline position exactly and
+			// bias velocities toward it so the first repair keeps it
+			// with high probability.
+			copy(pt.pos, seeds[s])
+			for i := 0; i < n; i++ {
+				for k := 0; k < c; k++ {
+					v := -cfg.VMax
+					if seeds[s][i] == k {
+						v = cfg.VMax
+					}
+					pt.vel[i*c+k] = float32(v)
+				}
+			}
+		} else {
+			for d := range pt.vel {
+				pt.vel[d] = float32((pt.rng.Float64()*2 - 1) * cfg.VMax)
+			}
+			pt.repair(p)
+		}
+		pt.cost = p.Cost(pt.pos)
+		pt.best = pt.pos.Clone()
+		pt.bestCost = pt.cost
+		swarm[s] = pt
+	}
+
+	gbest := swarm[0].best.Clone()
+	gbestCost := swarm[0].bestCost
+	for _, pt := range swarm[1:] {
+		if pt.bestCost < gbestCost {
+			gbestCost = pt.bestCost
+			copy(gbest, pt.best)
+		}
+	}
+
+	// neighborhoodBest returns the guide position for particle s: the
+	// swarm-wide best (gbest PSO), or the best particle within the ring
+	// neighborhood of radius K (lbest PSO).
+	neighborhoodBest := func(s int) Assignment {
+		if cfg.NeighborhoodK <= 0 {
+			return gbest
+		}
+		np := len(swarm)
+		best := swarm[s]
+		for d := 1; d <= cfg.NeighborhoodK; d++ {
+			for _, idx := range []int{(s + d) % np, (s - d + np) % np} {
+				if swarm[idx].bestCost < best.bestCost {
+					best = swarm[idx]
+				}
+			}
+		}
+		return best.best
+	}
+
+	type job struct {
+		pt    *particle
+		guide Assignment
+	}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// Snapshot guides before dispatching: workers mutate particle
+		// bests concurrently, and lbest guides alias neighbours' bests.
+		guides := make([]Assignment, len(swarm))
+		for s := range swarm {
+			if cfg.NeighborhoodK <= 0 {
+				guides[s] = gbest
+			} else {
+				guides[s] = neighborhoodBest(s).Clone()
+			}
+		}
+
+		var wg sync.WaitGroup
+		work := make(chan job)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range work {
+					j.pt.step(p, cfg, j.guide)
+				}
+			}()
+		}
+		for s, pt := range swarm {
+			work <- job{pt: pt, guide: guides[s]}
+		}
+		close(work)
+		wg.Wait()
+
+		// Synchronous gbest update after the full swarm moved.
+		for _, pt := range swarm {
+			if pt.bestCost < gbestCost {
+				gbestCost = pt.bestCost
+				copy(gbest, pt.best)
+			}
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(iter, gbestCost)
+		}
+	}
+
+	if err := p.Validate(gbest); err != nil {
+		return nil, fmt.Errorf("partition: PSO internal error: %w", err)
+	}
+	return gbest, nil
+}
+
+// step performs one velocity update (Eq. 1), binarization (Eq. 2–3), and
+// constraint repair (Eq. 4–5) for one particle, then re-evaluates fitness.
+func (pt *particle) step(p *Problem, cfg PSOConfig, gbest Assignment) {
+	n, c := p.Graph.Neurons, p.Crossbars
+	vmax := float32(cfg.VMax)
+	for i := 0; i < n; i++ {
+		row := pt.vel[i*c : (i+1)*c]
+		xi := pt.pos[i]
+		pb := pt.best[i]
+		gb := gbest[i]
+		r1 := pt.rng.Float64()
+		r2 := pt.rng.Float64()
+		for k := range row {
+			x, pbx, gbx := float64(0), float64(0), float64(0)
+			if xi == k {
+				x = 1
+			}
+			if pb == k {
+				pbx = 1
+			}
+			if gb == k {
+				gbx = 1
+			}
+			v := cfg.Inertia*float64(row[k]) + cfg.Phi1*r1*(pbx-x) + cfg.Phi2*r2*(gbx-x)
+			if v > float64(vmax) {
+				v = float64(vmax)
+			} else if v < -float64(vmax) {
+				v = -float64(vmax)
+			}
+			row[k] = float32(v)
+		}
+	}
+	pt.repair(p)
+	pt.cost = p.Cost(pt.pos)
+	if pt.cost < pt.bestCost {
+		pt.bestCost = pt.cost
+		copy(pt.best, pt.pos)
+	}
+}
+
+// repair binarizes the velocity matrix into a feasible assignment: each
+// neuron samples a crossbar with probability proportional to
+// sigmoid(v_{i,k}) (Eq. 2–3) restricted to crossbars with remaining
+// capacity, guaranteeing Eq. 4 (one crossbar per neuron) and Eq. 5
+// (≤ Nc neurons per crossbar).
+func (pt *particle) repair(p *Problem) {
+	n, c := p.Graph.Neurons, p.Crossbars
+	loads := pt.loadScratch
+	for k := range loads {
+		loads[k] = 0
+	}
+	probs := pt.probScratch
+	for i := 0; i < n; i++ {
+		row := pt.vel[i*c : (i+1)*c]
+		var sum float64
+		for k := 0; k < c; k++ {
+			if loads[k] >= p.CrossbarSize {
+				probs[k] = 0
+				continue
+			}
+			probs[k] = sigmoid(float64(row[k]))
+			sum += probs[k]
+		}
+		var chosen int
+		if sum <= 0 {
+			// All open crossbars have vanishing probability; fall back
+			// to the least loaded open crossbar.
+			chosen = -1
+			for k := 0; k < c; k++ {
+				if loads[k] >= p.CrossbarSize {
+					continue
+				}
+				if chosen < 0 || loads[k] < loads[chosen] {
+					chosen = k
+				}
+			}
+		} else {
+			r := pt.rng.Float64() * sum
+			chosen = -1
+			for k := 0; k < c; k++ {
+				if probs[k] <= 0 {
+					continue
+				}
+				r -= probs[k]
+				chosen = k
+				if r <= 0 {
+					break
+				}
+			}
+		}
+		pt.pos[i] = chosen
+		loads[chosen]++
+	}
+}
+
+func sigmoid(v float64) float64 {
+	return 1.0 / (1.0 + math.Exp(-v))
+}

@@ -1,0 +1,230 @@
+package snn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/neuron"
+	"repro/internal/spike"
+)
+
+// TestSimSpikeCausality: no model neuron may fire before the earliest
+// possible arrival of input (input spike time + minimum delay).
+func TestSimSpikeCausality(t *testing.T) {
+	net := New(1)
+	in := net.CreateSpikeSource("in", 4)
+	ex := net.CreateGroup("ex", 8, Excitatory)
+	const delay = 3
+	if _, err := net.ConnectFull(in, ex, 50, delay); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const firstSpike = 17
+	trains := make([]spike.Train, 4)
+	for i := range trains {
+		trains[i] = spike.Train{firstSpike, firstSpike + 10}
+	}
+	if err := sim.SetSpikeTrains(in, trains); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	exSpikes, err := sim.GroupSpikes(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range exSpikes {
+		for _, ts := range tr {
+			if ts < firstSpike+delay {
+				t.Fatalf("neuron %d fired at %d before causal bound %d", i, ts, firstSpike+delay)
+			}
+		}
+	}
+}
+
+// TestSimRecurrentNetworkStable: a recurrent excitatory/inhibitory network
+// must neither explode (saturate at 1 spike/ms everywhere) nor stay silent.
+func TestSimRecurrentNetworkStable(t *testing.T) {
+	net := New(12)
+	in := net.CreateSpikeSource("in", 8)
+	exc := net.CreateGroup("exc", 40, Excitatory)
+	inh := net.CreateGroup("inh", 10, Inhibitory)
+	if _, err := net.ConnectRandom(in, exc, 0.5, 4, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.ConnectRandom(exc, exc, 0.1, 1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.ConnectRandom(exc, inh, 0.3, 2, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.ConnectRandom(inh, exc, 0.3, -6, -3, 1); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	const dur = 2000
+	if err := sim.SetSpikeTrains(in, spike.PoissonGroup(rng, 8, 60, dur)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(dur); err != nil {
+		t.Fatal(err)
+	}
+	excSpikes, err := sim.GroupSpikes(exc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := spike.PopulationRate(excSpikes, dur)
+	if rate <= 0 {
+		t.Fatal("recurrent network silent")
+	}
+	if rate > 400 {
+		t.Fatalf("recurrent network exploded: %v Hz", rate)
+	}
+}
+
+// TestSimSpikeSourceIgnoresPastSpikes: trains attached after Run has
+// advanced must not replay spikes scheduled in the past.
+func TestSimSpikeSourceIgnoresPastSpikes(t *testing.T) {
+	net := New(1)
+	in := net.CreateSpikeSource("in", 1)
+	sim, err := NewSim(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.SetSpikeTrains(in, []spike.Train{{2, 15}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	got := sim.Spikes()[0]
+	if len(got) != 1 || got[0] != 15 {
+		t.Fatalf("replayed past spikes: %v", got)
+	}
+}
+
+// TestSimMaxDelayRingCorrectness uses random delays and checks arrival
+// times against a brute-force expectation for a single chain.
+func TestSimMaxDelayRingCorrectness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		delay := int32(1 + rng.Intn(30))
+		net := New(seed)
+		in := net.CreateSpikeSource("in", 1)
+		ex := net.CreateGroup("ex", 1, Excitatory)
+		if _, err := net.ConnectCustom(in, ex, []Edge{{SrcLocal: 0, DstLocal: 0, Weight: 100, DelayMs: delay}}); err != nil {
+			return false
+		}
+		sim, err := NewSim(net)
+		if err != nil {
+			return false
+		}
+		spikeAt := int64(rng.Intn(20))
+		if err := sim.SetSpikeTrains(in, []spike.Train{{spikeAt}}); err != nil {
+			return false
+		}
+		if err := sim.Run(spikeAt + int64(delay) + 5); err != nil {
+			return false
+		}
+		out, err := sim.GroupSpikes(ex)
+		if err != nil {
+			return false
+		}
+		return len(out[0]) == 1 && out[0][0] == spikeAt+int64(delay)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimSTDPDepressesAntiCausalPair mirrors the potentiation test with
+// reversed timing.
+func TestSimSTDPDepressesAntiCausalPair(t *testing.T) {
+	net := New(1)
+	pre := net.CreateSpikeSource("pre", 1)
+	post := net.CreateSpikeSource("post", 1)
+	ex := net.CreateGroup("ex", 1, Excitatory)
+	weak, err := net.ConnectFull(pre, ex, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak.Plastic = true
+	weak.STDP = neuron.DefaultSTDP()
+	if _, err := net.ConnectFull(post, ex, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post neuron forced to fire 3 ms BEFORE each pre spike.
+	if err := sim.SetSpikeTrains(post, []spike.Train{spike.Regular(50, 0, 1000)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.SetSpikeTrains(pre, []spike.Train{spike.Regular(50, 4, 1000)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	w := sim.SynapseWeights()
+	if w[0] >= 0.5 {
+		t.Fatalf("anti-causal STDP should depress: w = %v", w[0])
+	}
+}
+
+// TestGlobalIDMapping checks group-local to global index conversion.
+func TestGlobalIDMapping(t *testing.T) {
+	net := New(1)
+	a := net.CreateSpikeSource("a", 3)
+	b := net.CreateGroup("b", 5, Excitatory)
+	sim, err := NewSim(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sim.GlobalID(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 5 {
+		t.Fatalf("GlobalID(b,2) = %d, want 5", id)
+	}
+	if _, err := sim.GlobalID(a, 3); err == nil {
+		t.Fatal("out-of-range local index must fail")
+	}
+	other := New(2).CreateGroup("x", 1, Excitatory)
+	if _, err := sim.GlobalID(other, 0); err == nil {
+		t.Fatal("foreign group must fail")
+	}
+}
+
+// TestSimZeroDurationRun is a no-op.
+func TestSimZeroDurationRun(t *testing.T) {
+	net := New(1)
+	net.CreateSpikeSource("in", 1)
+	sim, err := NewSim(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Now() != 0 {
+		t.Fatal("zero-duration run advanced time")
+	}
+	if err := sim.Run(-5); err == nil {
+		t.Fatal("negative duration must fail")
+	}
+}

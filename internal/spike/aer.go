@@ -1,0 +1,137 @@
+package spike
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Event is a single address event in the Address Event Representation (AER)
+// protocol: a spike is encoded uniquely on the global synapse interconnect in
+// terms of its source neuron and its time of spike (paper §II, Fig. 2).
+type Event struct {
+	Neuron int32 // source neuron address within the emitting group/crossbar
+	Time   Time  // spike time in ms
+}
+
+// Encode serializes per-neuron spike trains into a single time-ordered
+// address-event stream, as performed by the AER encoder at the boundary of a
+// crossbar. Simultaneous spikes (same millisecond) are arbitrated in
+// ascending neuron-address order, mirroring a fixed-priority hardware
+// arbiter.
+func Encode(trains []Train) []Event {
+	total := 0
+	for _, t := range trains {
+		total += len(t)
+	}
+	events := make([]Event, 0, total)
+	for n, t := range trains {
+		for _, ts := range t {
+			events = append(events, Event{Neuron: int32(n), Time: ts})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Neuron < events[j].Neuron
+	})
+	return events
+}
+
+// Decode reconstructs per-neuron spike trains from an address-event stream
+// for a group of n neurons, as performed by the AER decoder at the receiving
+// crossbar. Decode returns an error if an event addresses a neuron outside
+// [0, n).
+func Decode(events []Event, n int) ([]Train, error) {
+	trains := make([]Train, n)
+	for _, ev := range events {
+		if ev.Neuron < 0 || int(ev.Neuron) >= n {
+			return nil, fmt.Errorf("spike: AER event addresses neuron %d outside group of %d", ev.Neuron, n)
+		}
+		trains[ev.Neuron] = append(trains[ev.Neuron], ev.Time)
+	}
+	for i := range trains {
+		trains[i].Sort()
+	}
+	return trains, nil
+}
+
+// WordCodec packs address events into fixed-width words for transmission on
+// a time-multiplexed interconnect. The word layout is
+//
+//	[ time : 64-AddressBits ][ neuron : AddressBits ]
+//
+// with the neuron address in the low bits.
+type WordCodec struct {
+	// AddressBits is the number of low bits used for the neuron address.
+	// It must be in [1, 32].
+	AddressBits uint
+}
+
+// ErrAddressRange indicates a neuron address or timestamp that does not fit
+// in the codec's word layout.
+var ErrAddressRange = errors.New("spike: value does not fit AER word layout")
+
+// Pack encodes an event into a single word. It returns ErrAddressRange if
+// the neuron address or timestamp does not fit the configured layout.
+func (c WordCodec) Pack(ev Event) (uint64, error) {
+	if c.AddressBits < 1 || c.AddressBits > 32 {
+		return 0, fmt.Errorf("spike: invalid AddressBits %d", c.AddressBits)
+	}
+	maxAddr := uint64(1)<<c.AddressBits - 1
+	if ev.Neuron < 0 || uint64(ev.Neuron) > maxAddr {
+		return 0, ErrAddressRange
+	}
+	maxTime := uint64(1)<<(64-c.AddressBits) - 1
+	if ev.Time < 0 || uint64(ev.Time) > maxTime {
+		return 0, ErrAddressRange
+	}
+	return uint64(ev.Time)<<c.AddressBits | uint64(ev.Neuron), nil
+}
+
+// Unpack decodes a word produced by Pack.
+func (c WordCodec) Unpack(w uint64) (Event, error) {
+	if c.AddressBits < 1 || c.AddressBits > 32 {
+		return Event{}, fmt.Errorf("spike: invalid AddressBits %d", c.AddressBits)
+	}
+	mask := uint64(1)<<c.AddressBits - 1
+	return Event{
+		Neuron: int32(w & mask),
+		Time:   Time(w >> c.AddressBits),
+	}, nil
+}
+
+// MarshalEvents encodes an event stream into a compact little-endian byte
+// stream of packed words, suitable for storing spike traces on disk.
+func (c WordCodec) MarshalEvents(events []Event) ([]byte, error) {
+	buf := make([]byte, 0, 8*len(events))
+	var w [8]byte
+	for _, ev := range events {
+		word, err := c.Pack(ev)
+		if err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint64(w[:], word)
+		buf = append(buf, w[:]...)
+	}
+	return buf, nil
+}
+
+// UnmarshalEvents decodes a byte stream produced by MarshalEvents.
+func (c WordCodec) UnmarshalEvents(data []byte) ([]Event, error) {
+	if len(data)%8 != 0 {
+		return nil, errors.New("spike: AER byte stream length not a multiple of 8")
+	}
+	events := make([]Event, 0, len(data)/8)
+	for i := 0; i < len(data); i += 8 {
+		word := binary.LittleEndian.Uint64(data[i : i+8])
+		ev, err := c.Unpack(word)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}

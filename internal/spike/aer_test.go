@@ -1,0 +1,157 @@
+package spike
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestAERPaperExample reproduces the example of paper Fig. 2: four neurons
+// in an input group spike at times 3, 0, 1 and 2; the encoder serializes them
+// uniquely by (source, time).
+func TestAERPaperExample(t *testing.T) {
+	trains := []Train{{3}, {0}, {1}, {2}}
+	events := Encode(trains)
+	want := []Event{
+		{Neuron: 1, Time: 0},
+		{Neuron: 2, Time: 1},
+		{Neuron: 3, Time: 2},
+		{Neuron: 0, Time: 3},
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("Encode = %v, want %v", events, want)
+	}
+	back, err := Decode(events, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, trains) {
+		t.Fatalf("Decode = %v, want %v", back, trains)
+	}
+}
+
+func TestAERArbitration(t *testing.T) {
+	// Simultaneous spikes are serialized in ascending address order.
+	trains := []Train{{5}, {5}, {5}}
+	events := Encode(trains)
+	for i, ev := range events {
+		if int(ev.Neuron) != i {
+			t.Fatalf("arbitration order broken: event %d from neuron %d", i, ev.Neuron)
+		}
+	}
+}
+
+func TestDecodeRejectsOutOfRange(t *testing.T) {
+	if _, err := Decode([]Event{{Neuron: 7, Time: 0}}, 4); err == nil {
+		t.Fatal("Decode should reject out-of-range address")
+	}
+	if _, err := Decode([]Event{{Neuron: -1, Time: 0}}, 4); err == nil {
+		t.Fatal("Decode should reject negative address")
+	}
+}
+
+func TestAERRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(16)
+		trains := make([]Train, n)
+		for i := range trains {
+			trains[i] = Poisson(rng, 40, 200)
+		}
+		back, err := Decode(Encode(trains), n)
+		if err != nil {
+			return false
+		}
+		for i := range trains {
+			if len(trains[i]) == 0 && len(back[i]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(trains[i], back[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordCodecRoundTrip(t *testing.T) {
+	c := WordCodec{AddressBits: 10}
+	evs := []Event{{0, 0}, {1023, 1}, {512, 1 << 40}}
+	for _, ev := range evs {
+		w, err := c.Pack(ev)
+		if err != nil {
+			t.Fatalf("Pack(%v): %v", ev, err)
+		}
+		back, err := c.Unpack(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != ev {
+			t.Fatalf("round trip %v -> %v", ev, back)
+		}
+	}
+}
+
+func TestWordCodecRange(t *testing.T) {
+	c := WordCodec{AddressBits: 8}
+	if _, err := c.Pack(Event{Neuron: 256, Time: 0}); err == nil {
+		t.Fatal("address 256 must not fit 8 bits")
+	}
+	if _, err := c.Pack(Event{Neuron: -1, Time: 0}); err == nil {
+		t.Fatal("negative address must be rejected")
+	}
+	bad := WordCodec{AddressBits: 0}
+	if _, err := bad.Pack(Event{}); err == nil {
+		t.Fatal("invalid AddressBits must be rejected")
+	}
+	if _, err := bad.Unpack(0); err == nil {
+		t.Fatal("invalid AddressBits must be rejected on unpack")
+	}
+}
+
+func TestMarshalEventsRoundTrip(t *testing.T) {
+	c := WordCodec{AddressBits: 16}
+	events := Encode([]Train{{3, 9}, {0}, {1, 2, 7}})
+	data, err := c.MarshalEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 8*len(events) {
+		t.Fatalf("marshalled length %d, want %d", len(data), 8*len(events))
+	}
+	back, err := c.UnmarshalEvents(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, events) {
+		t.Fatalf("round trip mismatch: %v vs %v", back, events)
+	}
+}
+
+func TestUnmarshalEventsBadLength(t *testing.T) {
+	c := WordCodec{AddressBits: 16}
+	if _, err := c.UnmarshalEvents(make([]byte, 7)); err == nil {
+		t.Fatal("non-multiple-of-8 stream must be rejected")
+	}
+}
+
+func TestWordCodecPackProperty(t *testing.T) {
+	c := WordCodec{AddressBits: 12}
+	f := func(addr uint16, ts uint32) bool {
+		ev := Event{Neuron: int32(addr % 4096), Time: int64(ts)}
+		w, err := c.Pack(ev)
+		if err != nil {
+			return false
+		}
+		back, err := c.Unpack(w)
+		return err == nil && back == ev
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package spike
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Poisson generates a spike train whose inter-spike intervals follow a
+// Poisson process with the given mean rate in Hz, discretized to 1 ms bins
+// (at most one spike per bin, CARLsim-style), covering [0, durationMs).
+// The generator draws from rng so results are reproducible.
+func Poisson(rng *rand.Rand, rateHz float64, durationMs int64) Train {
+	if rateHz <= 0 || durationMs <= 0 {
+		return nil
+	}
+	// Probability of at least one event in a 1 ms bin.
+	p := 1 - math.Exp(-rateHz/1000.0)
+	var out Train
+	for ts := int64(0); ts < durationMs; ts++ {
+		if rng.Float64() < p {
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+// PoissonGroup generates n independent Poisson trains at the same rate.
+func PoissonGroup(rng *rand.Rand, n int, rateHz float64, durationMs int64) []Train {
+	out := make([]Train, n)
+	for i := range out {
+		out[i] = Poisson(rng, rateHz, durationMs)
+	}
+	return out
+}
+
+// PoissonRates generates one train per entry of rates (Hz). This is the
+// rate-coding input path: each input neuron fires proportionally to the
+// intensity it encodes (e.g. a pixel value).
+func PoissonRates(rng *rand.Rand, rates []float64, durationMs int64) []Train {
+	out := make([]Train, len(rates))
+	for i, r := range rates {
+		out[i] = Poisson(rng, r, durationMs)
+	}
+	return out
+}
+
+// JitteredRegular returns a regular train with uniform jitter of up to
+// ±jitterMs applied to each spike, clamped to [0, durationMs). The result
+// is re-sorted. Useful for building temporally coded inputs with controlled
+// timing precision.
+func JitteredRegular(rng *rand.Rand, period, durationMs, jitterMs int64) Train {
+	base := Regular(period, 0, durationMs)
+	if jitterMs <= 0 {
+		return base
+	}
+	out := make(Train, 0, len(base))
+	for _, ts := range base {
+		j := rng.Int63n(2*jitterMs+1) - jitterMs
+		ts += j
+		if ts < 0 {
+			ts = 0
+		}
+		if ts >= durationMs {
+			ts = durationMs - 1
+		}
+		out = append(out, ts)
+	}
+	out.Sort()
+	return out
+}

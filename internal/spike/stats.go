@@ -1,0 +1,72 @@
+package spike
+
+import "math"
+
+// ISIStats summarizes the inter-spike-interval distribution of a train.
+type ISIStats struct {
+	Count int     // number of intervals
+	Mean  float64 // mean ISI in ms
+	Std   float64 // standard deviation of ISI in ms
+	CV    float64 // coefficient of variation (Std/Mean); 1.0 for Poisson
+	Min   int64   // smallest ISI in ms
+	Max   int64   // largest ISI in ms
+}
+
+// Stats computes ISI statistics for the train. A train with fewer than two
+// spikes yields a zero ISIStats.
+func Stats(t Train) ISIStats {
+	isis := t.ISIs()
+	if len(isis) == 0 {
+		return ISIStats{}
+	}
+	var sum, sumSq float64
+	min, max := isis[0], isis[0]
+	for _, v := range isis {
+		f := float64(v)
+		sum += f
+		sumSq += f * f
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	n := float64(len(isis))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	std := math.Sqrt(variance)
+	cv := 0.0
+	if mean > 0 {
+		cv = std / mean
+	}
+	return ISIStats{
+		Count: len(isis),
+		Mean:  mean,
+		Std:   std,
+		CV:    cv,
+		Min:   min,
+		Max:   max,
+	}
+}
+
+// TotalSpikes returns the total number of spikes across all trains.
+func TotalSpikes(trains []Train) int {
+	total := 0
+	for _, t := range trains {
+		total += len(t)
+	}
+	return total
+}
+
+// PopulationRate returns the mean firing rate in Hz across all trains over
+// the given duration.
+func PopulationRate(trains []Train, durationMs int64) float64 {
+	if len(trains) == 0 || durationMs <= 0 {
+		return 0
+	}
+	return float64(TotalSpikes(trains)) * 1000.0 / (float64(durationMs) * float64(len(trains)))
+}

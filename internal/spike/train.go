@@ -1,0 +1,144 @@
+// Package spike provides the fundamental spike-train data structures used
+// throughout the framework: spike trains with inter-spike-interval (ISI)
+// statistics, stochastic spike generators, and an Address Event
+// Representation (AER) encoder/decoder as used by the global synapse
+// interconnect of crossbar-based neuromorphic hardware (paper §II, Fig. 2).
+//
+// Times are integer milliseconds (the SNN simulator's timestep). The
+// interconnect simulator converts milliseconds to clock cycles.
+package spike
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Time is a spike timestamp in integer milliseconds since simulation start.
+type Time = int64
+
+// Train is an ordered sequence of spike times of a single neuron, in
+// non-decreasing millisecond timestamps. The zero value is an empty train.
+type Train []Time
+
+// Validate reports an error if the train is not sorted in non-decreasing
+// order or contains a negative timestamp.
+func (t Train) Validate() error {
+	for i, ts := range t {
+		if ts < 0 {
+			return fmt.Errorf("spike: negative timestamp %d at index %d", ts, i)
+		}
+		if i > 0 && ts < t[i-1] {
+			return fmt.Errorf("spike: unsorted train at index %d: %d < %d", i, ts, t[i-1])
+		}
+	}
+	return nil
+}
+
+// Count returns the number of spikes in the train.
+func (t Train) Count() int { return len(t) }
+
+// Sorted reports whether the train is in non-decreasing time order.
+func (t Train) Sorted() bool {
+	return sort.SliceIsSorted(t, func(i, j int) bool { return t[i] < t[j] })
+}
+
+// Sort orders the train in non-decreasing time order in place.
+func (t Train) Sort() {
+	sort.Slice(t, func(i, j int) bool { return t[i] < t[j] })
+}
+
+// ISIs returns the inter-spike intervals of the train in milliseconds.
+// A train with fewer than two spikes has no intervals.
+func (t Train) ISIs() []int64 {
+	if len(t) < 2 {
+		return nil
+	}
+	out := make([]int64, len(t)-1)
+	for i := 1; i < len(t); i++ {
+		out[i-1] = t[i] - t[i-1]
+	}
+	return out
+}
+
+// MeanRate returns the mean firing rate in Hz over a window of durationMs
+// milliseconds. It returns 0 for a non-positive duration.
+func (t Train) MeanRate(durationMs int64) float64 {
+	if durationMs <= 0 {
+		return 0
+	}
+	return float64(len(t)) * 1000.0 / float64(durationMs)
+}
+
+// Window returns the sub-train of spikes with start <= time < end.
+// The underlying array is shared with the receiver.
+func (t Train) Window(start, end Time) Train {
+	lo := sort.Search(len(t), func(i int) bool { return t[i] >= start })
+	hi := sort.Search(len(t), func(i int) bool { return t[i] >= end })
+	return t[lo:hi]
+}
+
+// Shift returns a copy of the train with every timestamp offset by d
+// milliseconds. Shift returns an error if any shifted time would be negative.
+func (t Train) Shift(d int64) (Train, error) {
+	out := make(Train, len(t))
+	for i, ts := range t {
+		ts += d
+		if ts < 0 {
+			return nil, errors.New("spike: shift produces negative timestamp")
+		}
+		out[i] = ts
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the train.
+func (t Train) Clone() Train {
+	out := make(Train, len(t))
+	copy(out, t)
+	return out
+}
+
+// Merge returns a new sorted train containing the spikes of both trains.
+func Merge(a, b Train) Train {
+	out := make(Train, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Regular returns a train with period ms between spikes, starting at the
+// given phase, covering [0, durationMs). A non-positive period yields an
+// empty train.
+func Regular(period, phase, durationMs int64) Train {
+	if period <= 0 {
+		return nil
+	}
+	var out Train
+	for ts := phase; ts < durationMs; ts += period {
+		if ts >= 0 {
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+// Burst returns a train of n spikes starting at start with the given
+// intra-burst interval.
+func Burst(start Time, n int, interval int64) Train {
+	out := make(Train, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, start+int64(i)*interval)
+	}
+	return out
+}

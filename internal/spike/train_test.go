@@ -1,0 +1,210 @@
+package spike
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrainValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		train   Train
+		wantErr bool
+	}{
+		{"empty", Train{}, false},
+		{"single", Train{5}, false},
+		{"sorted", Train{1, 2, 2, 9}, false},
+		{"unsorted", Train{3, 1}, true},
+		{"negative", Train{-1, 2}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.train.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestTrainISIs(t *testing.T) {
+	if got := (Train{}).ISIs(); got != nil {
+		t.Fatalf("empty train ISIs = %v, want nil", got)
+	}
+	if got := (Train{7}).ISIs(); got != nil {
+		t.Fatalf("single-spike ISIs = %v, want nil", got)
+	}
+	got := Train{2, 5, 6, 10}.ISIs()
+	want := []int64{3, 1, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ISIs = %v, want %v", got, want)
+	}
+}
+
+func TestTrainMeanRate(t *testing.T) {
+	tr := Train{0, 100, 200, 300} // 4 spikes in 1000 ms
+	if got := tr.MeanRate(1000); got != 4 {
+		t.Fatalf("MeanRate = %v, want 4", got)
+	}
+	if got := tr.MeanRate(0); got != 0 {
+		t.Fatalf("MeanRate(0) = %v, want 0", got)
+	}
+}
+
+func TestTrainWindow(t *testing.T) {
+	tr := Train{1, 5, 10, 15, 20}
+	got := tr.Window(5, 16)
+	want := Train{5, 10, 15}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Window(5,16) = %v, want %v", got, want)
+	}
+	if len(tr.Window(100, 200)) != 0 {
+		t.Fatal("out-of-range window should be empty")
+	}
+}
+
+func TestTrainShift(t *testing.T) {
+	tr := Train{0, 10}
+	shifted, err := tr.Shift(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(shifted, Train{5, 15}) {
+		t.Fatalf("Shift = %v", shifted)
+	}
+	if _, err := tr.Shift(-1); err == nil {
+		t.Fatal("negative-producing shift should error")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Train{1, 4, 9}
+	b := Train{2, 4, 20}
+	got := Merge(a, b)
+	want := Train{1, 2, 4, 4, 9, 20}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Merge = %v, want %v", got, want)
+	}
+}
+
+func TestMergeProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a := make(Train, len(xs))
+		for i, v := range xs {
+			a[i] = int64(v)
+		}
+		b := make(Train, len(ys))
+		for i, v := range ys {
+			b[i] = int64(v)
+		}
+		a.Sort()
+		b.Sort()
+		m := Merge(a, b)
+		return len(m) == len(a)+len(b) && m.Sorted()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegular(t *testing.T) {
+	got := Regular(10, 0, 35)
+	want := Train{0, 10, 20, 30}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Regular = %v, want %v", got, want)
+	}
+	if Regular(0, 0, 100) != nil {
+		t.Fatal("non-positive period should yield nil")
+	}
+}
+
+func TestBurst(t *testing.T) {
+	got := Burst(100, 3, 2)
+	want := Train{100, 102, 104}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Burst = %v, want %v", got, want)
+	}
+}
+
+func TestPoissonRateAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const rate = 50.0
+	const dur = 20000
+	tr := Poisson(rng, rate, dur)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.MeanRate(dur)
+	if got < rate*0.85 || got > rate*1.15 {
+		t.Fatalf("Poisson rate = %.1f Hz, want within 15%% of %v", got, rate)
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Poisson(rng, 0, 100) != nil {
+		t.Fatal("zero rate should yield nil")
+	}
+	if Poisson(rng, 10, 0) != nil {
+		t.Fatal("zero duration should yield nil")
+	}
+}
+
+func TestPoissonDeterminism(t *testing.T) {
+	a := Poisson(rand.New(rand.NewSource(7)), 30, 5000)
+	b := Poisson(rand.New(rand.NewSource(7)), 30, 5000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must produce identical trains")
+	}
+}
+
+func TestPoissonCV(t *testing.T) {
+	// A Poisson process has ISI coefficient of variation near 1.
+	rng := rand.New(rand.NewSource(99))
+	tr := Poisson(rng, 20, 100000)
+	st := Stats(tr)
+	if st.CV < 0.8 || st.CV > 1.2 {
+		t.Fatalf("Poisson CV = %.2f, want near 1", st.CV)
+	}
+}
+
+func TestJitteredRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := JitteredRegular(rng, 100, 1000, 5)
+	if !tr.Sorted() {
+		t.Fatal("jittered train must be sorted")
+	}
+	if len(tr) != 10 {
+		t.Fatalf("expected 10 spikes, got %d", len(tr))
+	}
+	base := Regular(100, 0, 1000)
+	for i := range tr {
+		d := tr[i] - base[i]
+		if d < -5 || d > 5 {
+			t.Fatalf("jitter %d outside ±5", d)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	st := Stats(Train{0, 10, 20, 30})
+	if st.Count != 3 || st.Mean != 10 || st.Std != 0 || st.Min != 10 || st.Max != 10 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if got := Stats(Train{5}); got != (ISIStats{}) {
+		t.Fatalf("single-spike stats = %+v, want zero", got)
+	}
+}
+
+func TestPopulationRate(t *testing.T) {
+	trains := []Train{{0, 500}, {250}}
+	// 3 spikes across 2 neurons in 1000 ms = 1.5 Hz.
+	if got := PopulationRate(trains, 1000); got != 1.5 {
+		t.Fatalf("PopulationRate = %v, want 1.5", got)
+	}
+	if PopulationRate(nil, 1000) != 0 {
+		t.Fatal("empty population should have rate 0")
+	}
+}

@@ -1,0 +1,335 @@
+// Package snnmap is the public facade of this reproduction of
+//
+//	A. Das et al., "Mapping of Local and Global Synapses on Spiking
+//	Neuromorphic Hardware", DATE 2018.
+//
+// It wires the full systematic framework of the paper's Fig. 4 together:
+// an application's trained SNN (internal/apps, built and characterized by
+// the CARLsim-substitute simulator internal/snn) is exported as a spike
+// graph, partitioned into local and global synapses by a PSO (or a baseline
+// technique, internal/partition), and the resulting global traffic is
+// replayed on a cycle-level interconnect simulator (the Noxim++ substitute,
+// internal/noc) to obtain energy, latency, throughput, spike disorder and
+// ISI distortion (internal/metrics).
+//
+// Typical use:
+//
+//	app, _ := snnmap.BuildApp("HW", snnmap.AppConfig{Seed: 1})
+//	arch := snnmap.CxQuad()
+//	report, _ := snnmap.Run(app, arch, snnmap.NewPSO(snnmap.DefaultPSOConfig()))
+//	fmt.Println(report.TotalEnergyPJ, report.Metrics.ISIAvgCycles)
+package snnmap
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+	"repro/internal/hardware"
+	"repro/internal/metrics"
+	"repro/internal/noc"
+	"repro/internal/partition"
+)
+
+// AER packetization modes, re-exported from internal/hardware.
+const (
+	// PerSynapse sends one packet per crossing synapse per spike.
+	PerSynapse = hardware.PerSynapse
+	// PerCrossbar deduplicates packets per destination crossbar.
+	PerCrossbar = hardware.PerCrossbar
+	// MulticastAER sends one in-network-forking packet per spike.
+	MulticastAER = hardware.MulticastAER
+)
+
+// Re-exported types forming the public API surface.
+type (
+	// App is a built SNN application with its characterized spike graph.
+	App = apps.App
+	// AppConfig parameterizes application construction.
+	AppConfig = apps.Config
+	// Arch describes the target neuromorphic architecture.
+	Arch = hardware.Arch
+	// EnergyModel holds the architecture's energy constants.
+	EnergyModel = hardware.EnergyModel
+	// Assignment maps neurons to crossbars.
+	Assignment = partition.Assignment
+	// Partitioner is any SNN partitioning technique.
+	Partitioner = partition.Partitioner
+	// PSOConfig parameterizes the paper's PSO partitioner.
+	PSOConfig = partition.PSOConfig
+	// MetricsReport holds the SNN-specific interconnect metrics.
+	MetricsReport = metrics.Report
+	// SpikeGraph is the trained-SNN interchange graph G=(A,S).
+	SpikeGraph = graph.SpikeGraph
+	// Problem is a partitioning instance.
+	Problem = partition.Problem
+	// Delivery is one spike arrival on the interconnect.
+	Delivery = noc.Delivery
+	// NoCStats aggregates interconnect-level statistics.
+	NoCStats = noc.Stats
+)
+
+// Re-exported constructors.
+var (
+	// CxQuad returns the paper's reference architecture.
+	CxQuad = hardware.CxQuad
+	// MeshChip returns a TrueNorth-like mesh architecture.
+	MeshChip = hardware.MeshChip
+	// ForNeurons sizes a tree architecture for a network.
+	ForNeurons = hardware.ForNeurons
+	// NewPSO constructs the paper's PSO partitioner.
+	NewPSO = partition.NewPSO
+	// DefaultPSOConfig returns the reference PSO configuration.
+	DefaultPSOConfig = partition.DefaultPSOConfig
+	// NewProblem builds a partitioning instance.
+	NewProblem = partition.NewProblem
+)
+
+// Baseline and ablation partitioners.
+var (
+	// Pacman is the PACMAN baseline (SpiNNaker's hierarchical mapper).
+	Pacman partition.Partitioner = partition.Pacman{}
+	// Neutrams is the NEUTRAMS ad-hoc mapping baseline.
+	Neutrams partition.Partitioner = partition.Neutrams{}
+	// GreedyPartitioner is the deterministic traffic-aware heuristic.
+	GreedyPartitioner partition.Partitioner = partition.Greedy{}
+)
+
+// BuildApp constructs one of the paper's Table I applications by short name
+// (HW, IS, HD, HE).
+func BuildApp(name string, cfg AppConfig) (*App, error) {
+	b, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return b(cfg)
+}
+
+// BuildSynthetic constructs a synthetic m-layers × n-neurons feedforward
+// application (paper §V-A).
+func BuildSynthetic(cfg AppConfig, layers, width int) (*App, error) {
+	return apps.Synthetic(cfg, layers, width)
+}
+
+// Report is the complete outcome of mapping one application onto one
+// architecture with one technique — the rows of the paper's Fig. 5,
+// Table II and Fig. 6 are read directly off this struct.
+type Report struct {
+	// AppName and Technique identify the experiment.
+	AppName   string
+	Technique string
+	ArchName  string
+
+	// Network shape.
+	Neurons  int
+	Synapses int
+
+	// Partition outcome.
+	Assignment Assignment
+	// GlobalTraffic is the PSO fitness F: spikes crossing crossbars
+	// (paper Eq. 8).
+	GlobalTraffic int64
+	// GlobalSynapseCount is the number of synapses mapped onto the
+	// interconnect; LocalSynapseCount is the complement.
+	GlobalSynapseCount int
+	LocalSynapseCount  int
+
+	// Energy split (paper Fig. 6): local = inside crossbars, global = on
+	// the interconnect.
+	LocalEvents    int64
+	LocalEnergyPJ  float64
+	GlobalEnergyPJ float64
+	TotalEnergyPJ  float64
+
+	// Interconnect-level statistics from the NoC simulation.
+	NoC NoCStats
+	// Metrics are the SNN-specific measurements of Table II.
+	Metrics MetricsReport
+	// Deliveries is the raw arrival trace (nil unless Options.KeepTrace).
+	Deliveries []Delivery
+}
+
+// Options tunes the pipeline run.
+type Options struct {
+	// KeepTrace retains the raw delivery trace on the report (needed by
+	// the heartbeat accuracy experiment).
+	KeepTrace bool
+}
+
+// Run executes the full pipeline of the paper's Fig. 4 for one application,
+// architecture and partitioning technique.
+func Run(app *App, arch Arch, pt Partitioner) (*Report, error) {
+	return RunOpts(app, arch, pt, Options{})
+}
+
+// RunOpts is Run with explicit options.
+func RunOpts(app *App, arch Arch, pt Partitioner, opts Options) (*Report, error) {
+	if app == nil || app.Graph == nil {
+		return nil, errors.New("snnmap: nil application")
+	}
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if pt == nil {
+		return nil, errors.New("snnmap: nil partitioner")
+	}
+
+	p, err := partition.NewProblem(app.Graph, arch.Crossbars, arch.CrossbarSize)
+	if err != nil {
+		return nil, err
+	}
+	res, err := partition.Solve(pt, p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Placement: relabel logical crossbars onto physical interconnect
+	// slots so heavy-traffic pairs sit close. Applied identically to
+	// every technique; the partitioning fitness is invariant under it.
+	dist, err := noc.NewSimulator(arch.NoCConfig())
+	if err != nil {
+		return nil, err
+	}
+	placed, err := partition.PlaceCrossbars(p, res.Assign, func(a, b int) int {
+		d, derr := dist.HopDistance(a, b)
+		if derr != nil {
+			return 0
+		}
+		return d
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Assign = placed
+
+	rep := &Report{
+		AppName:       app.Name,
+		Technique:     res.Technique,
+		ArchName:      arch.Name,
+		Neurons:       app.Graph.Neurons,
+		Synapses:      len(app.Graph.Synapses),
+		Assignment:    res.Assign,
+		GlobalTraffic: res.Cost,
+	}
+	rep.GlobalSynapseCount = len(p.GlobalSynapses(res.Assign))
+	rep.LocalSynapseCount = rep.Synapses - rep.GlobalSynapseCount
+
+	local, err := hardware.LocalActivity(app.Graph, res.Assign, arch)
+	if err != nil {
+		return nil, err
+	}
+	rep.LocalEvents = local.Events
+	rep.LocalEnergyPJ = local.EnergyPJ
+
+	nocRes, err := SimulateTraffic(app.Graph, res.Assign, arch)
+	if err != nil {
+		return nil, err
+	}
+	rep.NoC = nocRes.Stats
+	rep.GlobalEnergyPJ = nocRes.Stats.EnergyPJ
+	rep.TotalEnergyPJ = rep.LocalEnergyPJ + rep.GlobalEnergyPJ
+	rep.Metrics = metrics.Analyze(nocRes.Deliveries, app.Graph.DurationMs)
+	if opts.KeepTrace {
+		rep.Deliveries = nocRes.Deliveries
+	}
+	return rep, nil
+}
+
+// SimulateTraffic replays the global-synapse spike traffic of a mapped
+// spike graph on the architecture's interconnect and returns the NoC
+// result. Packetization follows arch.AER:
+//
+//   - PerSynapse (default, the paper's cost model of Eq. 7–8): every spike
+//     of a neuron produces one packet per crossing synapse, so injected
+//     traffic equals the partitioning fitness F.
+//   - PerCrossbar: one packet per (spike, destination crossbar).
+//   - MulticastAER: one multicast packet per spike addressed to all
+//     destination crossbars (the Noxim++ multicast extension).
+func SimulateTraffic(g *SpikeGraph, assign Assignment, arch Arch) (*noc.Result, error) {
+	if len(assign) != g.Neurons {
+		return nil, fmt.Errorf("snnmap: assignment covers %d of %d neurons", len(assign), g.Neurons)
+	}
+	sim, err := noc.NewSimulator(arch.NoCConfig())
+	if err != nil {
+		return nil, err
+	}
+	csr := g.BuildCSR()
+	multiplicity := make([]int, arch.Crossbars)
+	for i := 0; i < g.Neurons; i++ {
+		if len(g.Spikes[i]) == 0 {
+			continue
+		}
+		src := assign[i]
+		for k := range multiplicity {
+			multiplicity[k] = 0
+		}
+		remote := false
+		for _, s := range csr.Out(i) {
+			if k := assign[s.Post]; k != src {
+				multiplicity[k]++
+				remote = true
+			}
+		}
+		if !remote {
+			continue
+		}
+		switch arch.AER {
+		case hardware.MulticastAER:
+			mask := noc.NewMask(arch.Crossbars)
+			for k, m := range multiplicity {
+				if m > 0 {
+					mask.Set(k)
+				}
+			}
+			for _, t := range g.Spikes[i] {
+				if err := sim.Inject(noc.Packet{SrcNeuron: int32(i), Src: src, Dst: mask, CreatedMs: t}); err != nil {
+					return nil, err
+				}
+			}
+		case hardware.PerCrossbar:
+			for k, m := range multiplicity {
+				if m == 0 {
+					continue
+				}
+				mask := noc.NewMask(arch.Crossbars)
+				mask.Set(k)
+				for _, t := range g.Spikes[i] {
+					if err := sim.Inject(noc.Packet{SrcNeuron: int32(i), Src: src, Dst: mask, CreatedMs: t}); err != nil {
+						return nil, err
+					}
+				}
+			}
+		default: // PerSynapse
+			for k, m := range multiplicity {
+				if m == 0 {
+					continue
+				}
+				mask := noc.NewMask(arch.Crossbars)
+				mask.Set(k)
+				for _, t := range g.Spikes[i] {
+					for rep := 0; rep < m; rep++ {
+						if err := sim.Inject(noc.Packet{SrcNeuron: int32(i), Src: src, Dst: mask, CreatedMs: t}); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	return sim.Run()
+}
+
+// Compare runs several techniques on the same application and architecture,
+// returning reports in technique order. This drives the paper's Fig. 5.
+func Compare(app *App, arch Arch, techniques []Partitioner) ([]*Report, error) {
+	out := make([]*Report, 0, len(techniques))
+	for _, pt := range techniques {
+		rep, err := Run(app, arch, pt)
+		if err != nil {
+			return nil, fmt.Errorf("snnmap: %s on %s: %w", pt.Name(), app.Name, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
