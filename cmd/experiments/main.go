@@ -10,8 +10,14 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-fig5] [-table2] [-fig6] [-fig7]
+//	experiments [-quick] [-seed N] [-parallel N] [-timeout D]
+//	            [-fig5] [-table2] [-fig6] [-fig7]
 //	            [-accuracy] [-ablations] [-all]
+//
+// Every driver runs on the concurrent experiment engine: -parallel bounds
+// the worker pool (0 = GOMAXPROCS, 1 = sequential) and -timeout bounds
+// each sweep job's wall clock. Results are identical at every worker
+// count for a fixed -seed.
 package main
 
 import (
@@ -30,6 +36,8 @@ func main() {
 	var (
 		quick     = flag.Bool("quick", false, "smaller swarms and shorter runs (CI-sized)")
 		seed      = flag.Int64("seed", 1, "seed for all stochastic components")
+		parallel  = flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		timeout   = flag.Duration("timeout", 0, "per-job wall clock limit, e.g. 90s (0 = none)")
 		fig5      = flag.Bool("fig5", false, "regenerate Fig. 5 (energy comparison)")
 		table2    = flag.Bool("table2", false, "regenerate Table II (SNN metrics)")
 		fig6      = flag.Bool("fig6", false, "regenerate Fig. 6 (architecture exploration)")
@@ -40,7 +48,7 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := snnmap.ExpOptions{Quick: *quick, Seed: *seed}
+	opts := snnmap.ExpOptions{Quick: *quick, Seed: *seed, Parallel: *parallel, Timeout: *timeout}
 	any := false
 	run := func(enabled bool, f func(snnmap.ExpOptions) error) {
 		if enabled || *all {

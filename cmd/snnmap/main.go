@@ -1,20 +1,26 @@
 // Command snnmap runs the full mapping pipeline for one application on one
-// architecture with one partitioning technique and prints the resulting
-// energy, latency and SNN metrics (or JSON with -json).
+// architecture and prints the resulting energy, latency and SNN metrics
+// (or JSON with -json). -partitioner accepts a comma-separated list of
+// techniques; multiple techniques run concurrently as one sweep on the
+// experiment engine (-parallel bounds the worker pool, -timeout each
+// job's wall clock), printing one report per technique in list order.
 //
 // Examples:
 //
 //	snnmap -app HD -partitioner pso -crossbars 8 -size 200
 //	snnmap -app synth -layers 2 -width 200 -partitioner pacman
 //	snnmap -app HE -topology mesh -json
+//	snnmap -app IS -partitioner neutrams,pacman,pso -parallel 3
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	snnmap "repro"
 	"repro/internal/hardware"
@@ -33,9 +39,11 @@ func main() {
 		duration = flag.Int64("duration", 0, "characterization run length in ms (0 = app default)")
 		seed     = flag.Int64("seed", 1, "seed for all stochastic components")
 
-		tech      = flag.String("partitioner", "pso", "technique: pso, pacman, neutrams, greedy, kl, sa, ga, random")
+		tech      = flag.String("partitioner", "pso", "comma-separated techniques: pso, pacman, neutrams, greedy, kl, sa, ga, random")
 		swarm     = flag.Int("swarm", 100, "PSO swarm size")
 		iters     = flag.Int("iterations", 100, "PSO iterations")
+		parallel  = flag.Int("parallel", 0, "worker pool size for the technique sweep and PSO swarm evaluation (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "per-technique wall clock limit, e.g. 90s (0 = none)")
 		crossbars = flag.Int("crossbars", 0, "crossbar count (0 = sized from the app)")
 		size      = flag.Int("size", 0, "neurons per crossbar (0 = sized from the app)")
 		topology  = flag.String("topology", "tree", "interconnect: tree or mesh")
@@ -54,12 +62,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	pt, err := buildPartitioner(*tech, *swarm, *iters, *seed)
-	if err != nil {
-		log.Fatal(err)
+	names := strings.Split(*tech, ",")
+	// One parallelism budget: a single technique gives -parallel to the
+	// PSO's swarm evaluation; a technique sweep gives it to the sweep's
+	// worker pool and each PSO evaluates sequentially.
+	psoWorkers := *parallel
+	if len(names) > 1 {
+		psoWorkers = 1
+	}
+	var techniques []snnmap.Partitioner
+	for _, name := range names {
+		pt, err := buildPartitioner(strings.TrimSpace(name), *swarm, *iters, *seed, psoWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		techniques = append(techniques, pt)
 	}
 
-	rep, err := snnmap.Run(app, arch, pt)
+	cfg := snnmap.SweepConfig{Workers: *parallel, Timeout: *timeout}
+	reports, err := snnmap.CompareSweep(context.Background(), app, arch, techniques, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,12 +88,22 @@ func main() {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		if len(reports) == 1 {
+			err = enc.Encode(reports[0])
+		} else {
+			err = enc.Encode(reports)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	printReport(rep, arch)
+	for i, rep := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		printReport(rep, arch)
+	}
 }
 
 func buildApp(name string, layers, width int, seed, duration int64) (*snnmap.App, error) {
@@ -117,10 +148,10 @@ func buildArch(app *snnmap.App, topology string, crossbars, size int, aer string
 	return arch, nil
 }
 
-func buildPartitioner(name string, swarm, iters int, seed int64) (snnmap.Partitioner, error) {
+func buildPartitioner(name string, swarm, iters int, seed int64, workers int) (snnmap.Partitioner, error) {
 	switch name {
 	case "pso":
-		return snnmap.NewPSO(snnmap.PSOConfig{SwarmSize: swarm, Iterations: iters, Seed: seed}), nil
+		return snnmap.NewPSO(snnmap.PSOConfig{SwarmSize: swarm, Iterations: iters, Seed: seed, Workers: workers}), nil
 	case "pacman":
 		return snnmap.Pacman, nil
 	case "neutrams":

@@ -1,11 +1,13 @@
 package snnmap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/engine"
 	"repro/internal/hardware"
 	"repro/internal/partition"
 )
@@ -17,6 +19,18 @@ type ExpOptions struct {
 	Quick bool
 	// Seed drives all stochastic components.
 	Seed int64
+	// Parallel bounds the experiment engine's worker pool — the number of
+	// sweep jobs (application builds, pipeline runs) in flight at once.
+	// 0 selects runtime.GOMAXPROCS; 1 executes sweeps strictly
+	// sequentially. Every driver produces identical rows at every worker
+	// count for a fixed Seed.
+	Parallel int
+	// Timeout bounds each sweep job's wall clock; 0 disables the limit.
+	Timeout time.Duration
+}
+
+func (o ExpOptions) engineConfig() engine.Config {
+	return engine.Config{Workers: o.Parallel, Timeout: o.Timeout}
 }
 
 func (o ExpOptions) seed() int64 {
@@ -43,6 +57,14 @@ func (o ExpOptions) duration(standard int64) int64 {
 func (o ExpOptions) pso(seed int64) *partition.PSO {
 	cfg := DefaultPSOConfig()
 	cfg.Seed = seed
+	// The sweep owns the parallelism budget: each job evaluates its swarm
+	// sequentially so Parallel bounds the busy goroutines instead of
+	// multiplying (Parallel × swarm workers). One exception: a job
+	// abandoned by a per-job Timeout keeps computing until it finishes
+	// (partitioners don't take a context), temporarily exceeding the
+	// budget. PSO results are bit-identical at every worker count, so
+	// this is purely a scheduling choice.
+	cfg.Workers = 1
 	if o.Quick {
 		cfg.SwarmSize = 30
 		cfg.Iterations = 30
@@ -109,19 +131,76 @@ type Fig5Row struct {
 	Normalized map[string]float64
 }
 
-// fig5Workloads lists the Fig. 5 X axis: the synthetic topologies swept in
-// §V-A (four of the eight are plotted in the paper; all eight are listed in
-// the text) followed by the realistic applications.
-func fig5Workloads() []struct {
+// workload names one experiment application: a builder plus the
+// characterization run length the paper uses for it.
+type workload struct {
 	name    string
 	builder apps.Builder
 	durMs   int64
-} {
-	type w = struct {
-		name    string
-		builder apps.Builder
-		durMs   int64
+}
+
+// buildWorkloads characterizes every workload (an SNN simulation each) as
+// one engine sweep, returning the built applications in workload order.
+func buildWorkloads(opts ExpOptions, workloads []workload) ([]*App, error) {
+	results := engine.Sweep(context.Background(), opts.engineConfig(), workloads,
+		func(_ context.Context, w workload) (*App, error) {
+			return w.builder(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(w.durMs)})
+		})
+	return valuesNamed(results, func(i int) string { return "building " + workloads[i].name })
+}
+
+// valuesNamed unwraps a sweep's results, wrapping any captured error with
+// the job's display name. Unlike wrapping inside the job function, this
+// also names engine-generated errors (timeouts, cancellations), which
+// otherwise carry only a flat job index.
+func valuesNamed[R any](results []engine.Result[R], name func(i int) string) ([]R, error) {
+	out := make([]R, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("snnmap: %s: %w", name(i), r.Err)
+		}
+		out[i] = r.Value
 	}
+	return out, nil
+}
+
+// sweepGrid executes fn over the w-major cross product of nw × nt cells
+// as one engine sweep, returning the results grouped by the first index
+// (out[w][t]). It is the shared shape of the Fig. 5, Table II and Fig. 7
+// grids: workloads × techniques (or swarm sizes).
+func sweepGrid[R any](opts ExpOptions, nw, nt int, fn func(w, t int) (R, error)) ([][]R, error) {
+	type cell struct{ w, t int }
+	cells := make([]cell, 0, nw*nt)
+	for w := 0; w < nw; w++ {
+		for t := 0; t < nt; t++ {
+			cells = append(cells, cell{w, t})
+		}
+	}
+	results := engine.Sweep(context.Background(), opts.engineConfig(), cells,
+		func(_ context.Context, c cell) (R, error) { return fn(c.w, c.t) })
+	flat := make([]R, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			// Engine-generated errors (timeouts, cancellations) carry only
+			// a flat job index; translate it back into grid coordinates.
+			// fn's own errors additionally name the workload/technique.
+			return nil, fmt.Errorf("snnmap: sweep cell (%d,%d) of %d×%d grid: %w",
+				cells[i].w, cells[i].t, nw, nt, r.Err)
+		}
+		flat[i] = r.Value
+	}
+	out := make([][]R, nw)
+	for w := range out {
+		out[w] = flat[w*nt : (w+1)*nt]
+	}
+	return out, nil
+}
+
+// fig5Workloads lists the Fig. 5 X axis: the synthetic topologies swept in
+// §V-A (four of the eight are plotted in the paper; all eight are listed in
+// the text) followed by the realistic applications.
+func fig5Workloads() []workload {
+	type w = workload
 	out := []w{
 		{"1x200", apps.SyntheticBuilder(1, 200), 1000},
 		{"1x600", apps.SyntheticBuilder(1, 600), 1000},
@@ -145,29 +224,38 @@ func fig5Workloads() []struct {
 
 // RunFig5 regenerates the paper's Fig. 5: normalized energy consumption on
 // the global synapse interconnect for NEUTRAMS, PACMAN and the proposed
-// PSO, over synthetic and realistic applications.
+// PSO, over synthetic and realistic applications. Two engine sweeps: one
+// characterizes the twelve workloads, one runs every workload × technique
+// cell of the grid.
 func RunFig5(opts ExpOptions) ([]Fig5Row, error) {
-	var rows []Fig5Row
-	for _, w := range fig5Workloads() {
-		app, err := w.builder(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(w.durMs)})
-		if err != nil {
-			return nil, fmt.Errorf("snnmap: building %s: %w", w.name, err)
-		}
-		arch := PacmanCapableArch(app.Graph)
-		reports, err := Compare(app, arch, []Partitioner{
-			Neutrams, Pacman, opts.pso(opts.seed()),
+	workloads := fig5Workloads()
+	built, err := buildWorkloads(opts, workloads)
+	if err != nil {
+		return nil, err
+	}
+	techniques := []Partitioner{Neutrams, Pacman, opts.pso(opts.seed())}
+	reports, err := sweepGrid(opts, len(workloads), len(techniques),
+		func(w, t int) (*Report, error) {
+			app := built[w]
+			rep, err := Run(app, PacmanCapableArch(app.Graph), techniques[t])
+			if err != nil {
+				return nil, fmt.Errorf("snnmap: %s on %s: %w", techniques[t].Name(), workloads[w].name, err)
+			}
+			return rep, nil
 		})
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig5Row, 0, len(workloads))
+	for w, wl := range workloads {
 		row := Fig5Row{
-			App:        w.name,
-			Neurons:    app.Graph.Neurons,
-			Synapses:   len(app.Graph.Synapses),
+			App:        wl.name,
+			Neurons:    built[w].Graph.Neurons,
+			Synapses:   len(built[w].Graph.Synapses),
 			EnergyPJ:   map[string]float64{},
 			Normalized: map[string]float64{},
 		}
-		for _, r := range reports {
+		for _, r := range reports[w] {
 			row.EnergyPJ[r.Technique] = r.GlobalEnergyPJ
 		}
 		base := row.EnergyPJ["NEUTRAMS"]
@@ -204,21 +292,25 @@ type Table2Row struct {
 // tightly provisioned 4-crossbar architecture.
 func RunTable2(opts ExpOptions) ([]Table2Row, error) {
 	durations := map[string]int64{"HW": 1000, "IS": 1000, "HD": 1000, "HE": 10000}
-	var rows []Table2Row
+	var workloads []workload
 	for _, name := range apps.RealisticNames() {
 		b, err := apps.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		app, err := b(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(durations[name])})
-		if err != nil {
-			return nil, err
-		}
-		arch := QuadArch(app.Graph)
-		cell := func(pt Partitioner) (Table2Cell, error) {
-			rep, err := Run(app, arch, pt)
+		workloads = append(workloads, workload{name: name, builder: b, durMs: durations[name]})
+	}
+	built, err := buildWorkloads(opts, workloads)
+	if err != nil {
+		return nil, err
+	}
+	techniques := []Partitioner{Pacman, opts.pso(opts.seed())}
+	cells, err := sweepGrid(opts, len(workloads), len(techniques),
+		func(w, t int) (Table2Cell, error) {
+			app := built[w]
+			rep, err := Run(app, QuadArch(app.Graph), techniques[t])
 			if err != nil {
-				return Table2Cell{}, err
+				return Table2Cell{}, fmt.Errorf("snnmap: %s on %s: %w", techniques[t].Name(), workloads[w].name, err)
 			}
 			return Table2Cell{
 				ISIDistortionCycles: rep.Metrics.ISIAvgCycles,
@@ -226,16 +318,13 @@ func RunTable2(opts ExpOptions) ([]Table2Row, error) {
 				ThroughputPerMs:     rep.Metrics.ThroughputPerMs,
 				MaxLatencyCycles:    rep.Metrics.MaxLatencyCycles,
 			}, nil
-		}
-		pac, err := cell(Pacman)
-		if err != nil {
-			return nil, err
-		}
-		pso, err := cell(opts.pso(opts.seed()))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table2Row{App: name, Pacman: pac, PSO: pso})
+		})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, 0, len(workloads))
+	for w, wl := range workloads {
+		rows = append(rows, Table2Row{App: wl.name, Pacman: cells[w][0], PSO: cells[w][1]})
 	}
 	return rows, nil
 }
@@ -260,23 +349,24 @@ func RunFig6(opts ExpOptions) ([]Fig6Row, error) {
 		return nil, err
 	}
 	sizes := []int{90, 180, 360, 720, 1080, 1440}
-	var rows []Fig6Row
-	for _, nc := range sizes {
-		arch := hardware.ForNeurons(app.Graph.Neurons, nc)
-		rep, err := Run(app, arch, opts.pso(opts.seed()))
-		if err != nil {
-			return nil, fmt.Errorf("snnmap: Fig6 at Nc=%d: %w", nc, err)
-		}
-		rows = append(rows, Fig6Row{
-			NeuronsPerCrossbar: nc,
-			Crossbars:          arch.Crossbars,
-			LocalEnergyUJ:      rep.LocalEnergyPJ / 1e6,
-			GlobalEnergyUJ:     rep.GlobalEnergyPJ / 1e6,
-			TotalEnergyUJ:      rep.TotalEnergyPJ / 1e6,
-			MaxLatencyCycles:   rep.Metrics.MaxLatencyCycles,
+	pso := opts.pso(opts.seed())
+	results := engine.Sweep(context.Background(), opts.engineConfig(), sizes,
+		func(_ context.Context, nc int) (Fig6Row, error) {
+			arch := hardware.ForNeurons(app.Graph.Neurons, nc)
+			rep, err := Run(app, arch, pso)
+			if err != nil {
+				return Fig6Row{}, err
+			}
+			return Fig6Row{
+				NeuronsPerCrossbar: nc,
+				Crossbars:          arch.Crossbars,
+				LocalEnergyUJ:      rep.LocalEnergyPJ / 1e6,
+				GlobalEnergyUJ:     rep.GlobalEnergyPJ / 1e6,
+				TotalEnergyUJ:      rep.TotalEnergyPJ / 1e6,
+				MaxLatencyCycles:   rep.Metrics.MaxLatencyCycles,
+			}, nil
 		})
-	}
-	return rows, nil
+	return valuesNamed(results, func(i int) string { return fmt.Sprintf("Fig6 at Nc=%d", sizes[i]) })
 }
 
 // Fig7Point is one (application, swarm size) sample of the paper's Fig. 7.
@@ -292,11 +382,6 @@ type Fig7Point struct {
 // applications, normalized per application to the sweep's minimum.
 // Heuristic seeding is disabled so the sweep reflects pure swarm behavior.
 func RunFig7(opts ExpOptions) ([]Fig7Point, error) {
-	type workload struct {
-		name    string
-		builder apps.Builder
-		durMs   int64
-	}
 	workloads := []workload{
 		{"hello_world", apps.Builder(apps.HelloWorld), 1000},
 		{"heartbeat_estimation", nil, 10000},
@@ -318,29 +403,34 @@ func RunFig7(opts ExpOptions) ([]Fig7Point, error) {
 		iterations = 40
 	}
 
-	var points []Fig7Point
-	for _, w := range workloads {
-		app, err := w.builder(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(w.durMs)})
-		if err != nil {
-			return nil, err
-		}
-		arch := QuadArch(app.Graph)
-		var energies []float64
-		for _, swarm := range sizes {
+	built, err := buildWorkloads(opts, workloads)
+	if err != nil {
+		return nil, err
+	}
+	energies, err := sweepGrid(opts, len(workloads), len(sizes),
+		func(w, s int) (float64, error) {
+			app := built[w]
 			cfg := PSOConfig{
-				SwarmSize:      swarm,
+				SwarmSize:      sizes[s],
 				Iterations:     iterations,
 				Seed:           opts.seed(),
+				Workers:        1, // the sweep owns the parallelism budget
 				DisableSeeding: true,
 			}
-			rep, err := Run(app, arch, NewPSO(cfg))
+			rep, err := Run(app, QuadArch(app.Graph), NewPSO(cfg))
 			if err != nil {
-				return nil, err
+				return 0, fmt.Errorf("snnmap: Fig7 %s at swarm %d: %w", workloads[w].name, sizes[s], err)
 			}
-			energies = append(energies, rep.GlobalEnergyPJ)
-		}
-		best := energies[0]
-		for _, e := range energies {
+			return rep.GlobalEnergyPJ, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var points []Fig7Point
+	for w, wl := range workloads {
+		sweep := energies[w]
+		best := sweep[0]
+		for _, e := range sweep {
 			if e < best {
 				best = e
 			}
@@ -348,11 +438,11 @@ func RunFig7(opts ExpOptions) ([]Fig7Point, error) {
 		for i, swarm := range sizes {
 			norm := 0.0
 			if best > 0 {
-				norm = energies[i] / best
+				norm = sweep[i] / best
 			}
 			points = append(points, Fig7Point{
-				App: w.name, SwarmSize: swarm,
-				EnergyPJ: energies[i], Normalized: norm,
+				App: wl.name, SwarmSize: swarm,
+				EnergyPJ: sweep[i], Normalized: norm,
 			})
 		}
 	}
@@ -431,43 +521,50 @@ func RunAccuracy(opts ExpOptions) (*AccuracyReport, error) {
 	srcEst := apps.EstimateBPMMedian(he.Up, 250, 4)
 	out.SourceBPM = srcEst
 
-	for _, pt := range []Partitioner{Pacman, opts.pso(opts.seed())} {
-		rep, err := RunOpts(he.App, arch, pt, Options{KeepTrace: true})
-		if err != nil {
-			return nil, err
-		}
-		// Reconstruct the UP-channel train as received by the liquid's
-		// crossbars: keep the destination crossbar receiving the most
-		// UP spikes (a duplicate-free stream) and convert arrival cycles
-		// back to milliseconds.
-		arrivalsByDst := map[int][]int64{}
-		for _, d := range rep.Deliveries {
-			if d.SrcNeuron == upNeuron {
-				arrivalsByDst[d.Dst] = append(arrivalsByDst[d.Dst], d.ArriveCycle/arch.CyclesPerMs)
+	srcBeats := apps.BurstStarts(he.Up, 250, 4)
+	accTechniques := []Partitioner{Pacman, opts.pso(opts.seed())}
+	accResults := engine.Sweep(context.Background(), opts.engineConfig(), accTechniques,
+		func(_ context.Context, pt Partitioner) (AccuracyRow, error) {
+			rep, err := RunOpts(he.App, arch, pt, Options{KeepTrace: true})
+			if err != nil {
+				return AccuracyRow{}, err
 			}
-		}
-		var arrival []int64
-		for _, a := range arrivalsByDst {
-			if len(a) > len(arrival) {
-				arrival = a
+			// Reconstruct the UP-channel train as received by the liquid's
+			// crossbars: keep the destination crossbar receiving the most
+			// UP spikes (a duplicate-free stream) and convert arrival cycles
+			// back to milliseconds.
+			arrivalsByDst := map[int][]int64{}
+			for _, d := range rep.Deliveries {
+				if d.SrcNeuron == upNeuron {
+					arrivalsByDst[d.Dst] = append(arrivalsByDst[d.Dst], d.ArriveCycle/arch.CyclesPerMs)
+				}
 			}
-		}
-		arrTrain := toTrain(arrival)
-		est := apps.EstimateBPMMedian(arrTrain, 250, 4)
-		errPct := 0.0
-		if out.TrueBPM > 0 {
-			errPct = abs64(est-out.TrueBPM) / out.TrueBPM * 100
-		}
-		srcBeats := apps.BurstStarts(he.Up, 250, 4)
-		arrBeats := apps.BurstStarts(arrTrain, 250, 4)
-		out.Rows = append(out.Rows, AccuracyRow{
-			Technique:           rep.Technique,
-			ISIDistortionCycles: rep.Metrics.ISIAvgCycles,
-			EstimatedBPM:        est,
-			ErrorPct:            errPct,
-			IntervalErrorPct:    apps.BeatIntervalError(srcBeats, arrBeats) * 100,
+			var arrival []int64
+			for _, a := range arrivalsByDst {
+				if len(a) > len(arrival) {
+					arrival = a
+				}
+			}
+			arrTrain := toTrain(arrival)
+			est := apps.EstimateBPMMedian(arrTrain, 250, 4)
+			errPct := 0.0
+			if out.TrueBPM > 0 {
+				errPct = abs64(est-out.TrueBPM) / out.TrueBPM * 100
+			}
+			arrBeats := apps.BurstStarts(arrTrain, 250, 4)
+			return AccuracyRow{
+				Technique:           rep.Technique,
+				ISIDistortionCycles: rep.Metrics.ISIAvgCycles,
+				EstimatedBPM:        est,
+				ErrorPct:            errPct,
+				IntervalErrorPct:    apps.BeatIntervalError(srcBeats, arrBeats) * 100,
+			}, nil
 		})
+	rows, err := valuesNamed(accResults, func(i int) string { return "accuracy " + accTechniques[i].Name() })
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -502,17 +599,25 @@ func RunOptimizerAblation(opts ExpOptions) ([]AblationRow, error) {
 		partition.Genetic{Seed: opts.seed()},
 		opts.pso(opts.seed()),
 	}
-	var rows []AblationRow
-	for _, pt := range techniques {
-		start := time.Now()
-		res, err := partition.Solve(pt, p)
-		if err != nil {
-			return nil, err
+	// This ablation's headline next to Cost is the per-optimizer wall
+	// clock, so the techniques must run one at a time: concurrent solves
+	// would contend for CPU and inflate each other's timings. The engine
+	// still provides per-job timing and timeout; only Workers is pinned.
+	cfg := opts.engineConfig()
+	cfg.Workers = 1
+	results := engine.Sweep(context.Background(), cfg, techniques,
+		func(_ context.Context, pt Partitioner) (*partition.Result, error) {
+			return partition.Solve(pt, p)
+		})
+	rows := make([]AblationRow, 0, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("snnmap: optimizer ablation %s: %w", techniques[i].Name(), r.Err)
 		}
 		rows = append(rows, AblationRow{
-			Technique: res.Technique,
-			Cost:      res.Cost,
-			WallClock: time.Since(start),
+			Technique: r.Value.Technique,
+			Cost:      r.Value.Cost,
+			WallClock: r.Elapsed,
 		})
 	}
 	return rows, nil
@@ -545,23 +650,24 @@ func RunAERModeAblation(opts ExpOptions) ([]AERModeRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []AERModeRow
-	for _, mode := range []hardware.AERMode{hardware.PerSynapse, hardware.PerCrossbar, hardware.MulticastAER} {
-		a := arch
-		a.AER = mode
-		nr, err := SimulateTraffic(app.Graph, res.Assign, a)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AERModeRow{
-			Mode:       mode.String(),
-			Injected:   nr.Stats.Injected,
-			HopCount:   nr.Stats.PacketHops,
-			EnergyPJ:   nr.Stats.EnergyPJ,
-			AvgLatency: nr.Stats.AvgLatency,
+	modes := []hardware.AERMode{hardware.PerSynapse, hardware.PerCrossbar, hardware.MulticastAER}
+	results := engine.Sweep(context.Background(), opts.engineConfig(), modes,
+		func(_ context.Context, mode hardware.AERMode) (AERModeRow, error) {
+			a := arch
+			a.AER = mode
+			nr, err := SimulateTraffic(app.Graph, res.Assign, a)
+			if err != nil {
+				return AERModeRow{}, err
+			}
+			return AERModeRow{
+				Mode:       mode.String(),
+				Injected:   nr.Stats.Injected,
+				HopCount:   nr.Stats.PacketHops,
+				EnergyPJ:   nr.Stats.EnergyPJ,
+				AvgLatency: nr.Stats.AvgLatency,
+			}, nil
 		})
-	}
-	return rows, nil
+	return valuesNamed(results, func(i int) string { return "AER ablation " + modes[i].String() })
 }
 
 // TopologyRow is one interconnect topology's outcome in the topology
@@ -581,30 +687,33 @@ func RunTopologyAblation(opts ExpOptions) ([]TopologyRow, error) {
 		return nil, err
 	}
 	base := hardware.ForNeurons(app.Graph.Neurons, 256)
-	var rows []TopologyRow
-	for _, kind := range []struct {
+	pso := opts.pso(opts.seed())
+	type variant struct {
 		name string
 		make func() Arch
-	}{
+	}
+	kinds := []variant{
 		{"tree", func() Arch { a := base; return a }},
 		{"mesh", func() Arch {
 			a := hardware.MeshChip(base.Crossbars, base.CrossbarSize)
 			a.Energy = base.Energy
 			return a
 		}},
-	} {
-		rep, err := Run(app, kind.make(), opts.pso(opts.seed()))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, TopologyRow{
-			Topology:   kind.name,
-			EnergyPJ:   rep.GlobalEnergyPJ,
-			AvgLatency: rep.Metrics.AvgLatencyCycles,
-			MaxLatency: rep.Metrics.MaxLatencyCycles,
-		})
 	}
-	return rows, nil
+	results := engine.Sweep(context.Background(), opts.engineConfig(), kinds,
+		func(_ context.Context, kind variant) (TopologyRow, error) {
+			rep, err := Run(app, kind.make(), pso)
+			if err != nil {
+				return TopologyRow{}, err
+			}
+			return TopologyRow{
+				Topology:   kind.name,
+				EnergyPJ:   rep.GlobalEnergyPJ,
+				AvgLatency: rep.Metrics.AvgLatencyCycles,
+				MaxLatency: rep.Metrics.MaxLatencyCycles,
+			}, nil
+		})
+	return valuesNamed(results, func(i int) string { return "topology ablation " + kinds[i].name })
 }
 
 func toTrain(times []int64) []int64 {

@@ -1,0 +1,113 @@
+package noc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// injectWorkload queues a deterministic pseudo-random unicast/multicast mix.
+func injectWorkload(t *testing.T, s *Simulator, endpoints int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 120; i++ {
+		src := rng.Intn(endpoints)
+		m := NewMask(endpoints)
+		for d := 0; d < endpoints; d++ {
+			if d != src && rng.Intn(4) == 0 {
+				m.Set(d)
+			}
+		}
+		if m.Empty() {
+			d := (src + 1) % endpoints
+			m.Set(d)
+		}
+		if err := s.Inject(Packet{SrcNeuron: int32(i), Src: src, Dst: m, CreatedMs: int64(rng.Intn(9))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSimulatorResetReplaysIdentically reuses one simulator for repeated
+// injection + Run cycles (the reusable-context contract of the pipeline:
+// one simulator per worker serves placement queries and traffic replay)
+// and requires bit-identical results against a fresh simulator.
+func TestSimulatorResetReplaysIdentically(t *testing.T) {
+	for _, kind := range []Kind{Mesh, Tree} {
+		const endpoints = 9
+		cfg := DefaultConfig(kind, endpoints)
+		cfg.Multicast = kind == Mesh // exercise both expansion paths
+
+		fresh, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		injectWorkload(t, fresh, endpoints, 7)
+		want, err := fresh.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		reused, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dirty the simulator with distance queries and a full replay of a
+		// different workload before resetting.
+		if _, err := reused.HopDistance(0, endpoints-1); err != nil {
+			t.Fatal(err)
+		}
+		injectWorkload(t, reused, endpoints, 99)
+		if _, err := reused.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		for cycle := 0; cycle < 3; cycle++ {
+			reused.Reset()
+			injectWorkload(t, reused, endpoints, 7)
+			got, err := reused.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Stats, want.Stats) {
+				t.Fatalf("%v cycle %d: stats diverge after Reset:\n got %+v\nwant %+v",
+					kind, cycle, got.Stats, want.Stats)
+			}
+			if !reflect.DeepEqual(got.Deliveries, want.Deliveries) {
+				t.Fatalf("%v cycle %d: delivery trace diverges after Reset", kind, cycle)
+			}
+		}
+	}
+}
+
+// TestSimulatorResetClearsState ensures a Reset simulator with no new
+// injections reports an empty run.
+func TestSimulatorResetClearsState(t *testing.T) {
+	cfg := DefaultConfig(Tree, 8)
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injectWorkload(t, s, 8, 3)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Injected == 0 || res.Stats.Delivered == 0 {
+		t.Fatalf("workload produced no traffic: %+v", res.Stats)
+	}
+	// Callers may hold a Result across Reset: snapshot it deeply.
+	heldStats := res.Stats
+	heldDeliveries := append([]Delivery(nil), res.Deliveries...)
+	s.Reset()
+	empty, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Stats.Injected != 0 || empty.Stats.Delivered != 0 || len(empty.Deliveries) != 0 {
+		t.Fatalf("state survived Reset: %+v", empty.Stats)
+	}
+	if res.Stats != heldStats || !reflect.DeepEqual(res.Deliveries, heldDeliveries) {
+		t.Fatal("Reset+Run mutated a previously returned Result")
+	}
+}

@@ -157,9 +157,9 @@ func (h arrivalHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
-func (h *arrivalHeap) Pop() interface{} {
+func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -252,6 +252,29 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
+// Reset returns the simulator to its post-construction state so it can
+// be reused for another injection + Run cycle. The topology, route table
+// and configuration are retained (they are the expensive parts to
+// build); all packet state, statistics and the delivery trace are
+// cleared. One simulator per worker can therefore serve both placement
+// distance queries and repeated traffic replays.
+func (s *Simulator) Reset() {
+	for r := range s.buf {
+		for p := range s.buf[r] {
+			s.buf[r][p] = nil
+			s.reserved[r][p] = 0
+			s.rr[r][p] = 0
+			s.linkFree[r][p] = 0
+		}
+		s.buffered[r] = 0
+	}
+	s.pending = nil
+	s.arrivals = nil
+	s.nextID = 0
+	s.nextSeq = 0
+	s.result = Result{}
+}
+
 // route returns the cached output port at router r toward endpoint dst.
 func (s *Simulator) route(r, dst int) int { return int(s.routeTable[r][dst]) }
 
@@ -289,7 +312,8 @@ func (s *Simulator) Inject(p Packet) error {
 }
 
 // Run executes the simulation to completion and returns the aggregate
-// statistics with the full delivery trace. Run may only be called once.
+// statistics with the full delivery trace. Run may only be called once
+// per injection cycle; call Reset to reuse the simulator afterwards.
 func (s *Simulator) Run() (*Result, error) {
 	// Expand to unicast if multicast is disabled, then order by creation.
 	queue := make([]*flight, 0, len(s.pending))
@@ -491,7 +515,11 @@ func (s *Simulator) Run() (*Result, error) {
 	if st.Cycles > 0 && s.cfg.CyclesPerMs > 0 {
 		st.ThroughputPerMs = float64(st.Delivered) * float64(s.cfg.CyclesPerMs) / float64(st.Cycles)
 	}
-	return &s.result, nil
+	// Return a copy so a held Result survives a later Reset + Run cycle:
+	// Reset replaces s.result wholesale, so the copied Deliveries slice
+	// stays owned by the caller.
+	res := s.result
+	return &res, nil
 }
 
 // portsFor reports whether any remaining destination of f routes through

@@ -75,7 +75,7 @@ func NewProblem(g *graph.SpikeGraph, crossbars, crossbarSize int) (*Problem, err
 		Crossbars:    crossbars,
 		CrossbarSize: crossbarSize,
 		counts:       g.SpikeCounts(),
-		csr:          g.BuildCSR(),
+		csr:          g.CSR(),
 	}
 	// Build the in-adjacency.
 	n := g.Neurons
@@ -250,6 +250,12 @@ func (p *Problem) GlobalSynapses(a Assignment) []graph.Synapse {
 }
 
 // Partitioner produces a feasible assignment for a problem instance.
+//
+// The experiment engine runs techniques concurrently, so implementations
+// must be safe for concurrent Partition calls on one receiver: keep all
+// mutable optimization state local to the call (configuration read from
+// the receiver is fine). Every partitioner in this package satisfies
+// this.
 type Partitioner interface {
 	// Name identifies the technique in reports and benchmarks.
 	Name() string

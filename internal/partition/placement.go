@@ -9,11 +9,13 @@ import "fmt"
 // — placement is the complementary mapping stage, applied uniformly to
 // every technique before interconnect simulation so comparisons stay fair.
 //
-// hop must return the link distance between two physical crossbar slots.
+// hop must return the link distance between two physical crossbar slots;
+// a hop error aborts placement (distances are structural, so an error
+// means the caller wired the wrong topology, not a recoverable state).
 // The optimizer greedily applies label swaps (2-opt) until no swap reduces
 // the distance-weighted traffic Σ traffic[k1][k2]·hop(place[k1], place[k2]).
 // It returns a new assignment with relabelled crossbars.
-func PlaceCrossbars(p *Problem, a Assignment, hop func(a, b int) int) (Assignment, error) {
+func PlaceCrossbars(p *Problem, a Assignment, hop func(a, b int) (int, error)) (Assignment, error) {
 	if err := p.Validate(a); err != nil {
 		return nil, fmt.Errorf("partition: placement input: %w", err)
 	}
@@ -28,6 +30,23 @@ func PlaceCrossbars(p *Problem, a Assignment, hop func(a, b int) int) (Assignmen
 		}
 	}
 
+	// Distances are queried O(C²) times per 2-opt pass; resolve them once
+	// up front so hop errors surface immediately instead of mid-descent.
+	dist := make([][]int64, c)
+	for i := range dist {
+		dist[i] = make([]int64, c)
+		for j := 0; j < c; j++ {
+			if i == j {
+				continue
+			}
+			d, err := hop(i, j)
+			if err != nil {
+				return nil, fmt.Errorf("partition: placement hop(%d,%d): %w", i, j, err)
+			}
+			dist[i][j] = int64(d)
+		}
+	}
+
 	// place[logical] = physical slot.
 	place := make([]int, c)
 	for k := range place {
@@ -39,7 +58,7 @@ func PlaceCrossbars(p *Problem, a Assignment, hop func(a, b int) int) (Assignmen
 		for i := 0; i < c; i++ {
 			for j := i + 1; j < c; j++ {
 				if sym[i][j] != 0 {
-					total += sym[i][j] * int64(hop(place[i], place[j]))
+					total += sym[i][j] * dist[place[i]][place[j]]
 				}
 			}
 		}

@@ -1,17 +1,18 @@
 package partition
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
 
 // lineHop is a 1D placement distance: |a-b| hops.
-func lineHop(a, b int) int {
+func lineHop(a, b int) (int, error) {
 	if a > b {
-		return a - b
+		return a - b, nil
 	}
-	return b - a
+	return b - a, nil
 }
 
 func TestPlaceCrossbarsPreservesFitness(t *testing.T) {
@@ -49,7 +50,8 @@ func TestPlaceCrossbarsReducesDistanceWeightedTraffic(t *testing.T) {
 		var total int64
 		for i := range m {
 			for j := range m[i] {
-				total += m[i][j] * int64(lineHop(i, j))
+				d, _ := lineHop(i, j)
+				total += m[i][j] * int64(d)
 			}
 		}
 		return total
@@ -74,7 +76,7 @@ func TestPlaceCrossbarsIdentityUnderUniformDistance(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := randomFeasible(p, rng)
-	placed, err := PlaceCrossbars(p, a, func(x, y int) int { return 2 })
+	placed, err := PlaceCrossbars(p, a, func(x, y int) (int, error) { return 2, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,5 +139,19 @@ func TestPlaceCrossbarsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPlaceCrossbarsPropagatesHopError(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomGraph(rng, 20, 120)
+	p, err := NewProblem(g, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randomFeasible(p, rng)
+	wantErr := errors.New("broken topology")
+	if _, err := PlaceCrossbars(p, a, func(x, y int) (int, error) { return 0, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("hop error not propagated, got %v", err)
 	}
 }

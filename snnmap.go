@@ -21,16 +21,22 @@
 package snnmap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/apps"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/hardware"
 	"repro/internal/metrics"
 	"repro/internal/noc"
 	"repro/internal/partition"
 )
+
+// SweepConfig bounds the concurrency of the experiment engine underneath
+// Compare and the Run* experiment drivers (see internal/engine).
+type SweepConfig = engine.Config
 
 // AER packetization modes, re-exported from internal/hardware.
 const (
@@ -184,20 +190,19 @@ func RunOpts(app *App, arch Arch, pt Partitioner, opts Options) (*Report, error)
 		return nil, err
 	}
 
-	// Placement: relabel logical crossbars onto physical interconnect
-	// slots so heavy-traffic pairs sit close. Applied identically to
-	// every technique; the partitioning fitness is invariant under it.
-	dist, err := noc.NewSimulator(arch.NoCConfig())
+	// One interconnect simulator serves the whole run: placement queries
+	// its hop distances, then Reset clears the packet state and the same
+	// instance replays the global-synapse traffic. The topology and route
+	// table (the expensive parts) are built exactly once.
+	sim, err := noc.NewSimulator(arch.NoCConfig())
 	if err != nil {
 		return nil, err
 	}
-	placed, err := partition.PlaceCrossbars(p, res.Assign, func(a, b int) int {
-		d, derr := dist.HopDistance(a, b)
-		if derr != nil {
-			return 0
-		}
-		return d
-	})
+
+	// Placement: relabel logical crossbars onto physical interconnect
+	// slots so heavy-traffic pairs sit close. Applied identically to
+	// every technique; the partitioning fitness is invariant under it.
+	placed, err := partition.PlaceCrossbars(p, res.Assign, sim.HopDistance)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +227,8 @@ func RunOpts(app *App, arch Arch, pt Partitioner, opts Options) (*Report, error)
 	rep.LocalEvents = local.Events
 	rep.LocalEnergyPJ = local.EnergyPJ
 
-	nocRes, err := SimulateTraffic(app.Graph, res.Assign, arch)
+	sim.Reset()
+	nocRes, err := simulateTrafficOn(sim, app.Graph, res.Assign, arch)
 	if err != nil {
 		return nil, err
 	}
@@ -247,14 +253,21 @@ func RunOpts(app *App, arch Arch, pt Partitioner, opts Options) (*Report, error)
 //   - MulticastAER: one multicast packet per spike addressed to all
 //     destination crossbars (the Noxim++ multicast extension).
 func SimulateTraffic(g *SpikeGraph, assign Assignment, arch Arch) (*noc.Result, error) {
-	if len(assign) != g.Neurons {
-		return nil, fmt.Errorf("snnmap: assignment covers %d of %d neurons", len(assign), g.Neurons)
-	}
 	sim, err := noc.NewSimulator(arch.NoCConfig())
 	if err != nil {
 		return nil, err
 	}
-	csr := g.BuildCSR()
+	return simulateTrafficOn(sim, g, assign, arch)
+}
+
+// simulateTrafficOn is SimulateTraffic on a caller-provided simulator
+// (freshly constructed or Reset), letting one simulator per pipeline run
+// serve both placement distance queries and traffic replay.
+func simulateTrafficOn(sim *noc.Simulator, g *SpikeGraph, assign Assignment, arch Arch) (*noc.Result, error) {
+	if len(assign) != g.Neurons {
+		return nil, fmt.Errorf("snnmap: assignment covers %d of %d neurons", len(assign), g.Neurons)
+	}
+	csr := g.CSR()
 	multiplicity := make([]int, arch.Crossbars)
 	for i := 0; i < g.Neurons; i++ {
 		if len(g.Spikes[i]) == 0 {
@@ -320,16 +333,40 @@ func SimulateTraffic(g *SpikeGraph, assign Assignment, arch Arch) (*noc.Result, 
 	return sim.Run()
 }
 
-// Compare runs several techniques on the same application and architecture,
-// returning reports in technique order. This drives the paper's Fig. 5.
+// Compare runs several techniques on the same application and architecture
+// on the experiment engine's default worker pool (GOMAXPROCS jobs in
+// flight), returning reports in technique order. This drives the paper's
+// Fig. 5. The techniques run concurrently, so each Partitioner must be
+// safe for concurrent Partition calls — every partitioner in this module
+// is (see the Partitioner contract); callers needing strict sequential
+// execution (e.g. to bound peak memory on huge traces) should use
+// CompareSweep with Workers: 1.
 func Compare(app *App, arch Arch, techniques []Partitioner) ([]*Report, error) {
-	out := make([]*Report, 0, len(techniques))
-	for _, pt := range techniques {
-		rep, err := Run(app, arch, pt)
-		if err != nil {
-			return nil, fmt.Errorf("snnmap: %s on %s: %w", pt.Name(), app.Name, err)
+	return CompareSweep(context.Background(), app, arch, techniques, SweepConfig{})
+}
+
+// CompareSweep is Compare with explicit engine configuration: the
+// techniques are executed as one engine sweep, cfg.Workers jobs in flight
+// at a time (0 selects GOMAXPROCS, 1 runs sequentially). Each pipeline run
+// is deterministic for a fixed technique seed, so the reports are
+// identical at every worker count.
+func CompareSweep(ctx context.Context, app *App, arch Arch, techniques []Partitioner, cfg SweepConfig) ([]*Report, error) {
+	if app == nil || app.Graph == nil {
+		return nil, errors.New("snnmap: nil application")
+	}
+	results := engine.Sweep(ctx, cfg, techniques, func(_ context.Context, pt Partitioner) (*Report, error) {
+		return Run(app, arch, pt)
+	})
+	out := make([]*Report, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			name := "<nil>"
+			if techniques[i] != nil {
+				name = techniques[i].Name()
+			}
+			return nil, fmt.Errorf("snnmap: %s on %s: %w", name, app.Name, r.Err)
 		}
-		out = append(out, rep)
+		out[i] = r.Value
 	}
 	return out, nil
 }
