@@ -11,6 +11,7 @@ package snnmap
 // cmd/experiments without -quick for the full-fidelity numbers).
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -40,6 +41,64 @@ func BenchmarkFig5Sweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPipelineWarmVsCold measures what the session API amortizes: a
+// Fig. 5-style technique sweep (NEUTRAMS, PACMAN, greedy — deterministic,
+// so no optimizer time drowns the signal) on one application, run cold
+// (legacy Run: the problem instance — in-adjacency, spike counts — and the
+// interconnect topology rebuilt for every technique, the pre-Pipeline
+// behavior) versus warm (one NewPipeline serving the whole sweep). The
+// workload is synapse-heavy and spike-light (366k synapses, a 10 ms
+// characterization) so the per-run construction the session amortizes is
+// visible next to the mapping stages themselves; expect warm to win by
+// roughly the per-run setup × techniques. The sweep is also run at
+// parallel=4 to exercise the simulator pool.
+func BenchmarkPipelineWarmVsCold(b *testing.B) {
+	app, err := BuildSynthetic(AppConfig{Seed: 1, DurationMs: 10}, 2, 600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arch := PacmanCapableArch(app.Graph)
+	arch.AER = PerCrossbar
+	techniques := []Partitioner{Neutrams, Pacman, GreedyPartitioner}
+	app.Graph.CSR() // memoized on the graph: shared by both variants
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, pt := range techniques {
+				if _, err := Run(app, arch, pt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		pl, err := NewPipeline(app, arch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, pt := range techniques {
+				if _, err := pl.Run(context.Background(), pt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("warm-parallel=4", func(b *testing.B) {
+		pl, err := NewPipeline(app, arch, WithWorkers(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.Compare(context.Background(), techniques); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFig5 regenerates Fig. 5: normalized interconnect energy for

@@ -1,30 +1,39 @@
-// Command experiments regenerates every table and figure of the paper's
-// evaluation section as markdown tables:
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section from the experiment registry:
 //
-//	Fig. 5   — normalized interconnect energy, NEUTRAMS vs PACMAN vs PSO
-//	Table II — ISI distortion, disorder, throughput, latency per app
-//	Fig. 6   — architecture exploration (crossbar size sweep)
-//	Fig. 7   — PSO swarm-size exploration
-//	§V-B     — heartbeat estimation accuracy vs ISI distortion
-//	Ablations — optimizer comparison, AER packetization, NoC topology
+//	fig5               — normalized interconnect energy, NEUTRAMS vs PACMAN vs PSO
+//	table2             — ISI distortion, disorder, throughput, latency per app
+//	fig6               — architecture exploration (crossbar size sweep)
+//	fig7               — PSO swarm-size exploration
+//	accuracy           — heartbeat estimation accuracy vs ISI distortion (§V-B)
+//	ablation-optimizer — optimizer comparison
+//	ablation-aer       — AER packetization comparison
+//	ablation-topology  — NoC-tree vs NoC-mesh
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-parallel N] [-timeout D]
-//	            [-fig5] [-table2] [-fig6] [-fig7]
-//	            [-accuracy] [-ablations] [-all]
+//	experiments -list
+//	experiments -run fig5,table2 [-quick] [-seed N] [-parallel N] [-timeout D]
+//	            [-format text|json|csv] [-o FILE]
+//	experiments -all -quick
 //
-// Every driver runs on the concurrent experiment engine: -parallel bounds
-// the worker pool (0 = GOMAXPROCS, 1 = sequential) and -timeout bounds
-// each sweep job's wall clock. Results are identical at every worker
-// count for a fixed -seed.
+// Every experiment runs on the concurrent experiment engine through warm
+// pipeline sessions: -parallel bounds the worker pool (0 = GOMAXPROCS,
+// 1 = sequential) and -timeout bounds each sweep job's wall clock.
+// Results are identical at every worker count for a fixed -seed.
+// -format json emits a JSON array of column-typed tables that round-trips
+// through snnmap.ReadTablesJSON; -format csv emits one typed-header CSV
+// block per experiment (snnmap.ReadTableCSV).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strings"
 
 	snnmap "repro"
 )
@@ -34,186 +43,93 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		quick     = flag.Bool("quick", false, "smaller swarms and shorter runs (CI-sized)")
-		seed      = flag.Int64("seed", 1, "seed for all stochastic components")
-		parallel  = flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
-		timeout   = flag.Duration("timeout", 0, "per-job wall clock limit, e.g. 90s (0 = none)")
-		fig5      = flag.Bool("fig5", false, "regenerate Fig. 5 (energy comparison)")
-		table2    = flag.Bool("table2", false, "regenerate Table II (SNN metrics)")
-		fig6      = flag.Bool("fig6", false, "regenerate Fig. 6 (architecture exploration)")
-		fig7      = flag.Bool("fig7", false, "regenerate Fig. 7 (swarm-size exploration)")
-		accuracy  = flag.Bool("accuracy", false, "run the heartbeat-accuracy experiment (§V-B)")
-		ablations = flag.Bool("ablations", false, "run optimizer/AER/topology ablations")
-		all       = flag.Bool("all", false, "run everything")
+		list     = flag.Bool("list", false, "list the registered experiments and exit")
+		run      = flag.String("run", "", "comma-separated experiment names to run (see -list)")
+		all      = flag.Bool("all", false, "run every registered experiment")
+		quick    = flag.Bool("quick", false, "smaller swarms and shorter runs (CI-sized)")
+		seed     = flag.Int64("seed", 1, "seed for all stochastic components")
+		parallel = flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		timeout  = flag.Duration("timeout", 0, "per-job wall clock limit, e.g. 90s (0 = none)")
+		format   = flag.String("format", "text", "output format: text, json or csv")
+		outPath  = flag.String("o", "", "write output to FILE instead of stdout")
 	)
 	flag.Parse()
 
-	opts := snnmap.ExpOptions{Quick: *quick, Seed: *seed, Parallel: *parallel, Timeout: *timeout}
-	any := false
-	run := func(enabled bool, f func(snnmap.ExpOptions) error) {
-		if enabled || *all {
-			any = true
-			if err := f(opts); err != nil {
-				log.Fatal(err)
-			}
+	if *list {
+		for _, e := range snnmap.Experiments() {
+			fmt.Printf("%-20s %s\n", e.Name(), e.Describe())
+		}
+		return
+	}
+
+	names := snnmap.ExperimentNames()
+	if !*all {
+		if *run == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		names = nil
+		for _, n := range strings.Split(*run, ",") {
+			names = append(names, strings.TrimSpace(n))
 		}
 	}
 
-	run(*fig5, printFig5)
-	run(*table2, printTable2)
-	run(*fig6, printFig6)
-	run(*fig7, printFig7)
-	run(*accuracy, printAccuracy)
-	run(*ablations, printAblations)
+	opts := snnmap.ExpOptions{Quick: *quick, Seed: *seed, Parallel: *parallel, Timeout: *timeout}
+	tables := make([]*snnmap.Table, 0, len(names))
+	for _, name := range names {
+		exp, err := snnmap.LookupExperiment(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t, err := exp.Run(context.Background(), snnmap.NewPipeline, opts)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		tables = append(tables, t)
+	}
 
-	if !any {
-		flag.Usage()
-		os.Exit(2)
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		out = f
+	}
+	if err := write(out, tables, *format); err != nil {
+		log.Fatal(err)
 	}
 }
 
-func printFig5(opts snnmap.ExpOptions) error {
-	rows, err := snnmap.RunFig5(opts)
-	if err != nil {
-		return err
+func write(w io.Writer, tables []*snnmap.Table, format string) error {
+	switch format {
+	case "text":
+		for _, t := range tables {
+			if err := t.WriteText(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "json":
+		return snnmap.WriteTablesJSON(w, tables)
+	case "csv":
+		for i, t := range tables {
+			if i > 0 {
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return err
+				}
+			}
+			if err := t.WriteCSV(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (text, json, csv)", format)
 	}
-	fmt.Println("## Figure 5 — Normalized energy on the global synapse interconnect")
-	fmt.Println()
-	fmt.Println("| Topology | Neurons | Synapses | NEUTRAMS | PACMAN | Proposed PSO | PSO vs NEUTRAMS | PSO vs PACMAN |")
-	fmt.Println("|---|---|---|---|---|---|---|---|")
-	var sumN, sumP float64
-	var cnt int
-	for _, r := range rows {
-		impN := (1 - safeDiv(r.Normalized["PSO"], r.Normalized["NEUTRAMS"])) * 100
-		impP := (1 - safeDiv(r.Normalized["PSO"], r.Normalized["PACMAN"])) * 100
-		sumN += impN
-		sumP += impP
-		cnt++
-		fmt.Printf("| %s | %d | %d | %.3f | %.3f | %.3f | %.1f%% | %.1f%% |\n",
-			r.App, r.Neurons, r.Synapses,
-			r.Normalized["NEUTRAMS"], r.Normalized["PACMAN"], r.Normalized["PSO"],
-			impN, impP)
-	}
-	fmt.Printf("\nAverage improvement: %.1f%% vs NEUTRAMS, %.1f%% vs PACMAN (paper: 20.2%% / 17.2%% synthetic, 38%% / 33%% realistic)\n\n",
-		sumN/float64(cnt), sumP/float64(cnt))
-	return nil
-}
-
-func printTable2(opts snnmap.ExpOptions) error {
-	rows, err := snnmap.RunTable2(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println("## Table II — SNN metric evaluation for realistic applications")
-	fmt.Println()
-	fmt.Println("| Metric | App | PACMAN | Proposed |")
-	fmt.Println("|---|---|---|---|")
-	for _, r := range rows {
-		fmt.Printf("| ISI distortion (cycles) | %s | %.1f | %.1f |\n", r.App, r.Pacman.ISIDistortionCycles, r.PSO.ISIDistortionCycles)
-		fmt.Printf("| Disorder count (%%) | %s | %.2f | %.2f |\n", r.App, r.Pacman.DisorderFrac*100, r.PSO.DisorderFrac*100)
-		fmt.Printf("| Throughput (AER/ms) | %s | %.2f | %.2f |\n", r.App, r.Pacman.ThroughputPerMs, r.PSO.ThroughputPerMs)
-		fmt.Printf("| Latency (cycles) | %s | %d | %d |\n", r.App, r.Pacman.MaxLatencyCycles, r.PSO.MaxLatencyCycles)
-	}
-	fmt.Println()
-	return nil
-}
-
-func printFig6(opts snnmap.ExpOptions) error {
-	rows, err := snnmap.RunFig6(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println("## Figure 6 — Architecture exploration (digit recognition)")
-	fmt.Println()
-	fmt.Println("| Neurons/crossbar | Crossbars | Local energy (µJ) | Global energy (µJ) | Total (µJ) | Max latency (cycles) |")
-	fmt.Println("|---|---|---|---|---|---|")
-	for _, r := range rows {
-		fmt.Printf("| %d | %d | %.2f | %.2f | %.2f | %d |\n",
-			r.NeuronsPerCrossbar, r.Crossbars, r.LocalEnergyUJ, r.GlobalEnergyUJ, r.TotalEnergyUJ, r.MaxLatencyCycles)
-	}
-	fmt.Println()
-	return nil
-}
-
-func printFig7(opts snnmap.ExpOptions) error {
-	points, err := snnmap.RunFig7(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println("## Figure 7 — Exploration with swarm size (iterations = 100)")
-	fmt.Println()
-	fmt.Println("| Application | Swarm size | Energy (pJ) | Normalized |")
-	fmt.Println("|---|---|---|---|")
-	for _, p := range points {
-		fmt.Printf("| %s | %d | %.0f | %.3f |\n", p.App, p.SwarmSize, p.EnergyPJ, p.Normalized)
-	}
-	fmt.Println()
-	return nil
-}
-
-func printAccuracy(opts snnmap.ExpOptions) error {
-	rep, err := snnmap.RunAccuracy(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println("## §V-B — Heartbeat estimation accuracy vs ISI distortion")
-	fmt.Println()
-	fmt.Printf("True heart rate: %.1f BPM; estimate from undistorted source times: %.1f BPM\n\n", rep.TrueBPM, rep.SourceBPM)
-	fmt.Println("| Technique | ISI distortion (cycles) | Estimated BPM | Rate error | Beat-interval error |")
-	fmt.Println("|---|---|---|---|---|")
-	for _, r := range rep.Rows {
-		fmt.Printf("| %s | %.1f | %.1f | %.1f%% | %.1f%% |\n",
-			r.Technique, r.ISIDistortionCycles, r.EstimatedBPM, r.ErrorPct, r.IntervalErrorPct)
-	}
-	fmt.Println()
-	return nil
-}
-
-func printAblations(opts snnmap.ExpOptions) error {
-	opt, err := snnmap.RunOptimizerAblation(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println("## Ablation — optimizer comparison (synthetic 2x200)")
-	fmt.Println()
-	fmt.Println("| Technique | Fitness F (spikes on interconnect) | Wall clock |")
-	fmt.Println("|---|---|---|")
-	for _, r := range opt {
-		fmt.Printf("| %s | %d | %s |\n", r.Technique, r.Cost, r.WallClock.Round(100_000))
-	}
-	fmt.Println()
-
-	aer, err := snnmap.RunAERModeAblation(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println("## Ablation — AER packetization (digit recognition, PSO mapping)")
-	fmt.Println()
-	fmt.Println("| Mode | Injected packets | Link hops | Energy (pJ) | Avg latency (cycles) |")
-	fmt.Println("|---|---|---|---|---|")
-	for _, r := range aer {
-		fmt.Printf("| %s | %d | %d | %.0f | %.1f |\n", r.Mode, r.Injected, r.HopCount, r.EnergyPJ, r.AvgLatency)
-	}
-	fmt.Println()
-
-	topo, err := snnmap.RunTopologyAblation(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Println("## Ablation — interconnect topology (image smoothing, PSO mapping)")
-	fmt.Println()
-	fmt.Println("| Topology | Energy (pJ) | Avg latency (cycles) | Max latency (cycles) |")
-	fmt.Println("|---|---|---|---|")
-	for _, r := range topo {
-		fmt.Printf("| %s | %.0f | %.1f | %d |\n", r.Topology, r.EnergyPJ, r.AvgLatency, r.MaxLatency)
-	}
-	fmt.Println()
-	return nil
-}
-
-func safeDiv(a, b float64) float64 {
-	if b == 0 {
-		return 0
-	}
-	return a / b
 }

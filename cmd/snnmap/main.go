@@ -1,16 +1,23 @@
 // Command snnmap runs the full mapping pipeline for one application on one
-// architecture and prints the resulting energy, latency and SNN metrics
-// (or JSON with -json). -partitioner accepts a comma-separated list of
-// techniques; multiple techniques run concurrently as one sweep on the
-// experiment engine (-parallel bounds the worker pool, -timeout each
-// job's wall clock), printing one report per technique in list order.
+// architecture and prints the resulting energy, latency and SNN metrics.
+// Partitioners and architectures are resolved from the library registries
+// (-list enumerates both). -partitioner accepts a comma-separated list of
+// techniques; multiple techniques share one warm pipeline session and run
+// concurrently as one sweep (-parallel bounds the worker pool, -timeout
+// each technique's wall clock), printing one report per technique in list
+// order.
+//
+// Output is selected with -format: text (human-readable, default), json
+// (full reports) or csv (one summary row per technique, typed header);
+// -o FILE redirects any format to a file.
 //
 // Examples:
 //
+//	snnmap -list
 //	snnmap -app HD -partitioner pso -crossbars 8 -size 200
 //	snnmap -app synth -layers 2 -width 200 -partitioner pacman
-//	snnmap -app HE -topology mesh -json
-//	snnmap -app IS -partitioner neutrams,pacman,pso -parallel 3
+//	snnmap -app HE -topology mesh -format json
+//	snnmap -app IS -partitioner neutrams,pacman,pso -parallel 3 -format csv -o out.csv
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -25,7 +33,6 @@ import (
 	snnmap "repro"
 	"repro/internal/hardware"
 	"repro/internal/noc"
-	"repro/internal/partition"
 )
 
 func main() {
@@ -33,31 +40,52 @@ func main() {
 	log.SetPrefix("snnmap: ")
 
 	var (
+		list     = flag.Bool("list", false, "list registered partitioners and architectures, then exit")
 		appName  = flag.String("app", "HW", "application: HW, IS, HD, HE or synth")
 		layers   = flag.Int("layers", 2, "synthetic app: number of layers")
 		width    = flag.Int("width", 200, "synthetic app: neurons per layer")
 		duration = flag.Int64("duration", 0, "characterization run length in ms (0 = app default)")
 		seed     = flag.Int64("seed", 1, "seed for all stochastic components")
 
-		tech      = flag.String("partitioner", "pso", "comma-separated techniques: pso, pacman, neutrams, greedy, kl, sa, ga, random")
+		tech      = flag.String("partitioner", "pso", "comma-separated techniques from the partitioner registry (see -list)")
 		swarm     = flag.Int("swarm", 100, "PSO swarm size")
 		iters     = flag.Int("iterations", 100, "PSO iterations")
 		parallel  = flag.Int("parallel", 0, "worker pool size for the technique sweep and PSO swarm evaluation (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "per-technique wall clock limit, e.g. 90s (0 = none)")
 		crossbars = flag.Int("crossbars", 0, "crossbar count (0 = sized from the app)")
 		size      = flag.Int("size", 0, "neurons per crossbar (0 = sized from the app)")
-		topology  = flag.String("topology", "tree", "interconnect: tree or mesh")
+		topology  = flag.String("topology", "tree", "architecture family from the registry (see -list)")
 		aer       = flag.String("aer", "per-synapse", "AER packetization: per-synapse, per-crossbar, multicast")
-		asJSON    = flag.Bool("json", false, "print the full report as JSON")
+		format    = flag.String("format", "text", "output format: text, json or csv")
+		outPath   = flag.String("o", "", "write output to FILE instead of stdout")
+		asJSON    = flag.Bool("json", false, "deprecated: alias for -format json")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Printf("partitioners:  %s\n", strings.Join(snnmap.PartitionerNames(), ", "))
+		fmt.Printf("architectures: %s\n", strings.Join(snnmap.ArchNames(), ", "))
+		fmt.Printf("experiments:   %s (see cmd/experiments -list)\n", strings.Join(snnmap.ExperimentNames(), ", "))
+		return
+	}
+	if *asJSON {
+		*format = "json"
+	}
 
 	app, err := buildApp(*appName, *layers, *width, *seed, *duration)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	arch, err := buildArch(app, *topology, *crossbars, *size, *aer)
+	aerMode, err := hardware.ParseAERMode(*aer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch, err := snnmap.NewArch(*topology, app.Graph, snnmap.ArchSpec{
+		Crossbars:    *crossbars,
+		CrossbarSize: *size,
+		AER:          aerMode,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,37 +100,71 @@ func main() {
 	}
 	var techniques []snnmap.Partitioner
 	for _, name := range names {
-		pt, err := buildPartitioner(strings.TrimSpace(name), *swarm, *iters, *seed, psoWorkers)
+		pt, err := snnmap.NewPartitioner(strings.TrimSpace(name), snnmap.PartitionerSpec{
+			Seed:       *seed,
+			SwarmSize:  *swarm,
+			Iterations: *iters,
+			Workers:    psoWorkers,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		techniques = append(techniques, pt)
 	}
 
-	cfg := snnmap.SweepConfig{Workers: *parallel, Timeout: *timeout}
-	reports, err := snnmap.CompareSweep(context.Background(), app, arch, techniques, cfg)
+	pipe, err := snnmap.NewPipeline(app, arch,
+		snnmap.WithWorkers(*parallel), snnmap.WithTimeout(*timeout))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, err := pipe.Compare(context.Background(), techniques)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if len(reports) == 1 {
-			err = enc.Encode(reports[0])
-		} else {
-			err = enc.Encode(reports)
-		}
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		out = f
 	}
-	for i, rep := range reports {
-		if i > 0 {
-			fmt.Println()
+	if err := write(out, reports, arch, *format); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func write(w io.Writer, reports []*snnmap.Report, arch snnmap.Arch, format string) error {
+	switch format {
+	case "text":
+		for i, rep := range reports {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			printReport(w, rep, arch)
 		}
-		printReport(rep, arch)
+		return nil
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if len(reports) == 1 {
+			return enc.Encode(reports[0])
+		}
+		return enc.Encode(reports)
+	case "csv":
+		t, err := snnmap.NewReportTable(reports...)
+		if err != nil {
+			return err
+		}
+		return t.WriteCSV(w)
+	default:
+		return fmt.Errorf("unknown format %q (text, json, csv)", format)
 	}
 }
 
@@ -114,81 +176,24 @@ func buildApp(name string, layers, width int, seed, duration int64) (*snnmap.App
 	return snnmap.BuildApp(name, cfg)
 }
 
-func buildArch(app *snnmap.App, topology string, crossbars, size int, aer string) (snnmap.Arch, error) {
-	n := app.Graph.Neurons
-	if size == 0 {
-		size = (n*115/100 + 3) / 4
-		if size < 1 {
-			size = 1
-		}
-	}
-	var arch snnmap.Arch
-	switch topology {
-	case "tree":
-		arch = hardware.ForNeurons(n, size)
-	case "mesh":
-		c := (n + size - 1) / size
-		arch = hardware.MeshChip(c, size)
-	default:
-		return snnmap.Arch{}, fmt.Errorf("unknown topology %q", topology)
-	}
-	if crossbars > 0 {
-		arch.Crossbars = crossbars
-	}
-	switch aer {
-	case "per-synapse":
-		arch.AER = hardware.PerSynapse
-	case "per-crossbar":
-		arch.AER = hardware.PerCrossbar
-	case "multicast":
-		arch.AER = hardware.MulticastAER
-	default:
-		return snnmap.Arch{}, fmt.Errorf("unknown AER mode %q", aer)
-	}
-	return arch, nil
-}
-
-func buildPartitioner(name string, swarm, iters int, seed int64, workers int) (snnmap.Partitioner, error) {
-	switch name {
-	case "pso":
-		return snnmap.NewPSO(snnmap.PSOConfig{SwarmSize: swarm, Iterations: iters, Seed: seed, Workers: workers}), nil
-	case "pacman":
-		return snnmap.Pacman, nil
-	case "neutrams":
-		return snnmap.Neutrams, nil
-	case "greedy":
-		return snnmap.GreedyPartitioner, nil
-	case "kl":
-		return partition.KLRefine{Base: partition.Greedy{}}, nil
-	case "sa":
-		return partition.Annealing{Seed: seed}, nil
-	case "ga":
-		return partition.Genetic{Seed: seed}, nil
-	case "random":
-		return partition.Random{Seed: seed}, nil
-	default:
-		return nil, fmt.Errorf("unknown partitioner %q", name)
-	}
-}
-
-func printReport(rep *snnmap.Report, arch snnmap.Arch) {
-	fmt.Printf("application        %s (%d neurons, %d synapses)\n", rep.AppName, rep.Neurons, rep.Synapses)
-	fmt.Printf("architecture       %s: %d crossbars × %d neurons, %s interconnect, AER %s\n",
+func printReport(w io.Writer, rep *snnmap.Report, arch snnmap.Arch) {
+	fmt.Fprintf(w, "application        %s (%d neurons, %d synapses)\n", rep.AppName, rep.Neurons, rep.Synapses)
+	fmt.Fprintf(w, "architecture       %s: %d crossbars × %d neurons, %s interconnect, AER %s\n",
 		rep.ArchName, arch.Crossbars, arch.CrossbarSize, kindName(arch.Interconnect), arch.AER)
-	fmt.Printf("technique          %s\n", rep.Technique)
-	fmt.Println()
-	fmt.Printf("local synapses     %d\n", rep.LocalSynapseCount)
-	fmt.Printf("global synapses    %d\n", rep.GlobalSynapseCount)
-	fmt.Printf("fitness F          %d spikes on interconnect (Eq. 8)\n", rep.GlobalTraffic)
-	fmt.Println()
-	fmt.Printf("local energy       %.2f µJ (%d synaptic events)\n", rep.LocalEnergyPJ/1e6, rep.LocalEvents)
-	fmt.Printf("global energy      %.2f µJ (%d packets, %d hops)\n", rep.GlobalEnergyPJ/1e6, rep.NoC.Injected, rep.NoC.PacketHops)
-	fmt.Printf("total energy       %.2f µJ\n", rep.TotalEnergyPJ/1e6)
-	fmt.Println()
-	fmt.Printf("ISI distortion     %.1f cycles avg, %d max\n", rep.Metrics.ISIAvgCycles, rep.Metrics.ISIMaxCycles)
-	fmt.Printf("disorder count     %.2f%% of %d spikes\n", rep.Metrics.DisorderFrac*100, rep.Metrics.Delivered)
-	fmt.Printf("throughput         %.2f AER/ms\n", rep.Metrics.ThroughputPerMs)
-	fmt.Printf("latency            %.1f cycles avg, %d max\n", rep.Metrics.AvgLatencyCycles, rep.Metrics.MaxLatencyCycles)
+	fmt.Fprintf(w, "technique          %s\n", rep.Technique)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "local synapses     %d\n", rep.LocalSynapseCount)
+	fmt.Fprintf(w, "global synapses    %d\n", rep.GlobalSynapseCount)
+	fmt.Fprintf(w, "fitness F          %d spikes on interconnect (Eq. 8)\n", rep.GlobalTraffic)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "local energy       %.2f µJ (%d synaptic events)\n", rep.LocalEnergyPJ/1e6, rep.LocalEvents)
+	fmt.Fprintf(w, "global energy      %.2f µJ (%d packets, %d hops)\n", rep.GlobalEnergyPJ/1e6, rep.NoC.Injected, rep.NoC.PacketHops)
+	fmt.Fprintf(w, "total energy       %.2f µJ\n", rep.TotalEnergyPJ/1e6)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "ISI distortion     %.1f cycles avg, %d max\n", rep.Metrics.ISIAvgCycles, rep.Metrics.ISIMaxCycles)
+	fmt.Fprintf(w, "disorder count     %.2f%% of %d spikes\n", rep.Metrics.DisorderFrac*100, rep.Metrics.Delivered)
+	fmt.Fprintf(w, "throughput         %.2f AER/ms\n", rep.Metrics.ThroughputPerMs)
+	fmt.Fprintf(w, "latency            %.1f cycles avg, %d max\n", rep.Metrics.AvgLatencyCycles, rep.Metrics.MaxLatencyCycles)
 }
 
 func kindName(k noc.Kind) string { return k.String() }

@@ -1,11 +1,11 @@
 // Architecture exploration (the paper's Fig. 6): given the digit
 // recognition application, is an architecture with a few large crossbars or
-// many small crossbars preferable? The sweep grows the crossbar size,
-// re-partitions with the PSO at every point, and reports the local/global
-// energy split and worst-case interconnect latency. Local energy rises with
-// crossbar size (longer nanowires, more local events) while global energy
-// and latency fall (fewer spikes cross) — the best design sits at an
-// intermediate point.
+// many small crossbars preferable? The registered "fig6" experiment grows
+// the crossbar size, re-partitions with the PSO at every point, and reports
+// the local/global energy split and worst-case interconnect latency as a
+// column-typed table. Local energy rises with crossbar size (longer
+// nanowires, more local events) while global energy and latency fall (fewer
+// spikes cross) — the best design sits at an intermediate point.
 //
 // Run with:
 //
@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	snnmap "repro"
 )
@@ -26,27 +28,30 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
-	rows, err := snnmap.RunFig6(snnmap.ExpOptions{Quick: *quick, Seed: *seed})
+	exp, err := snnmap.LookupExperiment("fig6")
 	if err != nil {
 		log.Fatal(err)
 	}
+	table, err := exp.Run(context.Background(), snnmap.NewPipeline,
+		snnmap.ExpOptions{Quick: *quick, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := table.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 
-	fmt.Println("digit recognition on tree interconnects, PSO partitioning")
-	fmt.Println()
-	fmt.Printf("%8s %10s %12s %13s %12s %12s\n",
-		"Nc", "crossbars", "local (µJ)", "global (µJ)", "total (µJ)", "latency")
-	var best *snnmap.Fig6Row
-	for i := range rows {
-		r := &rows[i]
-		fmt.Printf("%8d %10d %12.2f %13.2f %12.2f %12d\n",
-			r.NeuronsPerCrossbar, r.Crossbars, r.LocalEnergyUJ, r.GlobalEnergyUJ,
-			r.TotalEnergyUJ, r.MaxLatencyCycles)
-		if best == nil || r.TotalEnergyUJ < best.TotalEnergyUJ {
-			best = r
+	// Read the optimum back off the typed table.
+	nc := table.Column("neurons_per_crossbar")
+	cb := table.Column("crossbars")
+	tot := table.Column("total_energy_uj")
+	var best []any
+	for _, row := range table.Rows {
+		if best == nil || row[tot].(float64) < best[tot].(float64) {
+			best = row
 		}
 	}
-	fmt.Println()
 	fmt.Printf("best total energy at %d neurons per crossbar (%d crossbars)\n",
-		best.NeuronsPerCrossbar, best.Crossbars)
+		best[nc].(int64), best[cb].(int64))
 	fmt.Println("the optimum is an intermediate point between the extremes (paper §V-C)")
 }

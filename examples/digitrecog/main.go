@@ -1,7 +1,9 @@
 // Digit recognition mapping: the handwritten digit application of the
 // paper's Table I (Diehl & Cook-style unsupervised (250, 250) network with
 // STDP), mapped with all three techniques of Fig. 5 onto a CxQuad-style
-// architecture. Prints the per-technique energy split and SNN metrics.
+// architecture through one warm pipeline session. Prints the per-technique
+// energy split and SNN metrics, plus a stage-by-stage trace of the PSO run
+// via the pipeline's observer hook.
 //
 // Run with:
 //
@@ -9,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,14 +36,27 @@ func main() {
 	arch := snnmap.PacmanCapableArch(app.Graph)
 	fmt.Printf("architecture: %d crossbars × %d neurons (NoC-tree)\n\n", arch.Crossbars, arch.CrossbarSize)
 
+	// One warm session maps all three techniques; the observer prints
+	// each pipeline stage of the PSO run as it completes.
+	pipe, err := snnmap.NewPipeline(app, arch,
+		snnmap.WithObserver(snnmap.ObserverFunc(func(ev snnmap.StageEvent) {
+			if ev.Technique == "PSO" {
+				fmt.Printf("  [stage] %-9s %-8s %s\n", ev.Stage, ev.Technique, ev.Elapsed.Round(1e6))
+			}
+		})))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	pso := snnmap.NewPSO(snnmap.PSOConfig{SwarmSize: 60, Iterations: 60, Seed: *seed})
-	reports, err := snnmap.Compare(app, arch, []snnmap.Partitioner{
+	reports, err := pipe.Compare(context.Background(), []snnmap.Partitioner{
 		snnmap.Neutrams, snnmap.Pacman, pso,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	fmt.Println()
 	fmt.Printf("%-10s %14s %14s %12s %10s %10s\n",
 		"technique", "global energy", "local energy", "ISI (cyc)", "disorder", "latency")
 	var neutramsEnergy float64

@@ -5,7 +5,8 @@
 // readout, and the heart rate is estimated from the spike stream both at
 // the source and after crossing a congested interconnect — quantifying the
 // paper's §V-B observation that lower ISI distortion improves estimation
-// accuracy.
+// accuracy. Both techniques run through the registered "accuracy"
+// experiment, sharing one traced warm pipeline session.
 //
 // Run with:
 //
@@ -13,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,19 +27,34 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for ECG generation, connectivity and PSO")
 	flag.Parse()
 
-	rep, err := snnmap.RunAccuracy(snnmap.ExpOptions{Seed: *seed})
+	exp, err := snnmap.LookupExperiment("accuracy")
 	if err != nil {
 		log.Fatal(err)
 	}
+	table, err := exp.Run(context.Background(), snnmap.NewPipeline, snnmap.ExpOptions{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(table.Rows) == 0 {
+		log.Fatal("accuracy experiment produced no rows")
+	}
 
-	fmt.Printf("true heart rate:               %.1f BPM\n", rep.TrueBPM)
-	fmt.Printf("estimate from source times:    %.1f BPM\n\n", rep.SourceBPM)
+	trueCol := table.Column("true_bpm")
+	srcCol := table.Column("source_bpm")
+	fmt.Printf("true heart rate:               %.1f BPM\n", table.Rows[0][trueCol].(float64))
+	fmt.Printf("estimate from source times:    %.1f BPM\n\n", table.Rows[0][srcCol].(float64))
 	fmt.Println("after crossing a heavily time-multiplexed interconnect:")
 	fmt.Printf("%-10s %22s %15s %12s %16s\n",
 		"technique", "ISI distortion (cyc)", "estimated BPM", "rate error", "interval error")
-	for _, r := range rep.Rows {
+	techCol := table.Column("technique")
+	isiCol := table.Column("isi_distortion_cycles")
+	bpmCol := table.Column("estimated_bpm")
+	rateCol := table.Column("rate_error_pct")
+	intCol := table.Column("interval_error_pct")
+	for _, row := range table.Rows {
 		fmt.Printf("%-10s %22.1f %15.1f %11.1f%% %15.2f%%\n",
-			r.Technique, r.ISIDistortionCycles, r.EstimatedBPM, r.ErrorPct, r.IntervalErrorPct)
+			row[techCol].(string), row[isiCol].(float64), row[bpmCol].(float64),
+			row[rateCol].(float64), row[intCol].(float64))
 	}
 	fmt.Println()
 	fmt.Println("The PSO mapping sends fewer spikes across the interconnect, so")

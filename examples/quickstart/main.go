@@ -1,9 +1,12 @@
 // Quickstart: the smallest end-to-end use of the public API.
 //
 // It builds a small synthetic SNN (two fully connected feedforward layers
-// driven by ten Poisson sources, as in the paper's §V-A), maps it onto a
-// CxQuad-style architecture with the paper's PSO partitioner, and prints
-// the energy/latency/SNN metrics the framework reports.
+// driven by ten Poisson sources, as in the paper's §V-A), opens a warm
+// pipeline session for it on a CxQuad-style architecture, maps it with the
+// paper's PSO partitioner, and prints the energy/latency/SNN metrics the
+// framework reports. The same session then serves the baseline comparison
+// of the paper's Fig. 5 — the expensive per-(app, arch) state (CSR
+// adjacency, problem instance, interconnect topology) is built once.
 //
 // Run with:
 //
@@ -11,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +23,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// 1. Build and characterize an application. The simulator (the
 	// CARLsim substitute) runs the network for 500 ms and records every
@@ -36,10 +41,18 @@ func main() {
 	fmt.Printf("architecture: %s — %d crossbars × %d neurons\n",
 		arch.Name, arch.Crossbars, arch.CrossbarSize)
 
-	// 3. Partition into local and global synapses with the paper's PSO
+	// 3. Open a warm session for the (application, architecture) pair.
+	// NewPipeline builds the spike-graph adjacency, the partitioning
+	// problem and the interconnect topology once; every Run reuses them.
+	pipe, err := snnmap.NewPipeline(app, arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Partition into local and global synapses with the paper's PSO
 	// and replay the global traffic on the interconnect simulator.
 	pso := snnmap.NewPSO(snnmap.PSOConfig{SwarmSize: 50, Iterations: 50, Seed: 1})
-	report, err := snnmap.Run(app, arch, pso)
+	report, err := pipe.Run(ctx, pso)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,10 +70,11 @@ func main() {
 		report.Metrics.AvgLatencyCycles, report.Metrics.MaxLatencyCycles)
 	fmt.Printf("throughput:       %.2f AER packets/ms\n", report.Metrics.ThroughputPerMs)
 
-	// 4. Compare against the two baselines of the paper's Fig. 5.
+	// 5. Compare against the two baselines of the paper's Fig. 5 on the
+	// same warm session — no per-technique setup cost.
 	fmt.Println()
 	fmt.Println("technique   interconnect energy (pJ)")
-	reports, err := snnmap.Compare(app, arch, []snnmap.Partitioner{
+	reports, err := pipe.Compare(ctx, []snnmap.Partitioner{
 		snnmap.Neutrams, snnmap.Pacman, pso,
 	})
 	if err != nil {

@@ -1,9 +1,11 @@
 // Swarm-size exploration (the paper's Fig. 7): how many particles does the
-// PSO need? The sweep runs the optimizer with growing swarm sizes at a
-// fixed iteration budget on two realistic and two synthetic applications,
-// with heuristic seeding disabled so the curve reflects pure swarm search.
-// Larger swarms find better (or equal) partitions; the paper settles on
-// 1000 particles, past which no further improvement appears.
+// PSO need? The registered "fig7" experiment runs the optimizer with
+// growing swarm sizes at a fixed iteration budget on two realistic and two
+// synthetic applications, with heuristic seeding disabled so the curve
+// reflects pure swarm search. Larger swarms find better (or equal)
+// partitions; the paper settles on 1000 particles, past which no further
+// improvement appears. All swarm sizes of one application run through one
+// warm pipeline session.
 //
 // Run with:
 //
@@ -11,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,25 +27,34 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
-	points, err := snnmap.RunFig7(snnmap.ExpOptions{Quick: *quick, Seed: *seed})
+	exp, err := snnmap.LookupExperiment("fig7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := exp.Run(context.Background(), snnmap.NewPipeline,
+		snnmap.ExpOptions{Quick: *quick, Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("interconnect energy vs PSO swarm size (normalized per app to the sweep minimum)")
-	fmt.Println()
+	appCol := table.Column("app")
+	sizeCol := table.Column("swarm_size")
+	energyCol := table.Column("energy_pj")
+	normCol := table.Column("normalized")
 	app := ""
-	for _, p := range points {
-		if p.App != app {
-			app = p.App
+	for _, row := range table.Rows {
+		if row[appCol].(string) != app {
+			app = row[appCol].(string)
 			fmt.Printf("\n%s\n", app)
 			fmt.Printf("%12s %16s %12s\n", "swarm size", "energy (pJ)", "normalized")
 		}
+		norm := row[normCol].(float64)
 		bar := ""
-		n := int((p.Normalized - 1) * 50)
+		n := int((norm - 1) * 50)
 		for i := 0; i < n && i < 40; i++ {
 			bar += "#"
 		}
-		fmt.Printf("%12d %16.0f %12.3f %s\n", p.SwarmSize, p.EnergyPJ, p.Normalized, bar)
+		fmt.Printf("%12d %16.0f %12.3f %s\n", row[sizeCol].(int64), row[energyCol].(float64), norm, bar)
 	}
 }

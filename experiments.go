@@ -141,12 +141,28 @@ type workload struct {
 
 // buildWorkloads characterizes every workload (an SNN simulation each) as
 // one engine sweep, returning the built applications in workload order.
-func buildWorkloads(opts ExpOptions, workloads []workload) ([]*App, error) {
-	results := engine.Sweep(context.Background(), opts.engineConfig(), workloads,
+func buildWorkloads(ctx context.Context, opts ExpOptions, workloads []workload) ([]*App, error) {
+	results := engine.Sweep(ctx, opts.engineConfig(), workloads,
 		func(_ context.Context, w workload) (*App, error) {
 			return w.builder(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(w.durMs)})
 		})
 	return valuesNamed(results, func(i int) string { return "building " + workloads[i].name })
+}
+
+// buildPipelines opens one warm session per built workload through the
+// experiment's pipeline factory — the per-(app, arch) state (problem
+// instance, interconnect topology, characterization) is then shared by
+// every technique the grid runs on that workload.
+func buildPipelines(pf PipelineFactory, built []*App, archFor func(g *SpikeGraph) Arch, popts ...Option) ([]*Pipeline, error) {
+	out := make([]*Pipeline, len(built))
+	for i, app := range built {
+		pl, err := pf(app, archFor(app.Graph), popts...)
+		if err != nil {
+			return nil, fmt.Errorf("snnmap: opening pipeline for %s: %w", app.Name, err)
+		}
+		out[i] = pl
+	}
+	return out, nil
 }
 
 // valuesNamed unwraps a sweep's results, wrapping any captured error with
@@ -168,7 +184,7 @@ func valuesNamed[R any](results []engine.Result[R], name func(i int) string) ([]
 // as one engine sweep, returning the results grouped by the first index
 // (out[w][t]). It is the shared shape of the Fig. 5, Table II and Fig. 7
 // grids: workloads × techniques (or swarm sizes).
-func sweepGrid[R any](opts ExpOptions, nw, nt int, fn func(w, t int) (R, error)) ([][]R, error) {
+func sweepGrid[R any](ctx context.Context, opts ExpOptions, nw, nt int, fn func(ctx context.Context, w, t int) (R, error)) ([][]R, error) {
 	type cell struct{ w, t int }
 	cells := make([]cell, 0, nw*nt)
 	for w := 0; w < nw; w++ {
@@ -176,8 +192,8 @@ func sweepGrid[R any](opts ExpOptions, nw, nt int, fn func(w, t int) (R, error))
 			cells = append(cells, cell{w, t})
 		}
 	}
-	results := engine.Sweep(context.Background(), opts.engineConfig(), cells,
-		func(_ context.Context, c cell) (R, error) { return fn(c.w, c.t) })
+	results := engine.Sweep(ctx, opts.engineConfig(), cells,
+		func(ctx context.Context, c cell) (R, error) { return fn(ctx, c.w, c.t) })
 	flat := make([]R, len(results))
 	for i, r := range results {
 		if r.Err != nil {
@@ -226,18 +242,25 @@ func fig5Workloads() []workload {
 // the global synapse interconnect for NEUTRAMS, PACMAN and the proposed
 // PSO, over synthetic and realistic applications. Two engine sweeps: one
 // characterizes the twelve workloads, one runs every workload × technique
-// cell of the grid.
+// cell of the grid through a warm per-workload pipeline.
 func RunFig5(opts ExpOptions) ([]Fig5Row, error) {
+	return runFig5(context.Background(), NewPipeline, opts)
+}
+
+func runFig5(ctx context.Context, pf PipelineFactory, opts ExpOptions) ([]Fig5Row, error) {
 	workloads := fig5Workloads()
-	built, err := buildWorkloads(opts, workloads)
+	built, err := buildWorkloads(ctx, opts, workloads)
+	if err != nil {
+		return nil, err
+	}
+	pipelines, err := buildPipelines(pf, built, PacmanCapableArch)
 	if err != nil {
 		return nil, err
 	}
 	techniques := []Partitioner{Neutrams, Pacman, opts.pso(opts.seed())}
-	reports, err := sweepGrid(opts, len(workloads), len(techniques),
-		func(w, t int) (*Report, error) {
-			app := built[w]
-			rep, err := Run(app, PacmanCapableArch(app.Graph), techniques[t])
+	reports, err := sweepGrid(ctx, opts, len(workloads), len(techniques),
+		func(ctx context.Context, w, t int) (*Report, error) {
+			rep, err := pipelines[w].Run(ctx, techniques[t])
 			if err != nil {
 				return nil, fmt.Errorf("snnmap: %s on %s: %w", techniques[t].Name(), workloads[w].name, err)
 			}
@@ -291,6 +314,10 @@ type Table2Row struct {
 // disorder, throughput and latency for the four realistic applications on a
 // tightly provisioned 4-crossbar architecture.
 func RunTable2(opts ExpOptions) ([]Table2Row, error) {
+	return runTable2(context.Background(), NewPipeline, opts)
+}
+
+func runTable2(ctx context.Context, pf PipelineFactory, opts ExpOptions) ([]Table2Row, error) {
 	durations := map[string]int64{"HW": 1000, "IS": 1000, "HD": 1000, "HE": 10000}
 	var workloads []workload
 	for _, name := range apps.RealisticNames() {
@@ -300,15 +327,18 @@ func RunTable2(opts ExpOptions) ([]Table2Row, error) {
 		}
 		workloads = append(workloads, workload{name: name, builder: b, durMs: durations[name]})
 	}
-	built, err := buildWorkloads(opts, workloads)
+	built, err := buildWorkloads(ctx, opts, workloads)
+	if err != nil {
+		return nil, err
+	}
+	pipelines, err := buildPipelines(pf, built, QuadArch)
 	if err != nil {
 		return nil, err
 	}
 	techniques := []Partitioner{Pacman, opts.pso(opts.seed())}
-	cells, err := sweepGrid(opts, len(workloads), len(techniques),
-		func(w, t int) (Table2Cell, error) {
-			app := built[w]
-			rep, err := Run(app, QuadArch(app.Graph), techniques[t])
+	cells, err := sweepGrid(ctx, opts, len(workloads), len(techniques),
+		func(ctx context.Context, w, t int) (Table2Cell, error) {
+			rep, err := pipelines[w].Run(ctx, techniques[t])
 			if err != nil {
 				return Table2Cell{}, fmt.Errorf("snnmap: %s on %s: %w", techniques[t].Name(), workloads[w].name, err)
 			}
@@ -344,16 +374,27 @@ type Fig6Row struct {
 // and worst-case interconnect latency for the digit recognition application
 // as the crossbar size grows from 90 to 1440 neurons.
 func RunFig6(opts ExpOptions) ([]Fig6Row, error) {
+	return runFig6(context.Background(), NewPipeline, opts)
+}
+
+func runFig6(ctx context.Context, pf PipelineFactory, opts ExpOptions) ([]Fig6Row, error) {
 	app, err := apps.DigitRecognition(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(1000)})
 	if err != nil {
 		return nil, err
 	}
 	sizes := []int{90, 180, 360, 720, 1080, 1440}
 	pso := opts.pso(opts.seed())
-	results := engine.Sweep(context.Background(), opts.engineConfig(), sizes,
-		func(_ context.Context, nc int) (Fig6Row, error) {
+	results := engine.Sweep(ctx, opts.engineConfig(), sizes,
+		func(ctx context.Context, nc int) (Fig6Row, error) {
+			// The architecture changes at every sweep point, so each cell
+			// opens its own session; the factory is still the reuse seam
+			// (a caching factory can serve repeated sweeps warm).
 			arch := hardware.ForNeurons(app.Graph.Neurons, nc)
-			rep, err := Run(app, arch, pso)
+			pl, err := pf(app, arch)
+			if err != nil {
+				return Fig6Row{}, err
+			}
+			rep, err := pl.Run(ctx, pso)
 			if err != nil {
 				return Fig6Row{}, err
 			}
@@ -382,6 +423,10 @@ type Fig7Point struct {
 // applications, normalized per application to the sweep's minimum.
 // Heuristic seeding is disabled so the sweep reflects pure swarm behavior.
 func RunFig7(opts ExpOptions) ([]Fig7Point, error) {
+	return runFig7(context.Background(), NewPipeline, opts)
+}
+
+func runFig7(ctx context.Context, pf PipelineFactory, opts ExpOptions) ([]Fig7Point, error) {
 	workloads := []workload{
 		{"hello_world", apps.Builder(apps.HelloWorld), 1000},
 		{"heartbeat_estimation", nil, 10000},
@@ -403,13 +448,19 @@ func RunFig7(opts ExpOptions) ([]Fig7Point, error) {
 		iterations = 40
 	}
 
-	built, err := buildWorkloads(opts, workloads)
+	built, err := buildWorkloads(ctx, opts, workloads)
 	if err != nil {
 		return nil, err
 	}
-	energies, err := sweepGrid(opts, len(workloads), len(sizes),
-		func(w, s int) (float64, error) {
-			app := built[w]
+	// One warm session per workload serves the whole swarm-size sweep:
+	// the problem instance and interconnect are shared by all five PSO
+	// configurations.
+	pipelines, err := buildPipelines(pf, built, QuadArch)
+	if err != nil {
+		return nil, err
+	}
+	energies, err := sweepGrid(ctx, opts, len(workloads), len(sizes),
+		func(ctx context.Context, w, s int) (float64, error) {
 			cfg := PSOConfig{
 				SwarmSize:      sizes[s],
 				Iterations:     iterations,
@@ -417,7 +468,7 @@ func RunFig7(opts ExpOptions) ([]Fig7Point, error) {
 				Workers:        1, // the sweep owns the parallelism budget
 				DisableSeeding: true,
 			}
-			rep, err := Run(app, QuadArch(app.Graph), NewPSO(cfg))
+			rep, err := pipelines[w].Run(ctx, NewPSO(cfg))
 			if err != nil {
 				return 0, fmt.Errorf("snnmap: Fig7 %s at swarm %d: %w", workloads[w].name, sizes[s], err)
 			}
@@ -483,6 +534,10 @@ type AccuracyRow struct {
 // with lower interconnect traffic suffers less ISI distortion and its
 // estimate stays closer to the truth.
 func RunAccuracy(opts ExpOptions) (*AccuracyReport, error) {
+	return runAccuracy(context.Background(), NewPipeline, opts)
+}
+
+func runAccuracy(ctx context.Context, pf PipelineFactory, opts ExpOptions) (*AccuracyReport, error) {
 	he, err := apps.Heartbeat(apps.HeartbeatConfig{
 		Config: AppConfig{Seed: opts.seed(), DurationMs: opts.duration(20000)},
 		BPM:    72,
@@ -517,15 +572,21 @@ func RunAccuracy(opts ExpOptions) (*AccuracyReport, error) {
 	load := pacRes.Cost / durMs // packets per ms
 	arch.CyclesPerMs = load*120/100 + 1
 
+	// One warm traced session serves both techniques.
+	pl, err := pf(he.App, arch, WithTrace(true))
+	if err != nil {
+		return nil, err
+	}
+
 	out := &AccuracyReport{TrueBPM: he.TrueBPM}
 	srcEst := apps.EstimateBPMMedian(he.Up, 250, 4)
 	out.SourceBPM = srcEst
 
 	srcBeats := apps.BurstStarts(he.Up, 250, 4)
 	accTechniques := []Partitioner{Pacman, opts.pso(opts.seed())}
-	accResults := engine.Sweep(context.Background(), opts.engineConfig(), accTechniques,
-		func(_ context.Context, pt Partitioner) (AccuracyRow, error) {
-			rep, err := RunOpts(he.App, arch, pt, Options{KeepTrace: true})
+	accResults := engine.Sweep(ctx, opts.engineConfig(), accTechniques,
+		func(ctx context.Context, pt Partitioner) (AccuracyRow, error) {
+			rep, err := pl.Run(ctx, pt)
 			if err != nil {
 				return AccuracyRow{}, err
 			}
@@ -580,15 +641,27 @@ type AblationRow struct {
 // the quantitative backing for the paper's §III claim that PSO converges
 // faster than GA/SA at comparable quality.
 func RunOptimizerAblation(opts ExpOptions) ([]AblationRow, error) {
+	return runOptimizerAblation(context.Background(), NewPipeline, opts)
+}
+
+func runOptimizerAblation(ctx context.Context, pf PipelineFactory, opts ExpOptions) ([]AblationRow, error) {
 	app, err := apps.Synthetic(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(1000)}, 2, 200)
 	if err != nil {
 		return nil, err
 	}
-	arch := QuadArch(app.Graph)
-	p, err := NewProblem(app.Graph, arch.Crossbars, arch.CrossbarSize)
+	pl, err := pf(app, QuadArch(app.Graph))
 	if err != nil {
 		return nil, err
 	}
+	// The ablation times the optimizers alone, so it runs Solve against
+	// the session's shared problem instance instead of the full pipeline.
+	p := pl.Problem()
+	// The sweep below is pinned sequential, so — unlike the grid drivers,
+	// where the sweep owns the parallelism budget — the PSO gets the whole
+	// budget back for its swarm evaluation. Its result is bit-identical at
+	// every worker count; only the wall-clock column reflects the change.
+	pso := opts.pso(opts.seed())
+	pso.Cfg.Workers = 0
 	techniques := []Partitioner{
 		partition.Random{Seed: opts.seed()},
 		Neutrams,
@@ -597,7 +670,7 @@ func RunOptimizerAblation(opts ExpOptions) ([]AblationRow, error) {
 		partition.KLRefine{Base: partition.Greedy{}},
 		partition.Annealing{Seed: opts.seed()},
 		partition.Genetic{Seed: opts.seed()},
-		opts.pso(opts.seed()),
+		pso,
 	}
 	// This ablation's headline next to Cost is the per-optimizer wall
 	// clock, so the techniques must run one at a time: concurrent solves
@@ -605,7 +678,7 @@ func RunOptimizerAblation(opts ExpOptions) ([]AblationRow, error) {
 	// still provides per-job timing and timeout; only Workers is pinned.
 	cfg := opts.engineConfig()
 	cfg.Workers = 1
-	results := engine.Sweep(context.Background(), cfg, techniques,
+	results := engine.Sweep(ctx, cfg, techniques,
 		func(_ context.Context, pt Partitioner) (*partition.Result, error) {
 			return partition.Solve(pt, p)
 		})
@@ -637,21 +710,25 @@ type AERModeRow struct {
 // destination sets, the case multicast exists for) replayed with
 // per-synapse, per-crossbar and multicast AER packetization.
 func RunAERModeAblation(opts ExpOptions) ([]AERModeRow, error) {
+	return runAERModeAblation(context.Background(), NewPipeline, opts)
+}
+
+func runAERModeAblation(ctx context.Context, pf PipelineFactory, opts ExpOptions) ([]AERModeRow, error) {
 	app, err := apps.DigitRecognition(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(1000)})
 	if err != nil {
 		return nil, err
 	}
 	arch := QuadArch(app.Graph)
-	p, err := NewProblem(app.Graph, arch.Crossbars, arch.CrossbarSize)
+	pl, err := pf(app, arch)
 	if err != nil {
 		return nil, err
 	}
-	res, err := partition.Solve(Neutrams, p)
+	res, err := partition.Solve(Neutrams, pl.Problem())
 	if err != nil {
 		return nil, err
 	}
 	modes := []hardware.AERMode{hardware.PerSynapse, hardware.PerCrossbar, hardware.MulticastAER}
-	results := engine.Sweep(context.Background(), opts.engineConfig(), modes,
+	results := engine.Sweep(ctx, opts.engineConfig(), modes,
 		func(_ context.Context, mode hardware.AERMode) (AERModeRow, error) {
 			a := arch
 			a.AER = mode
@@ -682,6 +759,10 @@ type TopologyRow struct {
 // RunTopologyAblation compares tree and mesh interconnects under the same
 // PSO mapping of the image smoothing application.
 func RunTopologyAblation(opts ExpOptions) ([]TopologyRow, error) {
+	return runTopologyAblation(context.Background(), NewPipeline, opts)
+}
+
+func runTopologyAblation(ctx context.Context, pf PipelineFactory, opts ExpOptions) ([]TopologyRow, error) {
 	app, err := apps.ImageSmoothing(AppConfig{Seed: opts.seed(), DurationMs: opts.duration(1000)})
 	if err != nil {
 		return nil, err
@@ -700,9 +781,13 @@ func RunTopologyAblation(opts ExpOptions) ([]TopologyRow, error) {
 			return a
 		}},
 	}
-	results := engine.Sweep(context.Background(), opts.engineConfig(), kinds,
-		func(_ context.Context, kind variant) (TopologyRow, error) {
-			rep, err := Run(app, kind.make(), pso)
+	results := engine.Sweep(ctx, opts.engineConfig(), kinds,
+		func(ctx context.Context, kind variant) (TopologyRow, error) {
+			pl, err := pf(app, kind.make())
+			if err != nil {
+				return TopologyRow{}, err
+			}
+			rep, err := pl.Run(ctx, pso)
 			if err != nil {
 				return TopologyRow{}, err
 			}

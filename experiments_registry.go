@@ -1,0 +1,174 @@
+package snnmap
+
+import "context"
+
+// experiment is the function-backed Experiment every built-in driver
+// registers through: the typed Run* result is converted to the common
+// Table shape by the driver-specific tabulate closure.
+type experiment struct {
+	name     string
+	describe string
+	run      func(ctx context.Context, pf PipelineFactory, opts ExpOptions) (*Table, error)
+}
+
+func (e experiment) Name() string     { return e.name }
+func (e experiment) Describe() string { return e.describe }
+func (e experiment) Run(ctx context.Context, pf PipelineFactory, opts ExpOptions) (*Table, error) {
+	if pf == nil {
+		pf = NewPipeline
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.run(ctx, pf, opts)
+}
+
+func fig5Table(rows []Fig5Row) (*Table, error) {
+	t := NewTable("fig5", "Figure 5 — Normalized energy on the global synapse interconnect",
+		Column{"app", ColString}, Column{"neurons", ColInt}, Column{"synapses", ColInt},
+		Column{"energy_neutrams_pj", ColFloat}, Column{"energy_pacman_pj", ColFloat}, Column{"energy_pso_pj", ColFloat},
+		Column{"norm_neutrams", ColFloat}, Column{"norm_pacman", ColFloat}, Column{"norm_pso", ColFloat},
+	)
+	for _, r := range rows {
+		err := t.AddRow(r.App, r.Neurons, r.Synapses,
+			r.EnergyPJ["NEUTRAMS"], r.EnergyPJ["PACMAN"], r.EnergyPJ["PSO"],
+			r.Normalized["NEUTRAMS"], r.Normalized["PACMAN"], r.Normalized["PSO"])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func table2Table(rows []Table2Row) (*Table, error) {
+	t := NewTable("table2", "Table II — SNN metric evaluation for realistic applications",
+		Column{"app", ColString}, Column{"technique", ColString},
+		Column{"isi_distortion_cycles", ColFloat}, Column{"disorder_frac", ColFloat},
+		Column{"throughput_per_ms", ColFloat}, Column{"max_latency_cycles", ColInt},
+	)
+	for _, r := range rows {
+		for _, cell := range []struct {
+			technique string
+			c         Table2Cell
+		}{{"PACMAN", r.Pacman}, {"PSO", r.PSO}} {
+			err := t.AddRow(r.App, cell.technique,
+				cell.c.ISIDistortionCycles, cell.c.DisorderFrac,
+				cell.c.ThroughputPerMs, cell.c.MaxLatencyCycles)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+func fig6Table(rows []Fig6Row) (*Table, error) {
+	t := NewTable("fig6", "Figure 6 — Architecture exploration (digit recognition)",
+		Column{"neurons_per_crossbar", ColInt}, Column{"crossbars", ColInt},
+		Column{"local_energy_uj", ColFloat}, Column{"global_energy_uj", ColFloat},
+		Column{"total_energy_uj", ColFloat}, Column{"max_latency_cycles", ColInt},
+	)
+	for _, r := range rows {
+		err := t.AddRow(r.NeuronsPerCrossbar, r.Crossbars,
+			r.LocalEnergyUJ, r.GlobalEnergyUJ, r.TotalEnergyUJ, r.MaxLatencyCycles)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig7Table(points []Fig7Point) (*Table, error) {
+	t := NewTable("fig7", "Figure 7 — Exploration with swarm size (iterations = 100)",
+		Column{"app", ColString}, Column{"swarm_size", ColInt},
+		Column{"energy_pj", ColFloat}, Column{"normalized", ColFloat},
+	)
+	for _, p := range points {
+		if err := t.AddRow(p.App, p.SwarmSize, p.EnergyPJ, p.Normalized); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func accuracyTable(rep *AccuracyReport) (*Table, error) {
+	t := NewTable("accuracy", "§V-B — Heartbeat estimation accuracy vs ISI distortion",
+		Column{"technique", ColString}, Column{"isi_distortion_cycles", ColFloat},
+		Column{"estimated_bpm", ColFloat}, Column{"rate_error_pct", ColFloat},
+		Column{"interval_error_pct", ColFloat},
+		Column{"true_bpm", ColFloat}, Column{"source_bpm", ColFloat},
+	)
+	for _, r := range rep.Rows {
+		err := t.AddRow(r.Technique, r.ISIDistortionCycles, r.EstimatedBPM,
+			r.ErrorPct, r.IntervalErrorPct, rep.TrueBPM, rep.SourceBPM)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func ablationOptimizerTable(rows []AblationRow) (*Table, error) {
+	t := NewTable("ablation-optimizer", "Ablation — optimizer comparison (synthetic 2x200)",
+		Column{"technique", ColString}, Column{"cost", ColInt}, Column{"wall_clock", ColDuration},
+	)
+	for _, r := range rows {
+		if err := t.AddRow(r.Technique, r.Cost, r.WallClock); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func ablationAERTable(rows []AERModeRow) (*Table, error) {
+	t := NewTable("ablation-aer", "Ablation — AER packetization (digit recognition, NEUTRAMS mapping)",
+		Column{"mode", ColString}, Column{"injected", ColInt}, Column{"hops", ColInt},
+		Column{"energy_pj", ColFloat}, Column{"avg_latency_cycles", ColFloat},
+	)
+	for _, r := range rows {
+		if err := t.AddRow(r.Mode, r.Injected, r.HopCount, r.EnergyPJ, r.AvgLatency); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func ablationTopologyTable(rows []TopologyRow) (*Table, error) {
+	t := NewTable("ablation-topology", "Ablation — interconnect topology (image smoothing, PSO mapping)",
+		Column{"topology", ColString}, Column{"energy_pj", ColFloat},
+		Column{"avg_latency_cycles", ColFloat}, Column{"max_latency_cycles", ColInt},
+	)
+	for _, r := range rows {
+		if err := t.AddRow(r.Topology, r.EnergyPJ, r.AvgLatency, r.MaxLatency); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// tabulated adapts a typed driver plus its Table converter to the
+// experiment run shape.
+func tabulated[R any](drive func(context.Context, PipelineFactory, ExpOptions) (R, error), tab func(R) (*Table, error)) func(context.Context, PipelineFactory, ExpOptions) (*Table, error) {
+	return func(ctx context.Context, pf PipelineFactory, opts ExpOptions) (*Table, error) {
+		rows, err := drive(ctx, pf, opts)
+		if err != nil {
+			return nil, err
+		}
+		return tab(rows)
+	}
+}
+
+func init() {
+	for _, e := range []experiment{
+		{"fig5", "normalized interconnect energy: NEUTRAMS vs PACMAN vs PSO (paper Fig. 5)", tabulated(runFig5, fig5Table)},
+		{"table2", "ISI distortion, disorder, throughput, latency per realistic app (paper Table II)", tabulated(runTable2, table2Table)},
+		{"fig6", "architecture exploration: crossbar size sweep on digit recognition (paper Fig. 6)", tabulated(runFig6, fig6Table)},
+		{"fig7", "PSO swarm-size exploration (paper Fig. 7)", tabulated(runFig7, fig7Table)},
+		{"accuracy", "heartbeat estimation accuracy vs ISI distortion (paper §V-B)", tabulated(runAccuracy, accuracyTable)},
+		{"ablation-optimizer", "optimizer comparison: PSO vs SA/GA/greedy/KL/random (paper §III claim)", tabulated(runOptimizerAblation, ablationOptimizerTable)},
+		{"ablation-aer", "AER packetization: per-synapse vs per-crossbar vs multicast (Noxim++ extension)", tabulated(runAERModeAblation, ablationAERTable)},
+		{"ablation-topology", "interconnect topology: NoC-tree vs NoC-mesh under one PSO mapping", tabulated(runTopologyAblation, ablationTopologyTable)},
+	} {
+		RegisterExperiment(e)
+	}
+}

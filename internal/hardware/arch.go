@@ -62,6 +62,21 @@ const (
 	MulticastAER
 )
 
+// ParseAERMode resolves the mode labels accepted by the CLIs and the
+// architecture registry back into an AERMode.
+func ParseAERMode(s string) (AERMode, error) {
+	switch s {
+	case "", "per-synapse":
+		return PerSynapse, nil
+	case "per-crossbar":
+		return PerCrossbar, nil
+	case "multicast":
+		return MulticastAER, nil
+	default:
+		return 0, fmt.Errorf("hardware: unknown AER mode %q (per-synapse, per-crossbar, multicast)", s)
+	}
+}
+
 // String returns the mode label used in ablation reports.
 func (m AERMode) String() string {
 	switch m {
@@ -234,10 +249,19 @@ type LocalStats struct {
 // "local synapse energy is the total energy for spike communication inside
 // all crossbars").
 func LocalActivity(g *graph.SpikeGraph, assign []int, a Arch) (LocalStats, error) {
+	return LocalActivityCounts(g, g.SpikeCounts(), assign, a)
+}
+
+// LocalActivityCounts is LocalActivity with caller-supplied per-neuron
+// spike counts, letting a warm mapping session characterize the graph once
+// and reuse the counts across every run it serves.
+func LocalActivityCounts(g *graph.SpikeGraph, counts []int64, assign []int, a Arch) (LocalStats, error) {
 	if len(assign) != g.Neurons {
 		return LocalStats{}, fmt.Errorf("hardware: assignment covers %d of %d neurons", len(assign), g.Neurons)
 	}
-	counts := g.SpikeCounts()
+	if len(counts) != g.Neurons {
+		return LocalStats{}, fmt.Errorf("hardware: spike counts cover %d of %d neurons", len(counts), g.Neurons)
+	}
 	var events int64
 	for _, s := range g.Synapses {
 		if assign[s.Pre] == assign[s.Post] {

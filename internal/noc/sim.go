@@ -252,6 +252,36 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
+// Fork returns a fresh simulator sharing this simulator's immutable parts
+// — configuration, topology, route table and endpoint wiring — with its
+// own zeroed packet state. Forking skips the topology and route-table
+// construction (the expensive part of NewSimulator), so a warm mapping
+// session can hand each concurrent run its own simulator at the cost of a
+// few state slices. Fork only reads immutable fields and is therefore safe
+// to call even while the receiver is mid-simulation.
+func (s *Simulator) Fork() *Simulator {
+	n := &Simulator{
+		cfg:        s.cfg,
+		topo:       s.topo,
+		endpointR:  s.endpointR,
+		routerE:    s.routerE,
+		routeTable: s.routeTable,
+	}
+	nr, np := s.topo.Routers(), s.topo.Ports()
+	n.buf = make([][][]*flight, nr)
+	n.reserved = make([][]int, nr)
+	n.rr = make([][]int, nr)
+	n.linkFree = make([][]int64, nr)
+	for r := 0; r < nr; r++ {
+		n.buf[r] = make([][]*flight, np)
+		n.reserved[r] = make([]int, np)
+		n.rr[r] = make([]int, np)
+		n.linkFree[r] = make([]int64, np)
+	}
+	n.buffered = make([]int, nr)
+	return n
+}
+
 // Reset returns the simulator to its post-construction state so it can
 // be reused for another injection + Run cycle. The topology, route table
 // and configuration are retained (they are the expensive parts to

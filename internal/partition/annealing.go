@@ -28,6 +28,12 @@ type Annealing struct {
 // Name implements Partitioner.
 func (Annealing) Name() string { return "SA" }
 
+// Reseed implements Seeded.
+func (s Annealing) Reseed(seed int64) Partitioner {
+	s.Seed = seed
+	return s
+}
+
 // Partition implements Partitioner.
 func (s Annealing) Partition(p *Problem) (Assignment, error) {
 	n := p.Graph.Neurons

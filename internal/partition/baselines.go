@@ -119,6 +119,12 @@ type Random struct {
 // Name implements Partitioner.
 func (Random) Name() string { return "Random" }
 
+// Reseed implements Seeded.
+func (r Random) Reseed(seed int64) Partitioner {
+	r.Seed = seed
+	return r
+}
+
 // Partition implements Partitioner.
 func (r Random) Partition(p *Problem) (Assignment, error) {
 	rng := rand.New(rand.NewSource(r.Seed))

@@ -28,6 +28,12 @@ type Genetic struct {
 // Name implements Partitioner.
 func (Genetic) Name() string { return "GA" }
 
+// Reseed implements Seeded.
+func (g Genetic) Reseed(seed int64) Partitioner {
+	g.Seed = seed
+	return g
+}
+
 type individual struct {
 	a    Assignment
 	cost int64

@@ -264,6 +264,17 @@ type Partitioner interface {
 	Partition(p *Problem) (Assignment, error)
 }
 
+// Seeded is implemented by stochastic partitioners whose search is driven
+// by a seed. Reseed returns a copy of the technique configured with the
+// given seed, leaving the receiver untouched — the hook seed sweeps
+// (snnmap.Pipeline.RunSeeds) use to fan one configured technique out
+// across independent searches. Deterministic techniques (PACMAN, NEUTRAMS,
+// greedy, KL) intentionally do not implement it.
+type Seeded interface {
+	Partitioner
+	Reseed(seed int64) Partitioner
+}
+
 // Result bundles an assignment with its fitness for reporting.
 type Result struct {
 	Technique string

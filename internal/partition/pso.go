@@ -101,6 +101,14 @@ func NewPSO(cfg PSOConfig) *PSO {
 // Name implements Partitioner.
 func (*PSO) Name() string { return "PSO" }
 
+// Reseed implements Seeded: it returns a PSO with the same configuration
+// but a different seed.
+func (o *PSO) Reseed(seed int64) Partitioner {
+	cfg := o.Cfg
+	cfg.Seed = seed
+	return NewPSO(cfg)
+}
+
 // particle is one swarm member: a velocity matrix over (neuron, crossbar)
 // dimensions, the current binarized position, and the particle's best.
 type particle struct {

@@ -1,0 +1,267 @@
+package snnmap
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/hardware"
+)
+
+// TestPipelineMatchesLegacyRun is the migration guarantee of the staged
+// API: for every registered partitioner and every AER packetization mode,
+// a warm Pipeline session produces a Report deep-equal (bit-for-bit,
+// floats included) to the legacy per-run-construction path. Each warm
+// session additionally serves every technique twice, so run-to-run state
+// leakage through the reused simulator would be caught as well.
+func TestPipelineMatchesLegacyRun(t *testing.T) {
+	app, err := BuildApp("HW", AppConfig{Seed: 1, DurationMs: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ForNeurons(app.Graph.Neurons, 32)
+	spec := PartitionerSpec{Seed: 1, SwarmSize: 12, Iterations: 12, Workers: 1}
+
+	modes := []hardware.AERMode{PerSynapse, PerCrossbar, MulticastAER}
+	rounds := 2
+	if testing.Short() {
+		// The full matrix (3 modes × 8 partitioners × 2 rounds) is the
+		// acceptance gate and runs in the default suite; the short/race
+		// suite keeps one representative mode and a single round.
+		modes = modes[:1]
+		rounds = 1
+	}
+	for _, mode := range modes {
+		arch := base
+		arch.AER = mode
+		pl, err := NewPipeline(app, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range PartitionerNames() {
+			for round := 0; round < rounds; round++ {
+				pt, err := NewPartitioner(name, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := Run(app, arch, pt)
+				if err != nil {
+					t.Fatalf("%s/%s: legacy Run: %v", mode, name, err)
+				}
+				warm, err := pl.Run(context.Background(), pt)
+				if err != nil {
+					t.Fatalf("%s/%s: pipeline Run: %v", mode, name, err)
+				}
+				if !reflect.DeepEqual(cold, warm) {
+					t.Fatalf("%s/%s round %d: warm report differs from legacy report\ncold: %+v\nwarm: %+v",
+						mode, name, round, cold, warm)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineConcurrentCompare exercises the simulator pool: a parallel
+// Compare over all registered techniques must match the sequential sweep
+// row for row.
+func TestPipelineConcurrentCompare(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 3, DurationMs: 250}, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := ForNeurons(app.Graph.Neurons, 64)
+	spec := PartitionerSpec{Seed: 1, SwarmSize: 10, Iterations: 10, Workers: 1}
+	var techniques []Partitioner
+	for _, name := range PartitionerNames() {
+		pt, err := NewPartitioner(name, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		techniques = append(techniques, pt)
+	}
+
+	seqPl, err := NewPipeline(app, arch, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := seqPl.Compare(context.Background(), techniques)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPl, err := NewPipeline(app, arch, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := parPl.Compare(context.Background(), techniques)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel Compare differs from sequential Compare")
+	}
+}
+
+// failingPartitioner always errors, for error-aggregation tests.
+type failingPartitioner struct{ name string }
+
+func (f failingPartitioner) Name() string { return f.name }
+func (f failingPartitioner) Partition(*Problem) (Assignment, error) {
+	return nil, errors.New(f.name + " exploded")
+}
+
+func TestCompareAggregatesAllFailures(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 2, DurationMs: 100}, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := ForNeurons(app.Graph.Neurons, 8)
+	techniques := []Partitioner{
+		failingPartitioner{"boom-a"},
+		Pacman,
+		failingPartitioner{"boom-b"},
+	}
+	_, err = CompareSweep(context.Background(), app, arch, techniques, SweepConfig{Workers: 1})
+	if err == nil {
+		t.Fatal("expected aggregated error")
+	}
+	for _, want := range []string{"boom-a exploded", "boom-b exploded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("aggregated error misses %q: %v", want, err)
+		}
+	}
+}
+
+func TestRunSeeds(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 4, DurationMs: 150}, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := ForNeurons(app.Graph.Neurons, 16)
+	pl, err := NewPipeline(app, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pso := NewPSO(PSOConfig{SwarmSize: 8, Iterations: 8, Seed: 99, Workers: 1})
+	seeds := []int64{1, 2, 3}
+	reports, err := pl.RunSeeds(context.Background(), pso, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(seeds) {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for i, seed := range seeds {
+		want, err := pl.Run(context.Background(), NewPSO(PSOConfig{SwarmSize: 8, Iterations: 8, Seed: seed, Workers: 1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(reports[i], want) {
+			t.Fatalf("seed %d report differs from directly reseeded run", seed)
+		}
+	}
+
+	if _, err := pl.RunSeeds(context.Background(), Pacman, seeds); err == nil {
+		t.Fatal("RunSeeds must reject deterministic partitioners")
+	}
+}
+
+func TestObserverSeesAllStages(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 5, DurationMs: 100}, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := ForNeurons(app.Graph.Neurons, 8)
+	var mu sync.Mutex
+	var events []StageEvent
+	pl, err := NewPipeline(app, arch, WithObserver(ObserverFunc(func(ev StageEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(context.Background(), Pacman); err != nil {
+		t.Fatal(err)
+	}
+	want := []Stage{StagePartition, StagePlace, StageSimulate, StageAnalyze}
+	if len(events) != len(want) {
+		t.Fatalf("observed %d events, want %d", len(events), len(want))
+	}
+	for i, ev := range events {
+		if ev.Stage != want[i] {
+			t.Fatalf("event %d stage = %s, want %s", i, ev.Stage, want[i])
+		}
+		if ev.Technique != "PACMAN" {
+			t.Fatalf("event %d technique = %q", i, ev.Technique)
+		}
+	}
+	if events[0].Partition == nil || events[1].Placement == nil || events[2].NoC == nil || events[3].Metrics == nil {
+		t.Fatal("stage payloads not populated")
+	}
+}
+
+func TestWithPlacementOverride(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 6, DurationMs: 100}, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := ForNeurons(app.Graph.Neurons, 10)
+
+	var raw Assignment
+	pl, err := NewPipeline(app, arch,
+		WithPlacement(IdentityPlacement),
+		WithObserver(ObserverFunc(func(ev StageEvent) {
+			if ev.Stage == StagePartition {
+				raw = ev.Partition.Assign.Clone()
+			}
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pl.Run(context.Background(), GreedyPartitioner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Assignment, raw) {
+		t.Fatal("identity placement must keep the partitioner's labels")
+	}
+}
+
+func TestPipelineHonorsCancelledContext(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 7, DurationMs: 100}, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(app, ForNeurons(app.Graph.Neurons, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pl.Run(ctx, Pacman); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error = %v", err)
+	}
+}
+
+func TestWithTraceKeepsDeliveries(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 2, DurationMs: 300}, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := ForNeurons(app.Graph.Neurons, 16)
+	pl, err := NewPipeline(app, arch, WithTrace(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pl.Run(context.Background(), Pacman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(rep.Deliveries)) != rep.NoC.Delivered {
+		t.Fatalf("trace length %d != delivered %d", len(rep.Deliveries), rep.NoC.Delivered)
+	}
+}

@@ -1,0 +1,281 @@
+package snnmap
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/hardware"
+	"repro/internal/partition"
+)
+
+// registry is a string-keyed, registration-ordered collection shared by
+// the partitioner, architecture and experiment registries. Registration
+// panics on duplicates (a wiring bug, caught at init), lookups are
+// concurrency-safe.
+type registry[T any] struct {
+	mu    sync.RWMutex
+	order []string
+	items map[string]T
+}
+
+func (r *registry[T]) register(name string, item T) {
+	if name == "" {
+		panic("snnmap: registry entry with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.items == nil {
+		r.items = map[string]T{}
+	}
+	if _, dup := r.items[name]; dup {
+		panic(fmt.Sprintf("snnmap: duplicate registry entry %q", name))
+	}
+	r.items[name] = item
+	r.order = append(r.order, name)
+}
+
+func (r *registry[T]) lookup(name string) (T, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	item, ok := r.items[name]
+	return item, ok
+}
+
+func (r *registry[T]) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// known renders the registry's keys for error messages, sorted for
+// stable output.
+func (r *registry[T]) known() string {
+	names := r.names()
+	sort.Strings(names)
+	return fmt.Sprintf("%v", names)
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner registry
+
+// PartitionerSpec carries the tunables a named partitioner factory may
+// consume; factories ignore the fields that do not apply to their
+// technique. Zero values select the package defaults (seed 1, the
+// DefaultPSOConfig swarm shape).
+type PartitionerSpec struct {
+	// Seed drives the technique's stochastic components.
+	Seed int64
+	// SwarmSize and Iterations shape the PSO (and are reused as
+	// population/generations by the GA factory).
+	SwarmSize  int
+	Iterations int
+	// Workers bounds intra-technique parallelism (the PSO's swarm
+	// evaluation pool).
+	Workers int
+}
+
+func (s PartitionerSpec) seed() int64 {
+	if s.Seed == 0 {
+		return 1
+	}
+	return s.Seed
+}
+
+// PartitionerFactory builds a configured partitioner from a spec.
+type PartitionerFactory func(spec PartitionerSpec) (Partitioner, error)
+
+var partitioners registry[PartitionerFactory]
+
+// RegisterPartitioner adds a named partitioning technique. The name is
+// the key both CLIs accept (-partitioner) and panics on duplicates.
+func RegisterPartitioner(name string, f PartitionerFactory) {
+	partitioners.register(name, f)
+}
+
+// NewPartitioner builds the named technique from the registry.
+func NewPartitioner(name string, spec PartitionerSpec) (Partitioner, error) {
+	f, ok := partitioners.lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("snnmap: unknown partitioner %q (known: %s)", name, partitioners.known())
+	}
+	return f(spec)
+}
+
+// PartitionerNames lists the registered techniques in registration order.
+func PartitionerNames() []string { return partitioners.names() }
+
+// ---------------------------------------------------------------------------
+// Architecture registry
+
+// ArchSpec carries the overrides a named architecture factory applies on
+// top of its application-sized default: explicit crossbar count/size and
+// the AER packetization mode. Zero values keep the factory's sizing.
+type ArchSpec struct {
+	Crossbars    int
+	CrossbarSize int
+	AER          hardware.AERMode
+}
+
+// ArchFactory sizes a named architecture family for a spike graph.
+type ArchFactory func(g *SpikeGraph, spec ArchSpec) (Arch, error)
+
+var architectures registry[ArchFactory]
+
+// RegisterArch adds a named architecture family. The name is the key
+// both CLIs accept (-topology) and panics on duplicates.
+func RegisterArch(name string, f ArchFactory) {
+	architectures.register(name, f)
+}
+
+// NewArch sizes the named architecture family for the graph.
+func NewArch(name string, g *SpikeGraph, spec ArchSpec) (Arch, error) {
+	f, ok := architectures.lookup(name)
+	if !ok {
+		return Arch{}, fmt.Errorf("snnmap: unknown architecture %q (known: %s)", name, architectures.known())
+	}
+	return f(g, spec)
+}
+
+// ArchNames lists the registered architecture families in registration
+// order.
+func ArchNames() []string { return architectures.names() }
+
+// defaultCrossbarSize reproduces the CLI's historical sizing: ~N/4 with
+// 15% slack, so every technique has to distribute the network.
+func defaultCrossbarSize(n int) int {
+	nc := (n*115/100 + 3) / 4
+	if nc < 1 {
+		nc = 1
+	}
+	return nc
+}
+
+// ---------------------------------------------------------------------------
+// Experiment registry
+
+// PipelineFactory constructs the warm session an experiment holds for
+// each (application, architecture) pair of its grid. Experiments receive
+// the factory instead of calling NewPipeline directly so callers can
+// inject cross-request caching or instrumented pipelines (the shape a
+// mapping server needs).
+type PipelineFactory func(app *App, arch Arch, opts ...Option) (*Pipeline, error)
+
+// Experiment is one registered evaluation driver — a table or figure of
+// the paper, or an ablation. Run executes the experiment's grid through
+// pipelines obtained from the factory and returns the result as a
+// serializable Table.
+type Experiment interface {
+	// Name is the registry key (`cmd/experiments -run` accepts it).
+	Name() string
+	// Describe is the one-line summary shown by -list.
+	Describe() string
+	// Run executes the experiment.
+	Run(ctx context.Context, pipelines PipelineFactory, opts ExpOptions) (*Table, error)
+}
+
+var experimentsReg registry[Experiment]
+
+// RegisterExperiment adds an experiment to the registry, panicking on a
+// duplicate name.
+func RegisterExperiment(e Experiment) {
+	experimentsReg.register(e.Name(), e)
+}
+
+// LookupExperiment returns the named experiment.
+func LookupExperiment(name string) (Experiment, error) {
+	e, ok := experimentsReg.lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("snnmap: unknown experiment %q (known: %s)", name, experimentsReg.known())
+	}
+	return e, nil
+}
+
+// ExperimentNames lists the registered experiments in registration order.
+func ExperimentNames() []string { return experimentsReg.names() }
+
+// Experiments returns the registered experiments in registration order.
+func Experiments() []Experiment {
+	names := experimentsReg.names()
+	out := make([]Experiment, 0, len(names))
+	for _, n := range names {
+		e, _ := experimentsReg.lookup(n)
+		out = append(out, e)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Built-in registrations
+
+func init() {
+	// Partitioners: the paper's PSO, its two baselines, and the ablation
+	// optimizers. Names match the historical CLI flags.
+	RegisterPartitioner("pso", func(spec PartitionerSpec) (Partitioner, error) {
+		return NewPSO(PSOConfig{
+			SwarmSize:  spec.SwarmSize,
+			Iterations: spec.Iterations,
+			Seed:       spec.seed(),
+			Workers:    spec.Workers,
+		}), nil
+	})
+	RegisterPartitioner("pacman", func(PartitionerSpec) (Partitioner, error) { return Pacman, nil })
+	RegisterPartitioner("neutrams", func(PartitionerSpec) (Partitioner, error) { return Neutrams, nil })
+	RegisterPartitioner("greedy", func(PartitionerSpec) (Partitioner, error) { return GreedyPartitioner, nil })
+	RegisterPartitioner("kl", func(PartitionerSpec) (Partitioner, error) {
+		return partition.KLRefine{Base: partition.Greedy{}}, nil
+	})
+	RegisterPartitioner("sa", func(spec PartitionerSpec) (Partitioner, error) {
+		return partition.Annealing{Seed: spec.seed()}, nil
+	})
+	RegisterPartitioner("ga", func(spec PartitionerSpec) (Partitioner, error) {
+		return partition.Genetic{Seed: spec.seed(), Population: spec.SwarmSize, Generations: spec.Iterations}, nil
+	})
+	RegisterPartitioner("random", func(spec PartitionerSpec) (Partitioner, error) {
+		return partition.Random{Seed: spec.seed()}, nil
+	})
+
+	// Architectures: the CLI's tree/mesh families sized from the app,
+	// the paper's fixed CxQuad reference, and the two experiment-harness
+	// shapes.
+	RegisterArch("tree", func(g *SpikeGraph, spec ArchSpec) (Arch, error) {
+		size := spec.CrossbarSize
+		if size == 0 {
+			size = defaultCrossbarSize(g.Neurons)
+		}
+		return applyArchSpec(hardware.ForNeurons(g.Neurons, size), spec), nil
+	})
+	RegisterArch("mesh", func(g *SpikeGraph, spec ArchSpec) (Arch, error) {
+		size := spec.CrossbarSize
+		if size == 0 {
+			size = defaultCrossbarSize(g.Neurons)
+		}
+		c := (g.Neurons + size - 1) / size
+		return applyArchSpec(hardware.MeshChip(c, size), spec), nil
+	})
+	RegisterArch("cxquad", func(_ *SpikeGraph, spec ArchSpec) (Arch, error) {
+		return applyArchSpec(CxQuad(), spec), nil
+	})
+	RegisterArch("quad", func(g *SpikeGraph, spec ArchSpec) (Arch, error) {
+		return applyArchSpec(QuadArch(g), spec), nil
+	})
+	RegisterArch("star", func(g *SpikeGraph, spec ArchSpec) (Arch, error) {
+		return applyArchSpec(PacmanCapableArch(g), spec), nil
+	})
+}
+
+// applyArchSpec applies the explicit overrides of a spec to a sized
+// architecture.
+func applyArchSpec(a Arch, spec ArchSpec) Arch {
+	if spec.Crossbars > 0 {
+		a.Crossbars = spec.Crossbars
+	}
+	if spec.CrossbarSize > 0 {
+		a.CrossbarSize = spec.CrossbarSize
+	}
+	a.AER = spec.AER
+	return a
+}

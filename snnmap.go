@@ -12,18 +12,22 @@
 // internal/noc) to obtain energy, latency, throughput, spike disorder and
 // ISI distortion (internal/metrics).
 //
-// Typical use:
+// Typical use — build a warm session once, run many techniques/seeds:
 //
 //	app, _ := snnmap.BuildApp("HW", snnmap.AppConfig{Seed: 1})
 //	arch := snnmap.CxQuad()
-//	report, _ := snnmap.Run(app, arch, snnmap.NewPSO(snnmap.DefaultPSOConfig()))
+//	pipe, _ := snnmap.NewPipeline(app, arch)
+//	report, _ := pipe.Run(ctx, snnmap.NewPSO(snnmap.DefaultPSOConfig()))
 //	fmt.Println(report.TotalEnergyPJ, report.Metrics.ISIAvgCycles)
+//
+// The legacy one-shot entry points (Run, Compare) remain as thin wrappers
+// over a single-use Pipeline.
 package snnmap
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/apps"
 	"repro/internal/engine"
@@ -157,6 +161,9 @@ type Report struct {
 }
 
 // Options tunes the pipeline run.
+//
+// Deprecated: pass functional options (WithTrace, WithTimeout, …) to
+// NewPipeline instead.
 type Options struct {
 	// KeepTrace retains the raw delivery trace on the report (needed by
 	// the heartbeat accuracy experiment).
@@ -164,82 +171,26 @@ type Options struct {
 }
 
 // Run executes the full pipeline of the paper's Fig. 4 for one application,
-// architecture and partitioning technique.
+// architecture and partitioning technique. It builds a single-use session;
+// callers mapping the same (application, architecture) pair more than once
+// should hold a Pipeline and amortize the setup.
+//
+// Deprecated: use NewPipeline and Pipeline.Run, which reuse the expensive
+// per-pair state across runs. Run remains as a convenience for one-shot
+// mappings and produces byte-identical reports.
 func Run(app *App, arch Arch, pt Partitioner) (*Report, error) {
 	return RunOpts(app, arch, pt, Options{})
 }
 
 // RunOpts is Run with explicit options.
+//
+// Deprecated: use NewPipeline with functional options and Pipeline.Run.
 func RunOpts(app *App, arch Arch, pt Partitioner, opts Options) (*Report, error) {
-	if app == nil || app.Graph == nil {
-		return nil, errors.New("snnmap: nil application")
-	}
-	if err := arch.Validate(); err != nil {
-		return nil, err
-	}
-	if pt == nil {
-		return nil, errors.New("snnmap: nil partitioner")
-	}
-
-	p, err := partition.NewProblem(app.Graph, arch.Crossbars, arch.CrossbarSize)
+	pl, err := NewPipeline(app, arch, WithTrace(opts.KeepTrace))
 	if err != nil {
 		return nil, err
 	}
-	res, err := partition.Solve(pt, p)
-	if err != nil {
-		return nil, err
-	}
-
-	// One interconnect simulator serves the whole run: placement queries
-	// its hop distances, then Reset clears the packet state and the same
-	// instance replays the global-synapse traffic. The topology and route
-	// table (the expensive parts) are built exactly once.
-	sim, err := noc.NewSimulator(arch.NoCConfig())
-	if err != nil {
-		return nil, err
-	}
-
-	// Placement: relabel logical crossbars onto physical interconnect
-	// slots so heavy-traffic pairs sit close. Applied identically to
-	// every technique; the partitioning fitness is invariant under it.
-	placed, err := partition.PlaceCrossbars(p, res.Assign, sim.HopDistance)
-	if err != nil {
-		return nil, err
-	}
-	res.Assign = placed
-
-	rep := &Report{
-		AppName:       app.Name,
-		Technique:     res.Technique,
-		ArchName:      arch.Name,
-		Neurons:       app.Graph.Neurons,
-		Synapses:      len(app.Graph.Synapses),
-		Assignment:    res.Assign,
-		GlobalTraffic: res.Cost,
-	}
-	rep.GlobalSynapseCount = len(p.GlobalSynapses(res.Assign))
-	rep.LocalSynapseCount = rep.Synapses - rep.GlobalSynapseCount
-
-	local, err := hardware.LocalActivity(app.Graph, res.Assign, arch)
-	if err != nil {
-		return nil, err
-	}
-	rep.LocalEvents = local.Events
-	rep.LocalEnergyPJ = local.EnergyPJ
-
-	sim.Reset()
-	nocRes, err := simulateTrafficOn(sim, app.Graph, res.Assign, arch)
-	if err != nil {
-		return nil, err
-	}
-	rep.NoC = nocRes.Stats
-	rep.GlobalEnergyPJ = nocRes.Stats.EnergyPJ
-	rep.TotalEnergyPJ = rep.LocalEnergyPJ + rep.GlobalEnergyPJ
-	rep.Metrics = metrics.Analyze(nocRes.Deliveries, app.Graph.DurationMs)
-	if opts.KeepTrace {
-		rep.Deliveries = nocRes.Deliveries
-	}
-	return rep, nil
+	return pl.Run(context.Background(), pt)
 }
 
 // SimulateTraffic replays the global-synapse spike traffic of a mapped
@@ -263,37 +214,56 @@ func SimulateTraffic(g *SpikeGraph, assign Assignment, arch Arch) (*noc.Result, 
 // simulateTrafficOn is SimulateTraffic on a caller-provided simulator
 // (freshly constructed or Reset), letting one simulator per pipeline run
 // serve both placement distance queries and traffic replay.
+//
+// Per spiking neuron the cost is O(out-degree): destination multiplicity
+// is tracked through a touched-crossbar list, so only the entries a
+// neuron actually wrote are cleared, instead of wiping the full
+// O(Crossbars) scratch slice every neuron. Destination masks are never
+// mutated by the simulator (multicast flights clone them at Run), so
+// single-crossbar masks are built once per destination and shared across
+// neurons and spikes.
 func simulateTrafficOn(sim *noc.Simulator, g *SpikeGraph, assign Assignment, arch Arch) (*noc.Result, error) {
 	if len(assign) != g.Neurons {
 		return nil, fmt.Errorf("snnmap: assignment covers %d of %d neurons", len(assign), g.Neurons)
 	}
 	csr := g.CSR()
 	multiplicity := make([]int, arch.Crossbars)
+	touched := make([]int, 0, arch.Crossbars)
+	singleton := make([]noc.Mask, arch.Crossbars)
+	singletonMask := func(k int) noc.Mask {
+		if singleton[k] == nil {
+			m := noc.NewMask(arch.Crossbars)
+			m.Set(k)
+			singleton[k] = m
+		}
+		return singleton[k]
+	}
 	for i := 0; i < g.Neurons; i++ {
 		if len(g.Spikes[i]) == 0 {
 			continue
 		}
 		src := assign[i]
-		for k := range multiplicity {
-			multiplicity[k] = 0
-		}
-		remote := false
+		touched = touched[:0]
 		for _, s := range csr.Out(i) {
 			if k := assign[s.Post]; k != src {
+				if multiplicity[k] == 0 {
+					touched = append(touched, k)
+				}
 				multiplicity[k]++
-				remote = true
 			}
 		}
-		if !remote {
+		if len(touched) == 0 {
 			continue
 		}
+		// Ascending destination order keeps the injection sequence (and
+		// therefore the cycle-level simulation) identical to the previous
+		// full-scan implementation.
+		sort.Ints(touched)
 		switch arch.AER {
 		case hardware.MulticastAER:
 			mask := noc.NewMask(arch.Crossbars)
-			for k, m := range multiplicity {
-				if m > 0 {
-					mask.Set(k)
-				}
+			for _, k := range touched {
+				mask.Set(k)
 			}
 			for _, t := range g.Spikes[i] {
 				if err := sim.Inject(noc.Packet{SrcNeuron: int32(i), Src: src, Dst: mask, CreatedMs: t}); err != nil {
@@ -301,12 +271,8 @@ func simulateTrafficOn(sim *noc.Simulator, g *SpikeGraph, assign Assignment, arc
 				}
 			}
 		case hardware.PerCrossbar:
-			for k, m := range multiplicity {
-				if m == 0 {
-					continue
-				}
-				mask := noc.NewMask(arch.Crossbars)
-				mask.Set(k)
+			for _, k := range touched {
+				mask := singletonMask(k)
 				for _, t := range g.Spikes[i] {
 					if err := sim.Inject(noc.Packet{SrcNeuron: int32(i), Src: src, Dst: mask, CreatedMs: t}); err != nil {
 						return nil, err
@@ -314,12 +280,9 @@ func simulateTrafficOn(sim *noc.Simulator, g *SpikeGraph, assign Assignment, arc
 				}
 			}
 		default: // PerSynapse
-			for k, m := range multiplicity {
-				if m == 0 {
-					continue
-				}
-				mask := noc.NewMask(arch.Crossbars)
-				mask.Set(k)
+			for _, k := range touched {
+				m := multiplicity[k]
+				mask := singletonMask(k)
 				for _, t := range g.Spikes[i] {
 					for rep := 0; rep < m; rep++ {
 						if err := sim.Inject(noc.Packet{SrcNeuron: int32(i), Src: src, Dst: mask, CreatedMs: t}); err != nil {
@@ -328,6 +291,9 @@ func simulateTrafficOn(sim *noc.Simulator, g *SpikeGraph, assign Assignment, arc
 					}
 				}
 			}
+		}
+		for _, k := range touched {
+			multiplicity[k] = 0
 		}
 	}
 	return sim.Run()
@@ -341,6 +307,10 @@ func simulateTrafficOn(sim *noc.Simulator, g *SpikeGraph, assign Assignment, arc
 // is (see the Partitioner contract); callers needing strict sequential
 // execution (e.g. to bound peak memory on huge traces) should use
 // CompareSweep with Workers: 1.
+//
+// Deprecated: use NewPipeline and Pipeline.Compare, which share one warm
+// session across the techniques instead of rebuilding the problem and
+// interconnect per run.
 func Compare(app *App, arch Arch, techniques []Partitioner) ([]*Report, error) {
 	return CompareSweep(context.Background(), app, arch, techniques, SweepConfig{})
 }
@@ -349,24 +319,17 @@ func Compare(app *App, arch Arch, techniques []Partitioner) ([]*Report, error) {
 // techniques are executed as one engine sweep, cfg.Workers jobs in flight
 // at a time (0 selects GOMAXPROCS, 1 runs sequentially). Each pipeline run
 // is deterministic for a fixed technique seed, so the reports are
-// identical at every worker count.
+// identical at every worker count. When several techniques fail, the
+// returned error joins every per-technique error (errors.Join) so one
+// sweep diagnosis names every failing job. cfg.Timeout is enforced
+// cooperatively between pipeline stages.
+//
+// Deprecated: use NewPipeline with WithWorkers/WithTimeout and
+// Pipeline.Compare.
 func CompareSweep(ctx context.Context, app *App, arch Arch, techniques []Partitioner, cfg SweepConfig) ([]*Report, error) {
-	if app == nil || app.Graph == nil {
-		return nil, errors.New("snnmap: nil application")
+	pl, err := NewPipeline(app, arch, WithWorkers(cfg.Workers), WithTimeout(cfg.Timeout))
+	if err != nil {
+		return nil, err
 	}
-	results := engine.Sweep(ctx, cfg, techniques, func(_ context.Context, pt Partitioner) (*Report, error) {
-		return Run(app, arch, pt)
-	})
-	out := make([]*Report, len(results))
-	for i, r := range results {
-		if r.Err != nil {
-			name := "<nil>"
-			if techniques[i] != nil {
-				name = techniques[i].Name()
-			}
-			return nil, fmt.Errorf("snnmap: %s on %s: %w", name, app.Name, r.Err)
-		}
-		out[i] = r.Value
-	}
-	return out, nil
+	return pl.Compare(ctx, techniques)
 }

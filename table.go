@@ -1,0 +1,449 @@
+package snnmap
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ColumnType declares the type of every cell in a Table column. The type
+// is what makes Table serialization loss-free: JSON and CSV decoding use
+// it to restore each cell to its original Go type.
+type ColumnType string
+
+const (
+	// ColString cells hold string values.
+	ColString ColumnType = "string"
+	// ColInt cells hold int64 values.
+	ColInt ColumnType = "int"
+	// ColFloat cells hold float64 values.
+	ColFloat ColumnType = "float"
+	// ColDuration cells hold time.Duration values.
+	ColDuration ColumnType = "duration"
+)
+
+// Column is one typed column of a Table.
+type Column struct {
+	Name string     `json:"name"`
+	Type ColumnType `json:"type"`
+}
+
+// Table is the common result shape of every registered experiment: a
+// named, column-typed grid that serializes losslessly to JSON and CSV and
+// renders as a markdown table. Cells are restricted to the ColumnType
+// value set (string, int64, float64, time.Duration) — AddRow coerces the
+// common widths and rejects anything else, so a Table that exists is a
+// Table that encodes.
+type Table struct {
+	// Name is the experiment's registry key (e.g. "fig5").
+	Name string
+	// Title is the human-readable headline rendered by WriteText.
+	Title string
+	// Columns declares the schema; every row has exactly one cell per
+	// column, of that column's type.
+	Columns []Column
+	// Rows holds the cells, row-major. Manipulate via AddRow.
+	Rows [][]any
+}
+
+// NewTable builds an empty table with the given schema.
+func NewTable(name, title string, columns ...Column) *Table {
+	return &Table{Name: name, Title: title, Columns: columns}
+}
+
+// coerceCell normalizes a cell to the canonical Go type of the column.
+func coerceCell(v any, t ColumnType) (any, error) {
+	switch t {
+	case ColString:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	case ColInt:
+		switch n := v.(type) {
+		case int:
+			return int64(n), nil
+		case int32:
+			return int64(n), nil
+		case int64:
+			return n, nil
+		}
+	case ColFloat:
+		switch n := v.(type) {
+		case float64:
+			return n, nil
+		case float32:
+			return float64(n), nil
+		}
+	case ColDuration:
+		if d, ok := v.(time.Duration); ok {
+			return d, nil
+		}
+	default:
+		return nil, fmt.Errorf("snnmap: unknown column type %q", t)
+	}
+	return nil, fmt.Errorf("snnmap: cell %v (%T) does not fit column type %q", v, v, t)
+}
+
+// AddRow appends one row, coercing each cell to its column's canonical
+// type (int/int32→int64, float32→float64) and rejecting arity or type
+// mismatches.
+func (t *Table) AddRow(cells ...any) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("snnmap: table %s: row has %d cells for %d columns", t.Name, len(cells), len(t.Columns))
+	}
+	row := make([]any, len(cells))
+	for i, c := range cells {
+		v, err := coerceCell(c, t.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("snnmap: table %s column %s: %w", t.Name, t.Columns[i].Name, err)
+		}
+		row[i] = v
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// Column returns the index of the named column, or -1.
+func (t *Table) Column(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// formatCell renders a cell for CSV and text output. Numeric formats
+// round-trip exactly (strconv 'g' with -1 precision).
+func formatCell(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case time.Duration:
+		return x.String()
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// parseCell is the inverse of formatCell under a known column type.
+func parseCell(s string, t ColumnType) (any, error) {
+	switch t {
+	case ColString:
+		return s, nil
+	case ColInt:
+		return strconv.ParseInt(s, 10, 64)
+	case ColFloat:
+		return strconv.ParseFloat(s, 64)
+	case ColDuration:
+		return time.ParseDuration(s)
+	default:
+		return nil, fmt.Errorf("snnmap: unknown column type %q", t)
+	}
+}
+
+// tableJSON is the wire shape of a Table.
+type tableJSON struct {
+	Name    string   `json:"name"`
+	Title   string   `json:"title,omitempty"`
+	Columns []Column `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+}
+
+// MarshalJSON implements json.Marshaler. Durations are encoded as their
+// String form (the column type restores them on decode).
+func (t Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Name: t.Name, Title: t.Title, Columns: t.Columns, Rows: make([][]any, len(t.Rows))}
+	for ri, row := range t.Rows {
+		cells := make([]any, len(row))
+		for ci, v := range row {
+			if d, ok := v.(time.Duration); ok {
+				cells[ci] = d.String()
+			} else {
+				cells[ci] = v
+			}
+		}
+		out.Rows[ri] = cells
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring every cell to its
+// column's canonical type, so a decoded table is deep-equal to the one
+// encoded.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var raw tableJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&raw); err != nil {
+		return fmt.Errorf("snnmap: decoding table: %w", err)
+	}
+	out := Table{Name: raw.Name, Title: raw.Title, Columns: raw.Columns}
+	for ri, row := range raw.Rows {
+		if len(row) != len(raw.Columns) {
+			return fmt.Errorf("snnmap: table %s row %d has %d cells for %d columns", raw.Name, ri, len(row), len(raw.Columns))
+		}
+		cells := make([]any, len(row))
+		for ci, v := range row {
+			typ := raw.Columns[ci].Type
+			var err error
+			switch x := v.(type) {
+			case json.Number:
+				switch typ {
+				case ColInt:
+					cells[ci], err = strconv.ParseInt(x.String(), 10, 64)
+				case ColFloat:
+					cells[ci], err = strconv.ParseFloat(x.String(), 64)
+				default:
+					err = fmt.Errorf("numeric cell %s in %s column", x, typ)
+				}
+			case string:
+				cells[ci], err = parseCell(x, typ)
+			default:
+				err = fmt.Errorf("cell %v (%T) in %s column", v, v, typ)
+			}
+			if err != nil {
+				return fmt.Errorf("snnmap: table %s row %d column %s: %w", raw.Name, ri, raw.Columns[ci].Name, err)
+			}
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	*t = out
+	return nil
+}
+
+// WriteJSON encodes the table as indented JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTableJSON decodes one table.
+func ReadTableJSON(r io.Reader) (*Table, error) {
+	var t Table
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// WriteTablesJSON encodes several tables as one indented JSON array — the
+// shape `cmd/experiments -format json` emits.
+func WriteTablesJSON(w io.Writer, tables []*Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
+}
+
+// ReadTablesJSON decodes a JSON array of tables.
+func ReadTablesJSON(r io.Reader) ([]*Table, error) {
+	var tables []*Table
+	if err := json.NewDecoder(r).Decode(&tables); err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// WriteCSV encodes the table as RFC 4180 CSV. The header cells carry the
+// column types ("name:type") so ReadTableCSV restores the schema without
+// side-band information. The table name and title travel in a leading
+// comment record ("# name — title") that csv readers configured with
+// Comment '#' skip.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s", t.Name); err != nil {
+		return err
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, " — %s", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = c.Name + ":" + string(c.Type)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		rec := make([]string, len(row))
+		for i, v := range row {
+			rec[i] = formatCell(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTableCSV decodes a table written by WriteCSV, recovering the name,
+// title and typed schema from the comment and header records.
+func ReadTableCSV(r io.Reader) (*Table, error) {
+	br := newCommentReader(r)
+	cr := csv.NewReader(br)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("snnmap: reading table CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("snnmap: table CSV without header")
+	}
+	t := &Table{Name: br.name, Title: br.title}
+	for _, h := range records[0] {
+		name, typ, ok := strings.Cut(h, ":")
+		if !ok {
+			return nil, fmt.Errorf("snnmap: CSV header cell %q lacks a :type suffix", h)
+		}
+		t.Columns = append(t.Columns, Column{Name: name, Type: ColumnType(typ)})
+	}
+	for ri, rec := range records[1:] {
+		if len(rec) != len(t.Columns) {
+			return nil, fmt.Errorf("snnmap: CSV row %d has %d cells for %d columns", ri, len(rec), len(t.Columns))
+		}
+		cells := make([]any, len(rec))
+		for ci, s := range rec {
+			v, err := parseCell(s, t.Columns[ci].Type)
+			if err != nil {
+				return nil, fmt.Errorf("snnmap: CSV row %d column %s: %w", ri, t.Columns[ci].Name, err)
+			}
+			cells[ci] = v
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t, nil
+}
+
+// commentReader strips the single leading "# name — title" record before
+// handing the stream to the csv reader, capturing name and title.
+type commentReader struct {
+	r           io.Reader
+	name, title string
+	rest        io.Reader
+}
+
+func newCommentReader(r io.Reader) *commentReader { return &commentReader{r: r} }
+
+func (c *commentReader) Read(p []byte) (int, error) {
+	if c.rest == nil {
+		all, err := io.ReadAll(c.r)
+		if err != nil {
+			return 0, err
+		}
+		body := all
+		if bytes.HasPrefix(all, []byte("# ")) {
+			line := all
+			if i := bytes.IndexByte(all, '\n'); i >= 0 {
+				line, body = all[:i], all[i+1:]
+			} else {
+				body = nil
+			}
+			meta := strings.TrimPrefix(string(line), "# ")
+			c.name, c.title, _ = strings.Cut(meta, " — ")
+		}
+		c.rest = bytes.NewReader(body)
+	}
+	return c.rest.Read(p)
+}
+
+// WriteText renders the table as a GitHub-flavored markdown table with
+// its title as a heading — the `-format text` output of both CLIs.
+func (t *Table) WriteText(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "## %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(names, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(seps, "|")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = formatTextCell(v)
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// formatTextCell is formatCell with human-oriented float rounding for the
+// markdown rendering (serialization formats stay exact).
+func formatTextCell(v any) string {
+	if f, ok := v.(float64); ok {
+		return strconv.FormatFloat(f, 'g', 6, 64)
+	}
+	return formatCell(v)
+}
+
+// reportColumns is the schema of NewReportTable.
+var reportColumns = []Column{
+	{Name: "app", Type: ColString},
+	{Name: "technique", Type: ColString},
+	{Name: "arch", Type: ColString},
+	{Name: "neurons", Type: ColInt},
+	{Name: "synapses", Type: ColInt},
+	{Name: "local_synapses", Type: ColInt},
+	{Name: "global_synapses", Type: ColInt},
+	{Name: "traffic", Type: ColInt},
+	{Name: "local_energy_pj", Type: ColFloat},
+	{Name: "global_energy_pj", Type: ColFloat},
+	{Name: "total_energy_pj", Type: ColFloat},
+	{Name: "injected", Type: ColInt},
+	{Name: "delivered", Type: ColInt},
+	{Name: "isi_avg_cycles", Type: ColFloat},
+	{Name: "disorder_frac", Type: ColFloat},
+	{Name: "throughput_per_ms", Type: ColFloat},
+	{Name: "avg_latency_cycles", Type: ColFloat},
+	{Name: "max_latency_cycles", Type: ColInt},
+}
+
+// NewReportTable tabulates pipeline reports, one row per report — the
+// summary shape `cmd/snnmap -format csv` emits.
+func NewReportTable(reports ...*Report) (*Table, error) {
+	t := NewTable("reports", "Mapping reports", reportColumns...)
+	for _, r := range reports {
+		err := t.AddRow(
+			r.AppName, r.Technique, r.ArchName,
+			r.Neurons, r.Synapses, r.LocalSynapseCount, r.GlobalSynapseCount,
+			r.GlobalTraffic,
+			r.LocalEnergyPJ, r.GlobalEnergyPJ, r.TotalEnergyPJ,
+			r.NoC.Injected, r.NoC.Delivered,
+			r.Metrics.ISIAvgCycles, r.Metrics.DisorderFrac, r.Metrics.ThroughputPerMs,
+			r.Metrics.AvgLatencyCycles, r.Metrics.MaxLatencyCycles,
+		)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,219 @@
+package snnmap
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenTable exercises every column type, including values that stress
+// exact round-tripping: an int64 above 2^53 (lost if routed through
+// float64), a shortest-repr float, scientific notation, unicode strings
+// and composite durations.
+func goldenTable() *Table {
+	t := NewTable("golden", "Golden table — all column types",
+		Column{"app", ColString},
+		Column{"neurons", ColInt},
+		Column{"energy_pj", ColFloat},
+		Column{"wall", ColDuration},
+	)
+	rows := [][]any{
+		{"HW", 126, 1234.5625, 1500 * time.Millisecond},
+		{"synth 1x200, quoted", int64(-3), 0.1, 2*time.Hour + 3*time.Minute},
+		{"unicode — µJ", int64(9007199254740993), 6.02e23, time.Nanosecond},
+	}
+	for _, r := range rows {
+		if err := t.AddRow(r...); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestTableGoldenJSONRoundTrip(t *testing.T) {
+	tab := goldenTable()
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_table.json", buf.Bytes())
+
+	back, err := ReadTableJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab, back) {
+		t.Fatalf("JSON round trip drifted:\nin:  %+v\nout: %+v", tab, back)
+	}
+}
+
+func TestTableGoldenCSVRoundTrip(t *testing.T) {
+	tab := goldenTable()
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_table.csv", buf.Bytes())
+
+	back, err := ReadTableCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab, back) {
+		t.Fatalf("CSV round trip drifted:\nin:  %+v\nout: %+v", tab, back)
+	}
+}
+
+func TestTablesJSONArrayRoundTrip(t *testing.T) {
+	// The shape cmd/experiments -format json emits: an array of tables.
+	second := NewTable("other", "", Column{"k", ColString}, Column{"v", ColInt})
+	if err := second.AddRow("answer", 42); err != nil {
+		t.Fatal(err)
+	}
+	in := []*Table{goldenTable(), second}
+	var buf bytes.Buffer
+	if err := WriteTablesJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTablesJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("tables array round trip drifted")
+	}
+}
+
+func TestTableAddRowRejectsMismatches(t *testing.T) {
+	tab := NewTable("x", "", Column{"a", ColInt})
+	if err := tab.AddRow("not an int"); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if err := tab.AddRow(1, 2); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := tab.AddRow(7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tab.Rows[0][0].(int64); !ok || v != 7 {
+		t.Fatalf("int not coerced to int64: %#v", tab.Rows[0][0])
+	}
+}
+
+func TestReportTableRoundTrip(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 8, DurationMs: 150}, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(app, ForNeurons(app.Graph.Neurons, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := pl.Compare(context.Background(), []Partitioner{Neutrams, Pacman})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := NewReportTable(reports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTableJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab, back) {
+		t.Fatal("report table JSON round trip drifted")
+	}
+	if len(back.Rows) != 2 {
+		t.Fatalf("rows = %d", len(back.Rows))
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	want := []string{
+		"fig5", "table2", "fig6", "fig7", "accuracy",
+		"ablation-optimizer", "ablation-aer", "ablation-topology",
+	}
+	if got := ExperimentNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("experiment registry = %v, want %v", got, want)
+	}
+	for _, e := range Experiments() {
+		if e.Describe() == "" {
+			t.Fatalf("experiment %s without description", e.Name())
+		}
+	}
+	if _, err := LookupExperiment("nope"); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("lookup of unknown experiment: %v", err)
+	}
+}
+
+func TestPartitionerAndArchRegistries(t *testing.T) {
+	wantPT := []string{"pso", "pacman", "neutrams", "greedy", "kl", "sa", "ga", "random"}
+	if got := PartitionerNames(); !reflect.DeepEqual(got, wantPT) {
+		t.Fatalf("partitioner registry = %v, want %v", got, wantPT)
+	}
+	wantArch := []string{"tree", "mesh", "cxquad", "quad", "star"}
+	if got := ArchNames(); !reflect.DeepEqual(got, wantArch) {
+		t.Fatalf("arch registry = %v, want %v", got, wantArch)
+	}
+	if _, err := NewPartitioner("nope", PartitionerSpec{}); err == nil {
+		t.Fatal("unknown partitioner accepted")
+	}
+
+	app, err := BuildSynthetic(AppConfig{Seed: 9, DurationMs: 100}, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := app.Graph
+	// The tree factory must reproduce the historical CLI sizing.
+	arch, err := NewArch("tree", g, ArchSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacySize := (g.Neurons*115/100 + 3) / 4
+	want := ForNeurons(g.Neurons, legacySize)
+	if arch != want {
+		t.Fatalf("tree arch = %+v, want %+v", arch, want)
+	}
+	// Spec overrides must land.
+	arch, err = NewArch("mesh", g, ArchSpec{Crossbars: 9, CrossbarSize: 16, AER: MulticastAER})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.Crossbars != 9 || arch.CrossbarSize != 16 || arch.AER != MulticastAER {
+		t.Fatalf("spec overrides not applied: %+v", arch)
+	}
+	if _, err := NewArch("nope", g, ArchSpec{}); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+}
