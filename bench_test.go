@@ -13,9 +13,11 @@ package snnmap
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/noc"
 	"repro/internal/partition"
 )
 
@@ -276,6 +278,118 @@ func BenchmarkAblationTopology(b *testing.B) {
 }
 
 // --- Component micro-benchmarks -------------------------------------------
+
+// replayWorkload builds a deterministic multicast packet trace for the
+// replay benchmark. Saturated mode injects bursts of wide-fanout packets
+// every millisecond (a Fig. 5-style all-to-some storm that keeps every
+// router busy); light mode spaces narrow packets out so the network drains
+// between spikes and the simulator's idle-cycle handling dominates.
+func replayWorkload(endpoints int, saturated bool) []noc.Packet {
+	rng := rand.New(rand.NewSource(42))
+	var pkts []noc.Packet
+	spikes, gapMs, fanout := 40, 25, 1
+	if saturated {
+		spikes, gapMs, fanout = 60, 1, 6
+	}
+	for ms := 0; ms < spikes*gapMs; ms += gapMs {
+		srcs := endpoints
+		if !saturated {
+			srcs = 4
+		}
+		for i := 0; i < srcs; i++ {
+			src := rng.Intn(endpoints)
+			m := noc.NewMask(endpoints)
+			for j := 0; j < fanout; j++ {
+				if d := rng.Intn(endpoints); d != src {
+					m.Set(d)
+				}
+			}
+			if m.Empty() {
+				m.Set((src + 1) % endpoints)
+			}
+			pkts = append(pkts, noc.Packet{
+				SrcNeuron: int32(len(pkts)), Src: src, Dst: m, CreatedMs: int64(ms),
+			})
+		}
+	}
+	return pkts
+}
+
+// BenchmarkNoCReplay measures the interconnect replay core on both
+// topologies under light and saturated load — the kernel that dominates
+// every pipeline run with real spike traffic. Reported metric is delivered
+// packets per second of wall clock.
+func BenchmarkNoCReplay(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		kind noc.Kind
+		sat  bool
+	}{
+		{"mesh/light", noc.Mesh, false},
+		{"mesh/saturated", noc.Mesh, true},
+		{"tree/light", noc.Tree, false},
+		{"tree/saturated", noc.Tree, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			const endpoints = 36
+			cfg := noc.DefaultConfig(tc.kind, endpoints)
+			sim, err := noc.NewSimulator(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkts := replayWorkload(endpoints, tc.sat)
+			b.ResetTimer()
+			var delivered int64
+			for i := 0; i < b.N; i++ {
+				sim.Reset()
+				for _, p := range pkts {
+					if err := sim.Inject(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				res, err := sim.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered = res.Stats.Delivered
+			}
+			b.ReportMetric(float64(delivered)*float64(b.N)/b.Elapsed().Seconds(), "deliveries/s")
+		})
+	}
+}
+
+// BenchmarkPlacement measures PlaceCrossbars at growing crossbar counts on
+// a mesh interconnect. C=64 was intractable under the original
+// full-objective 2-opt (O(C⁴) per pass); the delta-evaluated descent keeps
+// it under a second.
+func BenchmarkPlacement(b *testing.B) {
+	for _, c := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			app, err := BuildSynthetic(AppConfig{Seed: 1, DurationMs: 100}, 2, 4*c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := NewProblem(app.Graph, c, 12)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := partition.Greedy{}.Partition(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim, err := noc.NewSimulator(noc.DefaultConfig(noc.Mesh, c))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.PlaceCrossbars(p, a, sim.HopDistance); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkPSOPartition measures one full PSO optimization of a mid-sized
 // synthetic instance.

@@ -141,6 +141,101 @@ func isiDistortion(sorted []noc.Delivery) (avg float64, max int64, n int64) {
 	return avg, max, n
 }
 
+// Accumulator computes the same Report as Analyze from a delivery stream,
+// without retaining the trace: it keeps only per-destination high-water
+// marks (disorder) and the previous delivery per spike stream (ISI), so
+// memory is O(streams) instead of O(deliveries). Feed it deliveries in
+// arrival order — exactly the order the simulator emits them (e.g. via
+// noc.Simulator.SetDeliverySink) — and the resulting Report is
+// bit-identical to Analyze over the accumulated trace: Analyze's stable
+// sort of an already arrival-ordered trace is the identity, and every
+// aggregate is formed from the same integer totals in the same order.
+type Accumulator struct {
+	delivered  int64
+	totalLat   int64
+	maxLat     int64
+	disorder   int64
+	maxCreated map[int]int64
+	last       map[stream]streamMark
+	isiTotal   int64
+	isiMax     int64
+	isiCount   int64
+}
+
+// streamMark is the per-stream state the ISI update needs from the
+// previous delivery — just the two cycle stamps, not the whole Delivery.
+type streamMark struct {
+	created, arrive int64
+}
+
+// NewAccumulator returns an empty streaming analyzer.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{
+		maxCreated: map[int]int64{},
+		last:       map[stream]streamMark{},
+	}
+}
+
+// Add folds one delivery into the running metrics. Deliveries must be
+// added in arrival order.
+func (a *Accumulator) Add(d noc.Delivery) {
+	a.delivered++
+	lat := d.Latency()
+	a.totalLat += lat
+	if lat > a.maxLat {
+		a.maxLat = lat
+	}
+
+	// Disorder, replicating disorderCount's update rule per destination.
+	prev, ok := a.maxCreated[d.Dst]
+	if ok && d.CreatedCycle < prev {
+		a.disorder++
+	}
+	if !ok || d.CreatedCycle > prev {
+		a.maxCreated[d.Dst] = d.CreatedCycle
+	}
+
+	// ISI distortion against the stream's previous delivery.
+	k := stream{d.SrcNeuron, d.Dst}
+	if last, ok := a.last[k]; ok {
+		srcISI := d.CreatedCycle - last.created
+		dstISI := d.ArriveCycle - last.arrive
+		dist := srcISI - dstISI
+		if dist < 0 {
+			dist = -dist
+		}
+		a.isiTotal += dist
+		if dist > a.isiMax {
+			a.isiMax = dist
+		}
+		a.isiCount++
+	}
+	a.last[k] = streamMark{d.CreatedCycle, d.ArriveCycle}
+}
+
+// Report finalizes the streamed metrics; durationMs only affects
+// ThroughputPerMs, as in Analyze.
+func (a *Accumulator) Report(durationMs int64) Report {
+	var r Report
+	r.Delivered = a.delivered
+	if a.delivered == 0 {
+		return r
+	}
+	r.AvgLatencyCycles = float64(a.totalLat) / float64(a.delivered)
+	r.MaxLatencyCycles = a.maxLat
+	r.DisorderCount = a.disorder
+	r.DisorderFrac = float64(a.disorder) / float64(a.delivered)
+	r.ISIMaxCycles = a.isiMax
+	r.ISICount = a.isiCount
+	if a.isiCount > 0 {
+		r.ISIAvgCycles = float64(a.isiTotal) / float64(a.isiCount)
+	}
+	if durationMs > 0 {
+		r.ThroughputPerMs = float64(a.delivered) / float64(durationMs)
+	}
+	return r
+}
+
 // PerDestination summarizes arrivals per destination crossbar, for
 // congestion hot-spot reporting.
 type PerDestination struct {

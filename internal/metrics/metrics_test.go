@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/noc"
@@ -158,5 +159,43 @@ func TestByDestination(t *testing.T) {
 	}
 	if per[1].Dst != 5 || per[1].Arrivals != 1 || per[1].MaxLatency != 7 {
 		t.Fatalf("per[1] = %+v", per[1])
+	}
+}
+
+// TestAccumulatorMatchesAnalyze pins the streaming accumulator to Analyze
+// bit for bit on random arrival-ordered traces, including arrival-cycle
+// ties (where Analyze's stable sort preserves feed order) and repeated
+// spike streams (exercising the ISI path).
+func TestAccumulatorMatchesAnalyze(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(400)
+		trace := make([]noc.Delivery, 0, n)
+		arrive := int64(0)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) > 0 { // ~1/3 of deliveries tie on arrival cycle
+				arrive += int64(rng.Intn(50))
+			}
+			created := arrive - int64(rng.Intn(40)) - 1
+			trace = append(trace, noc.Delivery{
+				SrcNeuron:    int32(rng.Intn(8)), // few neurons -> long streams
+				Src:          rng.Intn(4),
+				Dst:          rng.Intn(5),
+				CreatedMs:    created / 10,
+				CreatedCycle: created,
+				ArriveCycle:  arrive,
+			})
+		}
+		durationMs := int64(rng.Intn(3) * 100)
+
+		acc := NewAccumulator()
+		for _, d := range trace {
+			acc.Add(d)
+		}
+		got := acc.Report(durationMs)
+		want := Analyze(trace, durationMs)
+		if got != want {
+			t.Fatalf("trial %d (%d deliveries): streaming report diverges:\n got %+v\nwant %+v", trial, n, got, want)
+		}
 	}
 }

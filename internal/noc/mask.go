@@ -90,3 +90,63 @@ func (m Mask) AndNot(other Mask) {
 		}
 	}
 }
+
+// Intersects reports whether m and other share at least one endpoint.
+// Endpoints beyond the shorter mask's range are treated as unmarked.
+func (m Mask) Intersects(other Mask) bool {
+	n := len(m)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if m[i]&other[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every endpoint of m is also in other.
+// Endpoints beyond the shorter mask's range are treated as unmarked.
+func (m Mask) SubsetOf(other Mask) bool {
+	for i, w := range m {
+		var o uint64
+		if i < len(other) {
+			o = other[i]
+		}
+		if w&^o != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectInto stores a ∩ b into m (m must be at least as long as the
+// shorter of a and b); words of m beyond that range are cleared.
+func (m Mask) IntersectInto(a, b Mask) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if len(m) < n {
+		n = len(m)
+	}
+	for i := 0; i < n; i++ {
+		m[i] = a[i] & b[i]
+	}
+	for i := n; i < len(m); i++ {
+		m[i] = 0
+	}
+}
+
+// OrInto adds all endpoints of other to m in place; endpoints of other
+// beyond m's range are dropped.
+func (m Mask) OrInto(other Mask) {
+	n := len(m)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		m[i] |= other[i]
+	}
+}

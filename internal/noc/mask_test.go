@@ -84,6 +84,60 @@ func TestMaskCloneIndependent(t *testing.T) {
 	}
 }
 
+func TestMaskIntersectsSubset(t *testing.T) {
+	a := mask(200, 3, 64, 199)
+	b := mask(200, 64)
+	c := mask(200, 5, 130)
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("a and b share bit 64")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a and c are disjoint")
+	}
+	if !b.SubsetOf(a) {
+		t.Fatal("b ⊆ a")
+	}
+	if a.SubsetOf(b) {
+		t.Fatal("a ⊄ b")
+	}
+	if !NewMask(200).SubsetOf(b) {
+		t.Fatal("empty mask is a subset of everything")
+	}
+	if NewMask(200).Intersects(b) {
+		t.Fatal("empty mask intersects nothing")
+	}
+	// Shorter masks behave as if zero-extended.
+	short := mask(64, 63)
+	if short.Intersects(c) || !short.SubsetOf(mask(200, 63, 100)) {
+		t.Fatal("length-mismatch semantics broken")
+	}
+	if mask(200, 63, 100).SubsetOf(short) {
+		t.Fatal("bits beyond the shorter mask must not be subset-covered")
+	}
+}
+
+func TestMaskIntersectInto(t *testing.T) {
+	a := mask(200, 3, 64, 65, 199)
+	b := mask(200, 64, 199, 5)
+	m := mask(200, 1, 130) // stale contents must be overwritten
+	m.IntersectInto(a, b)
+	var got []int
+	m.ForEach(func(i int) { got = append(got, i) })
+	if !reflect.DeepEqual(got, []int{64, 199}) {
+		t.Fatalf("IntersectInto = %v, want [64 199]", got)
+	}
+}
+
+func TestMaskOrInto(t *testing.T) {
+	a := mask(200, 3, 64)
+	a.OrInto(mask(200, 64, 199))
+	var got []int
+	a.ForEach(func(i int) { got = append(got, i) })
+	if !reflect.DeepEqual(got, []int{3, 64, 199}) {
+		t.Fatalf("OrInto = %v, want [3 64 199]", got)
+	}
+}
+
 func TestMaskSetClearProperty(t *testing.T) {
 	f := func(raw []uint8) bool {
 		m := NewMask(256)

@@ -1,9 +1,9 @@
 package noc
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -129,7 +129,8 @@ type Result struct {
 
 // flight is a packet in the network. Multicast flights fork at routing
 // divergence points; Dst always holds the destinations still to be served
-// by this flight.
+// by this flight. Flights are pooled on the simulator's free-list so the
+// hot loop does not allocate per split.
 type flight struct {
 	id           int64
 	srcNeuron    int32
@@ -148,39 +149,128 @@ type arrival struct {
 	seq    int64 // tie-break for deterministic ordering
 }
 
-type arrivalHeap []arrival
-
-func (h arrivalHeap) Len() int { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
-	}
-	return h[i].seq < h[j].seq
+// arrivalQueue orders arrivals by (cycle, seq). Every link traversal takes
+// exactly PacketFlits cycles and the clock never runs backwards, so
+// arrivals are pushed with non-decreasing cycles and unique increasing
+// seqs — push order IS (cycle, seq) order, and a FIFO ring replaces the
+// priority queue the general case would need (no sift, no boxing).
+type arrivalQueue struct {
+	buf  []arrival
+	head int
 }
-func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(arrival)) }
-func (h *arrivalHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+
+func (q *arrivalQueue) empty() bool     { return q.head == len(q.buf) }
+func (q *arrivalQueue) front() *arrival { return &q.buf[q.head] }
+
+func (q *arrivalQueue) push(a arrival) {
+	if q.head == len(q.buf) {
+		// Drained: rewind so steady-state traffic reuses the buffer
+		// instead of growing it by the run's total hop count.
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 1024 && q.head >= len(q.buf)-q.head {
+		// Popped slots outnumber live ones: compact so a run that never
+		// fully drains (a saturated storm) keeps the queue at
+		// O(outstanding arrivals), not O(total hops). Order-preserving
+		// and O(1) amortized.
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i].f = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, a)
+}
+
+func (q *arrivalQueue) pop() arrival {
+	a := q.buf[q.head]
+	q.buf[q.head].f = nil // release the flight to the free-list's ownership
+	q.head++
+	return a
+}
+
+func (q *arrivalQueue) reset() {
+	for i := q.head; i < len(q.buf); i++ {
+		q.buf[i].f = nil
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
+// fifo is one input-port buffer: a fixed-capacity ring over BufferDepth
+// slots, so FIFO traffic never reallocates (a slice with pop-front
+// re-slicing exhausts its capacity every few operations and churns the
+// allocator).
+type fifo struct {
+	items []*flight
+	head  int32
+	n     int32
+}
+
+func (f *fifo) front() *flight { return f.items[f.head] }
+
+func (f *fifo) push(x *flight) {
+	i := int(f.head) + int(f.n)
+	if i >= len(f.items) {
+		i -= len(f.items)
+	}
+	f.items[i] = x
+	f.n++
+}
+
+func (f *fifo) pop() *flight {
+	x := f.items[f.head]
+	f.items[f.head] = nil
+	f.head++
+	if int(f.head) >= len(f.items) {
+		f.head = 0
+	}
+	f.n--
 	return x
 }
 
 // Simulator is a single-shot interconnect simulation: construct, inject the
 // full spike trace, then Run. Create with NewSimulator.
+//
+// The replay core is event-driven in the Noxim tradition: routers are
+// visited only while they hold buffered packets (an active-router
+// worklist), idle stretches are skipped by jumping to the next event time
+// (earliest of link arrivals, link-free expirations and pending
+// injections), and routing decisions are word-level mask operations
+// against per-router, per-port destination masks instead of per-endpoint
+// scans, memoized per FIFO head so arbitration touches only ports with an
+// actual candidate. The observable behavior — statistics, delivery trace
+// and its order, cycle counts — is bit-identical to a dense per-cycle
+// scan (see TestReplayMatchesReference).
 type Simulator struct {
 	cfg  Config
 	topo topology
+	// nr and np cache topo.Routers()/Ports() so the hot loop performs no
+	// interface calls.
+	nr, np int
 
 	// Router state, indexed [router][port].
-	buf      [][][]*flight // input FIFOs
-	reserved [][]int       // credits held by in-flight packets
-	rr       [][]int       // round-robin pointer per output port
-	linkFree [][]int64     // cycle at which the output link is free
+	fifos    [][]fifo  // input FIFOs
+	reserved [][]int   // credits held by in-flight packets
+	rr       [][]int   // round-robin pointer per output port
+	linkFree [][]int64 // cycle at which the output link is free
+
+	// headWants[r][in] is a bitmask over output ports wanted by the head
+	// flight of input FIFO in at router r (0 when empty); portWanted[r][p]
+	// is its transpose, a bitmask over input FIFOs whose head wants output
+	// port p. Both are recomputed only when a FIFO's head flight changes
+	// (push to empty, pop, or in-place destination update), so per-cycle
+	// arbitration reduces to bit scans over actual candidates. Routers
+	// wider than 64 ports (a star-like tree whose arity tracks the
+	// crossbar count) don't fit the word; wide marks them and arbitration
+	// falls back to the dense input scan for correctness.
+	headWants  [][]uint64
+	portWanted [][]uint64
+	wide       bool
 
 	pending   []Packet // injection requests, sorted at Run
-	arrivals  arrivalHeap
+	arrivals  arrivalQueue
 	nextID    int64
 	nextSeq   int64
 	result    Result
@@ -189,9 +279,33 @@ type Simulator struct {
 
 	// routeTable[r][dst] caches topology.Route for O(1) lookups.
 	routeTable [][]uint8
-	// buffered[r] counts packets sitting in router r's input FIFOs so
-	// idle routers are skipped during arbitration.
+	// portMask[r][p] marks every endpoint whose route at router r leaves
+	// through port p, so "does this flight want port p" is a word-wise
+	// Intersects and a multicast split is one IntersectInto. Immutable
+	// after construction, shared by Fork.
+	portMask [][]Mask
+	// neighR/neighP cache topology.Neighbor per (router, port); -1 marks
+	// an unwired port. Immutable after construction, shared by Fork.
+	neighR [][]int
+	neighP [][]int
+
+	// buffered[r] counts packets sitting in router r's input FIFOs;
+	// active marks routers with buffered > 0 so arbitration visits only
+	// them, in ascending router order.
 	buffered []int
+	active   Mask
+
+	// free is the flight free-list: fully delivered flights are recycled
+	// (mask storage included) so multicast splits do not allocate.
+	free []*flight
+
+	// sink, when set, receives every Delivery in arrival order instead of
+	// the Result accumulating the trace.
+	sink func(Delivery)
+
+	// ran guards against state corruption from Run-after-Run or
+	// Inject-after-Run without an intervening Reset.
+	ran bool
 }
 
 // NewSimulator validates the configuration and builds the topology.
@@ -221,16 +335,8 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	}
 	s := &Simulator{cfg: cfg, topo: topo}
 	nr, np := topo.Routers(), topo.Ports()
-	s.buf = make([][][]*flight, nr)
-	s.reserved = make([][]int, nr)
-	s.rr = make([][]int, nr)
-	s.linkFree = make([][]int64, nr)
-	for r := 0; r < nr; r++ {
-		s.buf[r] = make([][]*flight, np)
-		s.reserved[r] = make([]int, np)
-		s.rr[r] = make([]int, np)
-		s.linkFree[r] = make([]int64, np)
-	}
+	s.nr, s.np = nr, np
+	s.allocMutableState()
 	s.endpointR = make([]int, cfg.Endpoints)
 	s.routerE = make([]int, nr)
 	for r := range s.routerE {
@@ -242,67 +348,114 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		s.routerE[r] = ep
 	}
 	s.routeTable = make([][]uint8, nr)
+	s.portMask = make([][]Mask, nr)
+	s.neighR = make([][]int, nr)
+	s.neighP = make([][]int, nr)
 	for r := 0; r < nr; r++ {
 		s.routeTable[r] = make([]uint8, cfg.Endpoints)
+		s.portMask[r] = make([]Mask, np)
+		for p := 0; p < np; p++ {
+			s.portMask[r][p] = NewMask(cfg.Endpoints)
+		}
 		for d := 0; d < cfg.Endpoints; d++ {
-			s.routeTable[r][d] = uint8(topo.Route(r, d))
+			p := topo.Route(r, d)
+			s.routeTable[r][d] = uint8(p)
+			s.portMask[r][p].Set(d)
+		}
+		s.neighR[r] = make([]int, np)
+		s.neighP[r] = make([]int, np)
+		for p := 0; p < np; p++ {
+			s.neighR[r][p], s.neighP[r][p] = topo.Neighbor(r, p)
 		}
 	}
-	s.buffered = make([]int, nr)
 	return s, nil
 }
 
+// allocMutableState builds the per-run router state (FIFOs, credits,
+// round-robin pointers, link timers, worklist).
+func (s *Simulator) allocMutableState() {
+	nr, np := s.nr, s.np
+	s.wide = np > 64
+	depth := s.cfg.BufferDepth
+	s.fifos = make([][]fifo, nr)
+	s.reserved = make([][]int, nr)
+	s.rr = make([][]int, nr)
+	s.linkFree = make([][]int64, nr)
+	s.headWants = make([][]uint64, nr)
+	s.portWanted = make([][]uint64, nr)
+	slots := make([]*flight, nr*np*depth) // one backing array for all rings
+	for r := 0; r < nr; r++ {
+		s.fifos[r] = make([]fifo, np)
+		for p := 0; p < np; p++ {
+			s.fifos[r][p].items = slots[:depth:depth]
+			slots = slots[depth:]
+		}
+		s.reserved[r] = make([]int, np)
+		s.rr[r] = make([]int, np)
+		s.linkFree[r] = make([]int64, np)
+		s.headWants[r] = make([]uint64, np)
+		s.portWanted[r] = make([]uint64, np)
+	}
+	s.buffered = make([]int, nr)
+	s.active = NewMask(nr)
+}
+
 // Fork returns a fresh simulator sharing this simulator's immutable parts
-// — configuration, topology, route table and endpoint wiring — with its
-// own zeroed packet state. Forking skips the topology and route-table
-// construction (the expensive part of NewSimulator), so a warm mapping
-// session can hand each concurrent run its own simulator at the cost of a
-// few state slices. Fork only reads immutable fields and is therefore safe
-// to call even while the receiver is mid-simulation.
+// — configuration, topology, route and port-mask tables and endpoint
+// wiring — with its own zeroed packet state. Forking skips the topology
+// and route-table construction (the expensive part of NewSimulator), so a
+// warm mapping session can hand each concurrent run its own simulator at
+// the cost of a few state slices. Fork only reads immutable fields and is
+// therefore safe to call even while the receiver is mid-simulation.
 func (s *Simulator) Fork() *Simulator {
 	n := &Simulator{
 		cfg:        s.cfg,
 		topo:       s.topo,
+		nr:         s.nr,
+		np:         s.np,
 		endpointR:  s.endpointR,
 		routerE:    s.routerE,
 		routeTable: s.routeTable,
+		portMask:   s.portMask,
+		neighR:     s.neighR,
+		neighP:     s.neighP,
 	}
-	nr, np := s.topo.Routers(), s.topo.Ports()
-	n.buf = make([][][]*flight, nr)
-	n.reserved = make([][]int, nr)
-	n.rr = make([][]int, nr)
-	n.linkFree = make([][]int64, nr)
-	for r := 0; r < nr; r++ {
-		n.buf[r] = make([][]*flight, np)
-		n.reserved[r] = make([]int, np)
-		n.rr[r] = make([]int, np)
-		n.linkFree[r] = make([]int64, np)
-	}
-	n.buffered = make([]int, nr)
+	n.allocMutableState()
 	return n
 }
 
 // Reset returns the simulator to its post-construction state so it can
 // be reused for another injection + Run cycle. The topology, route table
 // and configuration are retained (they are the expensive parts to
-// build); all packet state, statistics and the delivery trace are
-// cleared. One simulator per worker can therefore serve both placement
-// distance queries and repeated traffic replays.
+// build); all packet state, statistics, the delivery trace and any
+// delivery sink are cleared. One simulator per worker can therefore serve
+// both placement distance queries and repeated traffic replays.
 func (s *Simulator) Reset() {
-	for r := range s.buf {
-		for p := range s.buf[r] {
-			s.buf[r][p] = nil
+	for r := range s.fifos {
+		for p := range s.fifos[r] {
+			q := &s.fifos[r][p]
+			for i := range q.items {
+				q.items[i] = nil
+			}
+			q.head, q.n = 0, 0
 			s.reserved[r][p] = 0
 			s.rr[r][p] = 0
 			s.linkFree[r][p] = 0
+			s.headWants[r][p] = 0
+			s.portWanted[r][p] = 0
 		}
 		s.buffered[r] = 0
 	}
-	s.pending = nil
-	s.arrivals = nil
+	for i := range s.active {
+		s.active[i] = 0
+	}
+	s.pending = s.pending[:0]
+	s.arrivals.reset()
 	s.nextID = 0
 	s.nextSeq = 0
 	s.result = Result{}
+	s.sink = nil
+	s.ran = false
 }
 
 // route returns the cached output port at router r toward endpoint dst.
@@ -316,9 +469,76 @@ func (s *Simulator) HopDistance(a, b int) (int, error) {
 	return s.topo.HopDistance(a, b), nil
 }
 
+// SetDeliverySink streams every Delivery to fn, in arrival order, instead
+// of accumulating the trace on the Result (Result.Deliveries stays empty;
+// the aggregate Stats are unaffected). Aggregate-only callers use it to
+// skip the trace allocation entirely. Set it after construction or Reset
+// and before Run; Reset clears the sink.
+func (s *Simulator) SetDeliverySink(fn func(Delivery)) { s.sink = fn }
+
+// allocFlight draws a flight from the free-list (or allocates one) with
+// the given identity and an empty destination mask.
+func (s *Simulator) allocFlight(srcNeuron int32, src int, createdMs, createdCycle int64) *flight {
+	var f *flight
+	if n := len(s.free); n > 0 {
+		f = s.free[n-1]
+		s.free = s.free[:n-1]
+		for i := range f.dst {
+			f.dst[i] = 0
+		}
+	} else {
+		f = &flight{dst: NewMask(s.cfg.Endpoints)}
+	}
+	f.id = s.nextID
+	s.nextID++
+	f.srcNeuron = srcNeuron
+	f.src = src
+	f.createdMs = createdMs
+	f.createdCycle = createdCycle
+	return f
+}
+
+// freeFlight returns a fully served flight (empty mask) to the free-list.
+func (s *Simulator) freeFlight(f *flight) { s.free = append(s.free, f) }
+
+// updateHeadWants recomputes the want-mask of input FIFO in at router r
+// after its head flight changed (push to empty, pop, or an in-place
+// destination mutation) and keeps the portWanted transpose in sync.
+func (s *Simulator) updateHeadWants(r, in int) {
+	if s.wide {
+		return // wide routers use the dense input scan, no memo to keep
+	}
+	var want uint64
+	if q := &s.fifos[r][in]; q.n > 0 {
+		f := q.front()
+		pmR := s.portMask[r]
+		for p := 0; p < s.np; p++ {
+			if f.dst.Intersects(pmR[p]) {
+				want |= 1 << uint(p)
+			}
+		}
+	}
+	old := s.headWants[r][in]
+	s.headWants[r][in] = want
+	inBit := uint64(1) << uint(in)
+	for changed := old ^ want; changed != 0; {
+		p := bits.TrailingZeros64(changed)
+		changed &^= 1 << uint(p)
+		if want&(1<<uint(p)) != 0 {
+			s.portWanted[r][p] |= inBit
+		} else {
+			s.portWanted[r][p] &^= inBit
+		}
+	}
+}
+
 // Inject queues a spike packet for transmission. The destination mask must
-// not include the source and must address valid endpoints.
+// not include the source and must address valid endpoints. Injecting after
+// Run is an error; Reset the simulator first.
 func (s *Simulator) Inject(p Packet) error {
+	if s.ran {
+		return errors.New("noc: Inject after Run would corrupt the next replay; call Reset first")
+	}
 	if p.Src < 0 || p.Src >= s.cfg.Endpoints {
 		return fmt.Errorf("noc: source endpoint %d out of range", p.Src)
 	}
@@ -343,27 +563,34 @@ func (s *Simulator) Inject(p Packet) error {
 
 // Run executes the simulation to completion and returns the aggregate
 // statistics with the full delivery trace. Run may only be called once
-// per injection cycle; call Reset to reuse the simulator afterwards.
+// per injection cycle — a second Run without an intervening Reset returns
+// an error instead of silently replaying corrupted state.
 func (s *Simulator) Run() (*Result, error) {
+	if s.ran {
+		return nil, errors.New("noc: Run already called on this simulator; call Reset before running again")
+	}
+	s.ran = true
+
 	// Expand to unicast if multicast is disabled, then order by creation.
+	// Every flight carries the exact set of destinations still to serve,
+	// so the total delivery count is known up front and the trace buffer
+	// is allocated once at its final size.
 	queue := make([]*flight, 0, len(s.pending))
-	for _, p := range s.pending {
+	totalDst := 0
+	for i := range s.pending {
+		p := &s.pending[i]
 		cc := p.CreatedMs * s.cfg.CyclesPerMs
 		if s.cfg.Multicast {
-			queue = append(queue, &flight{
-				id: s.nextID, srcNeuron: p.SrcNeuron, src: p.Src,
-				dst: p.Dst.Clone(), createdMs: p.CreatedMs, createdCycle: cc,
-			})
-			s.nextID++
+			f := s.allocFlight(p.SrcNeuron, p.Src, p.CreatedMs, cc)
+			copy(f.dst, p.Dst)
+			totalDst += f.dst.Count()
+			queue = append(queue, f)
 		} else {
 			p.Dst.ForEach(func(d int) {
-				m := NewMask(s.cfg.Endpoints)
-				m.Set(d)
-				queue = append(queue, &flight{
-					id: s.nextID, srcNeuron: p.SrcNeuron, src: p.Src,
-					dst: m, createdMs: p.CreatedMs, createdCycle: cc,
-				})
-				s.nextID++
+				f := s.allocFlight(p.SrcNeuron, p.Src, p.CreatedMs, cc)
+				f.dst.Set(d)
+				totalDst++
+				queue = append(queue, f)
 			})
 		}
 	}
@@ -374,24 +601,30 @@ func (s *Simulator) Run() (*Result, error) {
 		return queue[i].id < queue[j].id
 	})
 	// Per-endpoint NI queues preserving creation order.
-	ni := make([][]*flight, s.cfg.Endpoints)
+	endpoints := s.cfg.Endpoints
+	ni := make([][]*flight, endpoints)
 	for _, f := range queue {
 		ni[f.src] = append(ni[f.src], f)
 	}
-	niHead := make([]int, s.cfg.Endpoints)
+	niHead := make([]int, endpoints)
 	remaining := int64(len(queue))
 	inFlight := int64(0)
 
 	s.result.Stats.Injected = int64(len(queue))
+	if s.sink == nil && totalDst > 0 {
+		s.result.Deliveries = make([]Delivery, 0, totalDst)
+	}
 
 	var now int64
 	var lastEvent int64
 	var totalLatency int64
 	flits := int64(s.cfg.PacketFlits)
+	np := s.np
+	depth := s.cfg.BufferDepth
 
 	nextInjection := func() int64 {
 		next := int64(-1)
-		for ep := 0; ep < s.cfg.Endpoints; ep++ {
+		for ep := 0; ep < endpoints; ep++ {
 			if niHead[ep] < len(ni[ep]) {
 				c := ni[ep][niHead[ep]].createdCycle
 				if next < 0 || c < next {
@@ -406,115 +639,173 @@ func (s *Simulator) Run() (*Result, error) {
 		now = n
 	}
 
-	for remaining > 0 || inFlight > 0 || len(s.arrivals) > 0 {
+	for remaining > 0 || inFlight > 0 || !s.arrivals.empty() {
 		progressed := false
 
 		// 1. Buffer insertions for completed link traversals.
-		for len(s.arrivals) > 0 && s.arrivals[0].cycle <= now {
-			a := heap.Pop(&s.arrivals).(arrival)
-			s.buf[a.router][a.port] = append(s.buf[a.router][a.port], a.f)
+		for !s.arrivals.empty() && s.arrivals.front().cycle <= now {
+			a := s.arrivals.pop()
+			q := &s.fifos[a.router][a.port]
+			q.push(a.f)
 			s.reserved[a.router][a.port]--
 			s.buffered[a.router]++
+			s.active.Set(a.router)
+			if q.n == 1 {
+				s.updateHeadWants(a.router, a.port)
+			}
 			progressed = true
 		}
 
 		// 2. Injection: one packet per endpoint per cycle into the local
 		// input port, respecting buffer depth.
-		for ep := 0; ep < s.cfg.Endpoints; ep++ {
-			h := niHead[ep]
-			if h >= len(ni[ep]) || ni[ep][h].createdCycle > now {
-				continue
-			}
-			r := s.endpointR[ep]
-			if len(s.buf[r][localPort])+s.reserved[r][localPort] >= s.cfg.BufferDepth {
-				continue
-			}
-			s.buf[r][localPort] = append(s.buf[r][localPort], ni[ep][h])
-			s.buffered[r]++
-			niHead[ep]++
-			remaining--
-			inFlight++
-			progressed = true
-		}
-
-		// 3. Per-router arbitration: each output port forwards at most one
-		// packet per cycle, chosen round-robin across input ports.
-		for r := 0; r < s.topo.Routers(); r++ {
-			if s.buffered[r] == 0 {
-				continue
-			}
-			for p := 0; p < s.topo.Ports(); p++ {
-				if s.linkFree[r][p] > now {
+		if remaining > 0 {
+			for ep := 0; ep < endpoints; ep++ {
+				h := niHead[ep]
+				if h >= len(ni[ep]) || ni[ep][h].createdCycle > now {
 					continue
 				}
-				nin := s.topo.Ports()
-				granted := -1
-				for k := 0; k < nin; k++ {
-					in := (s.rr[r][p] + k) % nin
-					q := s.buf[r][in]
-					if len(q) == 0 {
+				r := s.endpointR[ep]
+				q := &s.fifos[r][localPort]
+				if int(q.n)+s.reserved[r][localPort] >= depth {
+					continue
+				}
+				q.push(ni[ep][h])
+				s.buffered[r]++
+				s.active.Set(r)
+				if q.n == 1 {
+					s.updateHeadWants(r, localPort)
+				}
+				niHead[ep]++
+				remaining--
+				inFlight++
+				progressed = true
+			}
+		}
+
+		// 3. Arbitration over the active-router worklist (ascending router
+		// order, matching a dense scan): each output port forwards at most
+		// one packet per cycle, chosen round-robin across the input ports
+		// whose head flight wants it (portWanted bit scan). Buffers only
+		// grow in phases 1–2, so the worklist is fixed here; routers
+		// drained to empty drop out.
+		for wi := 0; wi < len(s.active); wi++ {
+			w := s.active[wi]
+			for w != 0 {
+				bit := bits.TrailingZeros64(w)
+				w &^= 1 << uint(bit)
+				r := wi<<6 + bit
+				if s.buffered[r] == 0 {
+					s.active.Clear(r)
+					continue
+				}
+				fifoR := s.fifos[r]
+				lfR := s.linkFree[r]
+				rrR := s.rr[r]
+				pmR := s.portMask[r]
+				wantedR := s.portWanted[r]
+				wide := s.wide
+				for p := 0; p < np; p++ {
+					if lfR[p] > now || (!wide && wantedR[p] == 0) {
 						continue
 					}
-					f := q[0]
-					wants, all := s.portsFor(r, f, p)
-					if !wants {
-						continue
-					}
-					if p == localPort {
-						// Delivery to the endpoint attached here.
-						ep := s.routerE[r]
-						s.deliver(f, ep, now)
-						totalLatency += now - f.createdCycle
-						f.dst.Clear(ep)
-						s.result.Stats.EnergyPJ += float64(flits) * s.cfg.RouterEnergyPJ
-						if f.dst.Empty() {
-							s.buf[r][in] = q[1:]
+					granted := -1
+					// Candidates in round-robin order: inputs >= rr[p]
+					// ascending, then the wrap-around below it. Narrow
+					// routers scan the portWanted bitmask; wide ones
+					// (>64 ports) fall back to probing every input.
+					rot := uint(rrR[p])
+					m := wantedR[p]
+					for k := 0; ; k++ {
+						var in int
+						if !wide {
+							if m == 0 {
+								break
+							}
+							if upper := m & (^uint64(0) << rot); upper != 0 {
+								in = bits.TrailingZeros64(upper)
+							} else {
+								in = bits.TrailingZeros64(m)
+							}
+							m &^= 1 << uint(in)
+						} else {
+							if k >= np {
+								break
+							}
+							in = int(rot) + k
+							if in >= np {
+								in -= np
+							}
+						}
+						q := &fifoR[in]
+						if wide && q.n == 0 {
+							continue
+						}
+						f := q.front()
+						if wide && !f.dst.Intersects(pmR[p]) {
+							continue
+						}
+						if p == localPort {
+							// Delivery to the endpoint attached here.
+							ep := s.routerE[r]
+							s.deliver(f, ep, now)
+							totalLatency += now - f.createdCycle
+							f.dst.Clear(ep)
+							s.result.Stats.EnergyPJ += float64(flits) * s.cfg.RouterEnergyPJ
+							if f.dst.Empty() {
+								q.pop()
+								s.buffered[r]--
+								inFlight--
+								s.freeFlight(f)
+							}
+							s.updateHeadWants(r, in)
+							granted = in
+							break
+						}
+						// Forward the sub-flight routed via port p.
+						nr, npIn := s.neighR[r][p], s.neighP[r][p]
+						if nr < 0 {
+							continue // unwired port; cannot happen with valid routes
+						}
+						if int(s.fifos[nr][npIn].n)+s.reserved[nr][npIn] >= depth {
+							continue // back-pressure
+						}
+						var sub *flight
+						if f.dst.SubsetOf(pmR[p]) {
+							// Every remaining destination leaves through p:
+							// move the flight itself, no allocation.
+							sub = f
+							q.pop()
 							s.buffered[r]--
 							inFlight--
+						} else {
+							sub = s.allocFlight(f.srcNeuron, f.src, f.createdMs, f.createdCycle)
+							sub.dst.IntersectInto(f.dst, pmR[p])
+							f.dst.AndNot(sub.dst)
 						}
+						s.updateHeadWants(r, in)
+						s.reserved[nr][npIn]++
+						inFlight++
+						s.nextSeq++
+						s.arrivals.push(arrival{
+							cycle: now + flits, router: nr, port: npIn,
+							f: sub, seq: s.nextSeq,
+						})
+						lfR[p] = now + flits
+						s.result.Stats.PacketHops++
+						s.result.Stats.EnergyPJ += float64(flits) * (s.cfg.HopEnergyPJ + s.cfg.RouterEnergyPJ)
 						granted = in
 						break
 					}
-					// Forward the sub-flight routed via port p.
-					nr, np := s.topo.Neighbor(r, p)
-					if nr < 0 {
-						continue // unwired port; cannot happen with valid routes
-					}
-					if len(s.buf[nr][np])+s.reserved[nr][np] >= s.cfg.BufferDepth {
-						continue // back-pressure
-					}
-					var sub *flight
-					if all {
-						// Every remaining destination leaves through p:
-						// move the flight itself, no allocation.
-						sub = f
-						s.buf[r][in] = q[1:]
-						s.buffered[r]--
-						inFlight--
-					} else {
-						sub = s.splitForPort(r, f, p)
-						if f.dst.Empty() {
-							s.buf[r][in] = q[1:]
-							s.buffered[r]--
-							inFlight--
+					if granted >= 0 {
+						rrR[p] = granted + 1
+						if rrR[p] >= np {
+							rrR[p] = 0
 						}
+						progressed = true
 					}
-					s.reserved[nr][np]++
-					inFlight++
-					s.nextSeq++
-					heap.Push(&s.arrivals, arrival{
-						cycle: now + int64(s.cfg.PacketFlits), router: nr, port: np,
-						f: sub, seq: s.nextSeq,
-					})
-					s.linkFree[r][p] = now + int64(s.cfg.PacketFlits)
-					s.result.Stats.PacketHops++
-					s.result.Stats.EnergyPJ += float64(flits) * (s.cfg.HopEnergyPJ + s.cfg.RouterEnergyPJ)
-					granted = in
-					break
 				}
-				if granted >= 0 {
-					s.rr[r][p] = (granted + 1) % nin
-					progressed = true
+				if s.buffered[r] == 0 {
+					s.active.Clear(r)
 				}
 			}
 		}
@@ -522,20 +813,70 @@ func (s *Simulator) Run() (*Result, error) {
 		if progressed {
 			lastEvent = now
 			s.result.Stats.Cycles = now
-		} else if now-lastEvent > s.cfg.StallLimit {
-			return nil, fmt.Errorf("noc: no progress for %d cycles with %d packets outstanding (deadlock?)", s.cfg.StallLimit, remaining+inFlight)
+			now++
+			if inFlight == 0 && s.arrivals.empty() {
+				if remaining == 0 {
+					break
+				}
+				if n := nextInjection(); n > now {
+					now = n
+				}
+			}
+			continue
 		}
 
-		// 4. Advance time, fast-forwarding across idle gaps.
-		now++
-		if inFlight == 0 && len(s.arrivals) == 0 {
-			if remaining == 0 {
-				break
-			}
+		// No progress this cycle. A dense scan would re-run every cycle
+		// until the stall guard trips; state only changes when an arrival
+		// completes, a busy link frees, or a pending injection comes due,
+		// so jumping straight to the earliest such event is equivalent.
+		if now-lastEvent > s.cfg.StallLimit {
+			return nil, s.stallError(remaining + inFlight)
+		}
+		if inFlight == 0 && s.arrivals.empty() {
+			// Idle network with packets still pending: fast-forward to the
+			// next injection (remaining > 0 by the loop condition).
+			now++
 			if n := nextInjection(); n > now {
 				now = n
 			}
+			continue
 		}
+		next := int64(-1)
+		if !s.arrivals.empty() {
+			next = s.arrivals.front().cycle
+		}
+		for wi := 0; wi < len(s.active); wi++ {
+			w := s.active[wi]
+			for w != 0 {
+				bit := bits.TrailingZeros64(w)
+				w &^= 1 << uint(bit)
+				r := wi<<6 + bit
+				if s.buffered[r] == 0 {
+					s.active.Clear(r)
+					continue
+				}
+				for p := 0; p < np; p++ {
+					if lf := s.linkFree[r][p]; lf > now && (next < 0 || lf < next) {
+						next = lf
+					}
+				}
+			}
+		}
+		if remaining > 0 {
+			for ep := 0; ep < endpoints; ep++ {
+				if h := niHead[ep]; h < len(ni[ep]) {
+					if c := ni[ep][h].createdCycle; c > now && (next < 0 || c < next) {
+						next = c
+					}
+				}
+			}
+		}
+		if next < 0 || next-lastEvent > s.cfg.StallLimit+1 {
+			// No event can unblock the network before the dense scan's
+			// stall guard would trip at lastEvent+StallLimit+1.
+			return nil, s.stallError(remaining + inFlight)
+		}
+		now = next
 	}
 
 	st := &s.result.Stats
@@ -552,47 +893,24 @@ func (s *Simulator) Run() (*Result, error) {
 	return &res, nil
 }
 
-// portsFor reports whether any remaining destination of f routes through
-// output port p at router r (wants), and whether every remaining
-// destination does (all) — the latter enables allocation-free forwarding.
-func (s *Simulator) portsFor(r int, f *flight, p int) (wants, all bool) {
-	all = true
-	f.dst.ForEach(func(d int) {
-		if s.route(r, d) == p {
-			wants = true
-		} else {
-			all = false
-		}
-	})
-	return wants, wants && all
-}
-
-// splitForPort extracts from f the sub-flight of destinations routed via
-// port p at router r, removing them from f's mask.
-func (s *Simulator) splitForPort(r int, f *flight, p int) *flight {
-	m := NewMask(s.cfg.Endpoints)
-	f.dst.ForEach(func(d int) {
-		if s.route(r, d) == p {
-			m.Set(d)
-		}
-	})
-	f.dst.AndNot(m)
-	s.nextID++
-	return &flight{
-		id: s.nextID, srcNeuron: f.srcNeuron, src: f.src,
-		dst: m, createdMs: f.createdMs, createdCycle: f.createdCycle,
-	}
+func (s *Simulator) stallError(outstanding int64) error {
+	return fmt.Errorf("noc: no progress for %d cycles with %d packets outstanding (deadlock?)", s.cfg.StallLimit, outstanding)
 }
 
 func (s *Simulator) deliver(f *flight, ep int, now int64) {
-	s.result.Deliveries = append(s.result.Deliveries, Delivery{
+	d := Delivery{
 		SrcNeuron:    f.srcNeuron,
 		Src:          f.src,
 		Dst:          ep,
 		CreatedMs:    f.createdMs,
 		CreatedCycle: f.createdCycle,
 		ArriveCycle:  now,
-	})
+	}
+	if s.sink != nil {
+		s.sink(d)
+	} else {
+		s.result.Deliveries = append(s.result.Deliveries, d)
+	}
 	s.result.Stats.Delivered++
 	if lat := now - f.createdCycle; lat > s.result.Stats.MaxLatency {
 		s.result.Stats.MaxLatency = lat

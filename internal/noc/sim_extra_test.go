@@ -260,3 +260,114 @@ func TestSimRouteTableMatchesTopology(t *testing.T) {
 		}
 	}
 }
+
+// TestSimRunTwiceWithoutResetErrors pins the single-shot contract: a
+// second Run without an intervening Reset must fail loudly instead of
+// silently replaying corrupted state (stale counters, drained queues).
+func TestSimRunTwiceWithoutResetErrors(t *testing.T) {
+	s, err := NewSimulator(DefaultConfig(Mesh, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injectWorkload(t, s, 9, 5)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("second Run without Reset must error")
+	}
+	// Reset restores the simulator to a runnable state.
+	s.Reset()
+	injectWorkload(t, s, 9, 5)
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("Run after Reset: %v", err)
+	}
+}
+
+// TestSimInjectAfterRunErrors pins the companion contract: injections
+// after Run would vanish from the already-consumed pending queue.
+func TestSimInjectAfterRunErrors(t *testing.T) {
+	s, err := NewSimulator(DefaultConfig(Tree, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injectWorkload(t, s, 8, 2)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMask(8)
+	m.Set(3)
+	if err := s.Inject(Packet{SrcNeuron: 1, Src: 0, Dst: m, CreatedMs: 0}); err == nil {
+		t.Fatal("Inject after Run must error")
+	}
+	s.Reset()
+	if err := s.Inject(Packet{SrcNeuron: 1, Src: 0, Dst: m, CreatedMs: 0}); err != nil {
+		t.Fatalf("Inject after Reset: %v", err)
+	}
+	// A Fork of a ran simulator starts fresh.
+	f := s.Fork()
+	if err := f.Inject(Packet{SrcNeuron: 1, Src: 0, Dst: m, CreatedMs: 0}); err != nil {
+		t.Fatalf("Inject on Fork: %v", err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatalf("Run on Fork: %v", err)
+	}
+}
+
+// TestSimDeliverySink verifies the streaming mode: deliveries reach the
+// sink in exactly the order (and with the values) of the accumulated
+// trace, Result.Deliveries stays empty, and the aggregate statistics are
+// unchanged. Reset must clear the sink.
+func TestSimDeliverySink(t *testing.T) {
+	for _, kind := range []Kind{Mesh, Tree} {
+		const endpoints = 12
+		cfg := DefaultConfig(kind, endpoints)
+
+		accum, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		injectWorkload(t, accum, endpoints, 21)
+		want, err := accum.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		stream, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Delivery
+		stream.SetDeliverySink(func(d Delivery) { got = append(got, d) })
+		injectWorkload(t, stream, endpoints, 21)
+		res, err := stream.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Deliveries) != 0 {
+			t.Fatalf("%v: sink run still accumulated %d deliveries", kind, len(res.Deliveries))
+		}
+		if res.Stats != want.Stats {
+			t.Fatalf("%v: stats diverge under sink:\n got %+v\nwant %+v", kind, res.Stats, want.Stats)
+		}
+		if len(got) != len(want.Deliveries) {
+			t.Fatalf("%v: sink saw %d deliveries, want %d", kind, len(got), len(want.Deliveries))
+		}
+		for i := range got {
+			if got[i] != want.Deliveries[i] {
+				t.Fatalf("%v: sink delivery %d = %+v, want %+v", kind, i, got[i], want.Deliveries[i])
+			}
+		}
+
+		// Reset clears the sink: the next run accumulates again.
+		stream.Reset()
+		injectWorkload(t, stream, endpoints, 21)
+		res2, err := stream.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res2.Deliveries) != len(want.Deliveries) {
+			t.Fatalf("%v: Reset did not clear the delivery sink", kind)
+		}
+	}
+}

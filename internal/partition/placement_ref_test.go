@@ -1,0 +1,154 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+// referencePlace preserves the original full-objective 2-opt descent —
+// every swap trial re-sums the O(C²) objective — as the executable
+// specification for the delta-evaluated PlaceCrossbars, which must visit
+// and accept exactly the same swaps.
+func referencePlace(p *Problem, a Assignment, hop func(a, b int) (int, error)) (Assignment, error) {
+	if err := p.Validate(a); err != nil {
+		return nil, fmt.Errorf("partition: placement input: %w", err)
+	}
+	c := p.Crossbars
+	traffic := p.TrafficMatrix(a)
+	sym := make([][]int64, c)
+	for i := range sym {
+		sym[i] = make([]int64, c)
+		for j := 0; j < c; j++ {
+			sym[i][j] = traffic[i][j] + traffic[j][i]
+		}
+	}
+
+	dist := make([][]int64, c)
+	for i := range dist {
+		dist[i] = make([]int64, c)
+		for j := 0; j < c; j++ {
+			if i == j {
+				continue
+			}
+			d, err := hop(i, j)
+			if err != nil {
+				return nil, fmt.Errorf("partition: placement hop(%d,%d): %w", i, j, err)
+			}
+			dist[i][j] = int64(d)
+		}
+	}
+
+	place := make([]int, c)
+	for k := range place {
+		place[k] = k
+	}
+
+	objective := func() int64 {
+		var total int64
+		for i := 0; i < c; i++ {
+			for j := i + 1; j < c; j++ {
+				if sym[i][j] != 0 {
+					total += sym[i][j] * dist[place[i]][place[j]]
+				}
+			}
+		}
+		return total
+	}
+
+	cur := objective()
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < c; i++ {
+			for j := i + 1; j < c; j++ {
+				place[i], place[j] = place[j], place[i]
+				if next := objective(); next < cur {
+					cur = next
+					improved = true
+				} else {
+					place[i], place[j] = place[j], place[i]
+				}
+			}
+		}
+	}
+
+	out := make(Assignment, len(a))
+	for n, k := range a {
+		out[n] = place[k]
+	}
+	return out, nil
+}
+
+// asymHop is a deliberately asymmetric distance (hop(a,b) ≠ hop(b,a)) to
+// pin that the delta evaluation does not silently assume symmetry.
+func asymHop(a, b int) (int, error) {
+	if a > b {
+		return 2*(a-b) + 1, nil
+	}
+	return b - a, nil
+}
+
+// TestPlacementMatchesReference pins the delta-evaluated 2-opt to the
+// preserved full-objective descent: identical output assignments across
+// problem sizes, traffic shapes and hop metrics (1D line, mesh, tree, and
+// an asymmetric metric).
+func TestPlacementMatchesReference(t *testing.T) {
+	hops := map[string]func(c int) (func(a, b int) (int, error), error){
+		"line": func(int) (func(a, b int) (int, error), error) { return lineHop, nil },
+		"asym": func(int) (func(a, b int) (int, error), error) { return asymHop, nil },
+		"mesh": func(c int) (func(a, b int) (int, error), error) {
+			sim, err := noc.NewSimulator(noc.DefaultConfig(noc.Mesh, c))
+			if err != nil {
+				return nil, err
+			}
+			return sim.HopDistance, nil
+		},
+		"tree": func(c int) (func(a, b int) (int, error), error) {
+			sim, err := noc.NewSimulator(noc.DefaultConfig(noc.Tree, c))
+			if err != nil {
+				return nil, err
+			}
+			return sim.HopDistance, nil
+		},
+	}
+	for _, tc := range []struct {
+		crossbars, neurons, synapses int
+		capacity                     int
+		seed                         int64
+	}{
+		{4, 24, 120, 8, 1},
+		{6, 40, 300, 8, 5},
+		{9, 60, 500, 8, 9},
+		{13, 90, 900, 8, 13},
+	} {
+		rng := rand.New(rand.NewSource(tc.seed))
+		g := randomGraph(rng, tc.neurons, tc.synapses)
+		p, err := NewProblem(g, tc.crossbars, tc.capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := randomFeasible(p, rng)
+		for name, build := range hops {
+			t.Run(fmt.Sprintf("%s/C=%d", name, tc.crossbars), func(t *testing.T) {
+				hop, err := build(tc.crossbars)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := referencePlace(p, a, hop)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := PlaceCrossbars(p, a, hop)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("delta-evaluated placement diverges from reference:\n got %v\nwant %v", got, want)
+				}
+			})
+		}
+	}
+}

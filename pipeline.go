@@ -111,6 +111,7 @@ type AnalyzeFunc func(deliveries []Delivery, durationMs int64) MetricsReport
 // pipelineOptions is the resolved functional-option state of a Pipeline.
 type pipelineOptions struct {
 	keepTrace bool
+	streaming bool
 	timeout   time.Duration
 	workers   int
 	observer  Observer
@@ -126,6 +127,21 @@ type Option func(*pipelineOptions)
 // produces (needed by the heartbeat accuracy experiment).
 func WithTrace(keep bool) Option {
 	return func(o *pipelineOptions) { o.keepTrace = keep }
+}
+
+// WithStreamingDelivery computes the SNN metrics from a streaming
+// accumulator fed directly by the simulator (noc.Simulator.SetDeliverySink
+// into metrics.Accumulator) instead of accumulating the full delivery
+// trace — aggregate-only runs then never allocate the trace, whose size
+// scales with total spike fan-out. The resulting Report is bit-identical
+// to the default path (see TestPipelineStreamingDeliveryMatchesDefault).
+//
+// Streaming is ignored when the run needs the trace anyway: WithTrace
+// retention, or a custom WithSimulate/WithAnalyze stage. Observers of
+// StageSimulate see a NoC result whose Deliveries slice is empty while
+// streaming is active.
+func WithStreamingDelivery(enable bool) Option {
+	return func(o *pipelineOptions) { o.streaming = enable }
 }
 
 // WithTimeout bounds each Run's wall clock. The limit is cooperative:
@@ -315,6 +331,14 @@ func (pl *Pipeline) Run(ctx context.Context, pt Partitioner) (*Report, error) {
 		simulate = simulateTrafficOn
 	}
 	sim.Reset()
+	// Streaming only engages when the delivery trace has no other
+	// consumer: no trace retention and no caller-supplied simulate or
+	// analyze stage.
+	var acc *metrics.Accumulator
+	if pl.opts.streaming && !pl.opts.keepTrace && pl.opts.simulate == nil && pl.opts.analyze == nil {
+		acc = metrics.NewAccumulator()
+		sim.SetDeliverySink(acc.Add)
+	}
 	nocRes, err := simulate(sim, pl.app.Graph, placed, pl.arch)
 	if err != nil {
 		return nil, err
@@ -329,11 +353,15 @@ func (pl *Pipeline) Run(ctx context.Context, pt Partitioner) (*Report, error) {
 
 	// Stage 4 — analyze.
 	start = time.Now()
-	analyze := pl.opts.analyze
-	if analyze == nil {
-		analyze = metrics.Analyze
+	if acc != nil {
+		rep.Metrics = acc.Report(pl.app.Graph.DurationMs)
+	} else {
+		analyze := pl.opts.analyze
+		if analyze == nil {
+			analyze = metrics.Analyze
+		}
+		rep.Metrics = analyze(nocRes.Deliveries, pl.app.Graph.DurationMs)
 	}
-	rep.Metrics = analyze(nocRes.Deliveries, pl.app.Graph.DurationMs)
 	pl.observe(StageEvent{Stage: StageAnalyze, Technique: res.Technique, Elapsed: time.Since(start), Metrics: &rep.Metrics})
 
 	if pl.opts.keepTrace {

@@ -265,3 +265,59 @@ func TestWithTraceKeepsDeliveries(t *testing.T) {
 		t.Fatalf("trace length %d != delivered %d", len(rep.Deliveries), rep.NoC.Delivered)
 	}
 }
+
+// TestPipelineStreamingDeliveryMatchesDefault pins the streaming-delivery
+// fast path: with metrics fed straight from the simulator's delivery sink
+// and no trace accumulation, every Report field must stay bit-identical
+// to the default accumulate-then-analyze path, across AER packetization
+// modes and both deterministic baselines.
+func TestPipelineStreamingDeliveryMatchesDefault(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 11, DurationMs: 200}, 2, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ForNeurons(app.Graph.Neurons, 16)
+	for _, mode := range []hardware.AERMode{PerSynapse, PerCrossbar, MulticastAER} {
+		arch := base
+		arch.AER = mode
+		def, err := NewPipeline(app, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		str, err := NewPipeline(app, arch, WithStreamingDelivery(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range []Partitioner{GreedyPartitioner, Pacman} {
+			want, err := def.Run(context.Background(), pt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := str.Run(context.Background(), pt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Deliveries) != 0 {
+				t.Fatalf("streaming run retained a trace (%d deliveries)", len(got.Deliveries))
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("AER %v / %s: streaming report diverges:\n got %+v\nwant %+v",
+					mode, pt.Name(), got, want)
+			}
+		}
+	}
+
+	// WithTrace wins over streaming: the trace is retained and identical.
+	arch := base
+	both, err := NewPipeline(app, arch, WithStreamingDelivery(true), WithTrace(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := both.Run(context.Background(), GreedyPartitioner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deliveries) == 0 {
+		t.Fatal("WithTrace+streaming must still retain the delivery trace")
+	}
+}
