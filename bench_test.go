@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/genapp"
 	"repro/internal/noc"
 	"repro/internal/partition"
 )
@@ -469,4 +470,27 @@ func BenchmarkSNNSimulation(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(1284*200)*float64(b.N)/b.Elapsed().Seconds(), "neuron-steps/s")
+}
+
+// BenchmarkGenApp measures scenario-generation cost per family across the
+// sizes the property harness and the scenarios experiment draw from —
+// generation must stay cheap enough to mass-produce workloads inside
+// sweeps (it is O(synapses + spikes), no SNN simulation).
+func BenchmarkGenApp(b *testing.B) {
+	for _, family := range genapp.Families() {
+		for _, n := range []int{256, 1024, 4096} {
+			spec := fmt.Sprintf("gen:%s:n=%d", family, n)
+			b.Run(fmt.Sprintf("%s/n=%d", family, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					app, err := BuildApp(spec, AppConfig{Seed: 1, DurationMs: 500})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if app.Graph.Neurons != n {
+						b.Fatalf("neurons = %d", app.Graph.Neurons)
+					}
+				}
+			})
+		}
+	}
 }

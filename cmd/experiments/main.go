@@ -9,6 +9,7 @@
 //	ablation-optimizer — optimizer comparison
 //	ablation-aer       — AER packetization comparison
 //	ablation-topology  — NoC-tree vs NoC-mesh
+//	scenarios          — generated workload families (internal/genapp) sweep
 //
 // Usage:
 //
@@ -28,6 +29,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,35 +43,63 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// -h/-help: the FlagSet already printed usage; exit 0 like
+		// flag.ExitOnError would.
+	case errors.Is(err, errBadFlags):
+		// The FlagSet already reported the offending flag and usage.
+		os.Exit(2)
+	default:
+		log.Fatal(err)
+	}
+}
 
+// errBadFlags marks argument errors the FlagSet has already printed, so
+// main does not report them a second time.
+var errBadFlags = errors.New("invalid arguments")
+
+// run executes the CLI against an argument vector and a stdout writer —
+// the testable core main wraps (see main_test.go).
+func run(args []string, stdout io.Writer) (err error) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		list     = flag.Bool("list", false, "list the registered experiments and exit")
-		run      = flag.String("run", "", "comma-separated experiment names to run (see -list)")
-		all      = flag.Bool("all", false, "run every registered experiment")
-		quick    = flag.Bool("quick", false, "smaller swarms and shorter runs (CI-sized)")
-		seed     = flag.Int64("seed", 1, "seed for all stochastic components")
-		parallel = flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
-		timeout  = flag.Duration("timeout", 0, "per-job wall clock limit, e.g. 90s (0 = none)")
-		format   = flag.String("format", "text", "output format: text, json or csv")
-		outPath  = flag.String("o", "", "write output to FILE instead of stdout")
+		list     = fs.Bool("list", false, "list the registered experiments and exit")
+		runNames = fs.String("run", "", "comma-separated experiment names to run (see -list)")
+		all      = fs.Bool("all", false, "run every registered experiment")
+		quick    = fs.Bool("quick", false, "smaller swarms and shorter runs (CI-sized)")
+		seed     = fs.Int64("seed", 1, "seed for all stochastic components")
+		parallel = fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		timeout  = fs.Duration("timeout", 0, "per-job wall clock limit, e.g. 90s (0 = none)")
+		format   = fs.String("format", "text", "output format: text, json or csv")
+		outPath  = fs.String("o", "", "write output to FILE instead of stdout")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errBadFlags, err)
+	}
 
 	if *list {
 		for _, e := range snnmap.Experiments() {
-			fmt.Printf("%-20s %s\n", e.Name(), e.Describe())
+			fmt.Fprintf(stdout, "%-20s %s\n", e.Name(), e.Describe())
 		}
-		return
+		return nil
 	}
 
 	names := snnmap.ExperimentNames()
 	if !*all {
-		if *run == "" {
-			flag.Usage()
-			os.Exit(2)
+		if *runNames == "" {
+			// A usage error like any bad flag: report once here and exit 2
+			// through main's errBadFlags branch.
+			fmt.Fprintln(fs.Output(), "nothing to run: pass -run NAME[,NAME...] or -all")
+			fs.Usage()
+			return fmt.Errorf("%w: nothing to run", errBadFlags)
 		}
 		names = nil
-		for _, n := range strings.Split(*run, ",") {
+		for _, n := range strings.Split(*runNames, ",") {
 			names = append(names, strings.TrimSpace(n))
 		}
 	}
@@ -79,31 +109,29 @@ func main() {
 	for _, name := range names {
 		exp, err := snnmap.LookupExperiment(name)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		t, err := exp.Run(context.Background(), snnmap.NewPipeline, opts)
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		tables = append(tables, t)
 	}
 
-	out := io.Writer(os.Stdout)
+	out := stdout
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			log.Fatal(err)
+		f, ferr := os.Create(*outPath)
+		if ferr != nil {
+			return ferr
 		}
 		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
 			}
 		}()
 		out = f
 	}
-	if err := write(out, tables, *format); err != nil {
-		log.Fatal(err)
-	}
+	return write(out, tables, *format)
 }
 
 func write(w io.Writer, tables []*snnmap.Table, format string) error {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/goldentest"
+)
+
+func runCLI(t *testing.T, args ...string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.Bytes()
+}
+
+func TestListGolden(t *testing.T) {
+	goldentest.Check(t, "list.golden", runCLI(t, "-list"))
+}
+
+// scenarioArgs runs the scenarios experiment in quick mode: generated
+// workloads with deterministic techniques only, so the emitted tables are
+// byte-reproducible in every format (the other experiments either cost
+// tens of seconds or carry wall-clock columns).
+func scenarioArgs(format string) []string {
+	return []string{"-run", "scenarios", "-quick", "-seed", "1", "-format", format}
+}
+
+func TestScenariosGoldenFormats(t *testing.T) {
+	for _, format := range []string{"text", "json", "csv"} {
+		format := format
+		t.Run(format, func(t *testing.T) {
+			goldentest.Check(t, "scenarios_"+format+".golden", runCLI(t, scenarioArgs(format)...))
+		})
+	}
+}
+
+func TestOutputFileMatchesStdout(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if out := runCLI(t, append(scenarioArgs("json"), "-o", path)...); len(out) != 0 {
+		t.Fatalf("-o still wrote %d bytes to stdout", len(out))
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldentest.Check(t, "scenarios_json.golden", got)
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                 // nothing to run
+		{"-run", "nosuch"}, // unknown experiment
+		{"-run", "scenarios", "-quick", "-format", "nosuch"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 // Command snnmap runs the full mapping pipeline for one application on one
 // architecture and prints the resulting energy, latency and SNN metrics.
-// Partitioners and architectures are resolved from the library registries
-// (-list enumerates both). -partitioner accepts a comma-separated list of
-// techniques; multiple techniques share one warm pipeline session and run
-// concurrently as one sweep (-parallel bounds the worker pool, -timeout
-// each technique's wall clock), printing one report per technique in list
-// order.
+// Applications, partitioners and architectures are resolved from the
+// library registries (-list enumerates all three). -app accepts any
+// registry spec, including the parameterized scenario generators
+// ("gen:smallworld:n=512,seed=7"); -partitioner accepts a comma-separated
+// list of techniques; multiple techniques share one warm pipeline session
+// and run concurrently as one sweep (-parallel bounds the worker pool,
+// -timeout each technique's wall clock), printing one report per technique
+// in list order.
 //
 // Output is selected with -format: text (human-readable, default), json
 // (full reports) or csv (one summary row per technique, typed header);
@@ -16,13 +18,14 @@
 //	snnmap -list
 //	snnmap -app HD -partitioner pso -crossbars 8 -size 200
 //	snnmap -app synth -layers 2 -width 200 -partitioner pacman
-//	snnmap -app HE -topology mesh -format json
+//	snnmap -app gen:modular:n=512,plocal=0.95 -topology mesh -format json
 //	snnmap -app IS -partitioner neutrams,pacman,pso -parallel 3 -format csv -o out.csv
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,56 +41,75 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("snnmap: ")
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// -h/-help: the FlagSet already printed usage; exit 0 like
+		// flag.ExitOnError would.
+	case errors.Is(err, errBadFlags):
+		// The FlagSet already reported the offending flag and usage.
+		os.Exit(2)
+	default:
+		log.Fatal(err)
+	}
+}
 
+// errBadFlags marks argument errors the FlagSet has already printed, so
+// main does not report them a second time.
+var errBadFlags = errors.New("invalid arguments")
+
+// run executes the CLI against an argument vector and a stdout writer —
+// the testable core main wraps (see main_test.go).
+func run(args []string, stdout io.Writer) (err error) {
+	fs := flag.NewFlagSet("snnmap", flag.ContinueOnError)
 	var (
-		list     = flag.Bool("list", false, "list registered partitioners and architectures, then exit")
-		appName  = flag.String("app", "HW", "application: HW, IS, HD, HE or synth")
-		layers   = flag.Int("layers", 2, "synthetic app: number of layers")
-		width    = flag.Int("width", 200, "synthetic app: neurons per layer")
-		duration = flag.Int64("duration", 0, "characterization run length in ms (0 = app default)")
-		seed     = flag.Int64("seed", 1, "seed for all stochastic components")
+		list     = fs.Bool("list", false, "list registered applications, partitioners and architectures, then exit")
+		appName  = fs.String("app", "HW", "application spec from the registry (see -list), or synth with -layers/-width")
+		layers   = fs.Int("layers", 2, "synthetic app: number of layers")
+		width    = fs.Int("width", 200, "synthetic app: neurons per layer")
+		duration = fs.Int64("duration", 0, "characterization run length in ms (0 = app default)")
+		seed     = fs.Int64("seed", 1, "seed for all stochastic components")
 
-		tech      = flag.String("partitioner", "pso", "comma-separated techniques from the partitioner registry (see -list)")
-		swarm     = flag.Int("swarm", 100, "PSO swarm size")
-		iters     = flag.Int("iterations", 100, "PSO iterations")
-		parallel  = flag.Int("parallel", 0, "worker pool size for the technique sweep and PSO swarm evaluation (0 = GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 0, "per-technique wall clock limit, e.g. 90s (0 = none)")
-		crossbars = flag.Int("crossbars", 0, "crossbar count (0 = sized from the app)")
-		size      = flag.Int("size", 0, "neurons per crossbar (0 = sized from the app)")
-		topology  = flag.String("topology", "tree", "architecture family from the registry (see -list)")
-		aer       = flag.String("aer", "per-synapse", "AER packetization: per-synapse, per-crossbar, multicast")
-		format    = flag.String("format", "text", "output format: text, json or csv")
-		outPath   = flag.String("o", "", "write output to FILE instead of stdout")
-		asJSON    = flag.Bool("json", false, "deprecated: alias for -format json")
+		tech      = fs.String("partitioner", "pso", "comma-separated techniques from the partitioner registry (see -list)")
+		swarm     = fs.Int("swarm", 100, "PSO swarm size")
+		iters     = fs.Int("iterations", 100, "PSO iterations")
+		parallel  = fs.Int("parallel", 0, "worker pool size for the technique sweep and PSO swarm evaluation (0 = GOMAXPROCS)")
+		timeout   = fs.Duration("timeout", 0, "per-technique wall clock limit, e.g. 90s (0 = none)")
+		crossbars = fs.Int("crossbars", 0, "crossbar count (0 = sized from the app)")
+		size      = fs.Int("size", 0, "neurons per crossbar (0 = sized from the app)")
+		topology  = fs.String("topology", "tree", "architecture family from the registry (see -list)")
+		aer       = fs.String("aer", "per-synapse", "AER packetization: per-synapse, per-crossbar, multicast")
+		format    = fs.String("format", "text", "output format: text, json or csv")
+		outPath   = fs.String("o", "", "write output to FILE instead of stdout")
+		asJSON    = fs.Bool("json", false, "deprecated: alias for -format json")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errBadFlags, err)
+	}
 
 	if *list {
-		fmt.Printf("partitioners:  %s\n", strings.Join(snnmap.PartitionerNames(), ", "))
-		fmt.Printf("architectures: %s\n", strings.Join(snnmap.ArchNames(), ", "))
-		fmt.Printf("experiments:   %s (see cmd/experiments -list)\n", strings.Join(snnmap.ExperimentNames(), ", "))
-		return
+		fmt.Fprintf(stdout, "applications:  %s\n", strings.Join(snnmap.AppNames(), ", "))
+		fmt.Fprintf(stdout, "partitioners:  %s\n", strings.Join(snnmap.PartitionerNames(), ", "))
+		fmt.Fprintf(stdout, "architectures: %s\n", strings.Join(snnmap.ArchNames(), ", "))
+		fmt.Fprintf(stdout, "experiments:   %s (see cmd/experiments -list)\n", strings.Join(snnmap.ExperimentNames(), ", "))
+		return nil
 	}
 	if *asJSON {
 		*format = "json"
 	}
 
-	app, err := buildApp(*appName, *layers, *width, *seed, *duration)
-	if err != nil {
-		log.Fatal(err)
+	// The legacy synth flags map onto the registry's parameter-tail form.
+	spec := *appName
+	if spec == "synth" {
+		spec = fmt.Sprintf("synth:layers=%d,width=%d", *layers, *width)
 	}
 
 	aerMode, err := hardware.ParseAERMode(*aer)
 	if err != nil {
-		log.Fatal(err)
-	}
-	arch, err := snnmap.NewArch(*topology, app.Graph, snnmap.ArchSpec{
-		Crossbars:    *crossbars,
-		CrossbarSize: *size,
-		AER:          aerMode,
-	})
-	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	names := strings.Split(*tech, ",")
@@ -107,37 +129,37 @@ func main() {
 			Workers:    psoWorkers,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		techniques = append(techniques, pt)
 	}
 
-	pipe, err := snnmap.NewPipeline(app, arch,
+	pipe, err := snnmap.NewPipelineByName(
+		spec, snnmap.AppConfig{Seed: *seed, DurationMs: *duration},
+		*topology, snnmap.ArchSpec{Crossbars: *crossbars, CrossbarSize: *size, AER: aerMode},
 		snnmap.WithWorkers(*parallel), snnmap.WithTimeout(*timeout))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	reports, err := pipe.Compare(context.Background(), techniques)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	out := io.Writer(os.Stdout)
+	out := stdout
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			log.Fatal(err)
+		f, ferr := os.Create(*outPath)
+		if ferr != nil {
+			return ferr
 		}
 		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
 			}
 		}()
 		out = f
 	}
-	if err := write(out, reports, arch, *format); err != nil {
-		log.Fatal(err)
-	}
+	return write(out, reports, pipe.Arch(), *format)
 }
 
 func write(w io.Writer, reports []*snnmap.Report, arch snnmap.Arch, format string) error {
@@ -166,14 +188,6 @@ func write(w io.Writer, reports []*snnmap.Report, arch snnmap.Arch, format strin
 	default:
 		return fmt.Errorf("unknown format %q (text, json, csv)", format)
 	}
-}
-
-func buildApp(name string, layers, width int, seed, duration int64) (*snnmap.App, error) {
-	cfg := snnmap.AppConfig{Seed: seed, DurationMs: duration}
-	if name == "synth" {
-		return snnmap.BuildSynthetic(cfg, layers, width)
-	}
-	return snnmap.BuildApp(name, cfg)
 }
 
 func printReport(w io.Writer, rep *snnmap.Report, arch snnmap.Arch) {

@@ -146,6 +146,24 @@ func ablationTopologyTable(rows []TopologyRow) (*Table, error) {
 	return t, nil
 }
 
+func scenariosTable(rows []ScenarioRow) (*Table, error) {
+	t := NewTable("scenarios", "Generated workload families — technique × interconnect sweep",
+		Column{"app", ColString}, Column{"arch", ColString}, Column{"technique", ColString},
+		Column{"neurons", ColInt}, Column{"synapses", ColInt},
+		Column{"local_synapses", ColInt}, Column{"global_synapses", ColInt},
+		Column{"traffic", ColInt}, Column{"total_energy_pj", ColFloat},
+		Column{"avg_latency_cycles", ColFloat},
+	)
+	for _, r := range rows {
+		err := t.AddRow(r.App, r.Arch, r.Technique, r.Neurons, r.Synapses,
+			r.LocalSynapses, r.GlobalSynapses, r.Traffic, r.TotalEnergyPJ, r.AvgLatency)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
 // tabulated adapts a typed driver plus its Table converter to the
 // experiment run shape.
 func tabulated[R any](drive func(context.Context, PipelineFactory, ExpOptions) (R, error), tab func(R) (*Table, error)) func(context.Context, PipelineFactory, ExpOptions) (*Table, error) {
@@ -168,6 +186,7 @@ func init() {
 		{"ablation-optimizer", "optimizer comparison: PSO vs SA/GA/greedy/KL/random (paper §III claim)", tabulated(runOptimizerAblation, ablationOptimizerTable)},
 		{"ablation-aer", "AER packetization: per-synapse vs per-crossbar vs multicast (Noxim++ extension)", tabulated(runAERModeAblation, ablationAERTable)},
 		{"ablation-topology", "interconnect topology: NoC-tree vs NoC-mesh under one PSO mapping", tabulated(runTopologyAblation, ablationTopologyTable)},
+		{"scenarios", "generated workload families (internal/genapp) × techniques × tree/mesh interconnects", tabulated(runScenarios, scenariosTable)},
 	} {
 		RegisterExperiment(e)
 	}

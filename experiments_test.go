@@ -1,6 +1,9 @@
 package snnmap
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // The harness integration tests run every experiment in quick mode and
 // assert the paper's qualitative claims (orderings and curve shapes), which
@@ -263,5 +266,37 @@ func TestQuadArchAndPacmanCapableArch(t *testing.T) {
 	}
 	if _, err := Pacman.Partition(p); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunScenariosShapes runs the generated-workload sweep in quick mode —
+// cheap enough (deterministic techniques, 96-neuron workloads) to stay in
+// the -short suite, where it covers the genapp → registry → pipeline path
+// under the race detector.
+func TestRunScenariosShapes(t *testing.T) {
+	rows, err := RunScenarios(ExpOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(ScenarioSpecs(true)) * 2 * 2 // families × archs × techniques
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.LocalSynapses+r.GlobalSynapses != r.Synapses {
+			t.Fatalf("%s/%s/%s: local %d + global %d != synapses %d",
+				r.App, r.Arch, r.Technique, r.LocalSynapses, r.GlobalSynapses, r.Synapses)
+		}
+		if r.Traffic < 0 || r.TotalEnergyPJ <= 0 {
+			t.Fatalf("%s/%s/%s: degenerate row %+v", r.App, r.Arch, r.Technique, r)
+		}
+	}
+	// The sweep must be deterministic at every worker count.
+	par, err := RunScenarios(ExpOptions{Quick: true, Seed: 1, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, par) {
+		t.Fatal("scenario rows diverge between sequential and parallel sweeps")
 	}
 }

@@ -14,6 +14,10 @@ package apps
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -84,3 +88,146 @@ func ByName(name string) (Builder, error) {
 
 // RealisticNames lists the Table I applications in paper order.
 func RealisticNames() []string { return []string{"HW", "IS", "HD", "HE"} }
+
+// ---------------------------------------------------------------------------
+// Application registry
+
+// Factory builds a named application from the common config plus the raw
+// "k=v,..." parameter tail of a registry spec. Fixed applications receive
+// an empty tail and should reject a non-empty one; parameterized families
+// (the synthetic topologies, the internal/genapp generators) parse it.
+type Factory func(cfg Config, params string) (*App, error)
+
+var (
+	regMu    sync.RWMutex
+	regOrder []string
+	regItems = map[string]Factory{}
+)
+
+// Register adds a named application family to the registry. Registration
+// panics on duplicates — a wiring bug, caught at init.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("apps: registering empty name or nil factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regItems[name]; dup {
+		panic(fmt.Sprintf("apps: duplicate registry entry %q", name))
+	}
+	regItems[name] = f
+	regOrder = append(regOrder, name)
+}
+
+// Names lists the registered application families in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(regOrder))
+	copy(out, regOrder)
+	return out
+}
+
+func lookupFactory(name string) (Factory, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := regItems[name]
+	return f, ok
+}
+
+// Build resolves a registry spec and constructs the application. The spec
+// is either an exact registry name ("HW", "gen:smallworld") or a registered
+// prefix followed by a colon-separated parameter tail
+// ("synth:layers=2,width=200", "gen:smallworld:n=512,seed=7"); parameters
+// in the tail override the corresponding cfg fields. Legacy long names
+// accepted by ByName keep working.
+func Build(name string, cfg Config) (*App, error) {
+	if f, ok := lookupFactory(name); ok {
+		return f(cfg, "")
+	}
+	// Longest registered prefix wins: strip "k=v" tails at the last colon
+	// until a registered family matches.
+	for base := name; ; {
+		i := strings.LastIndex(base, ":")
+		if i < 0 {
+			break
+		}
+		base = base[:i]
+		if f, ok := lookupFactory(base); ok {
+			return f(cfg, name[i+1:])
+		}
+	}
+	if b, err := ByName(name); err == nil {
+		return b(cfg)
+	}
+	known := Names()
+	sort.Strings(known)
+	return nil, fmt.Errorf("apps: unknown application %q (known: %v)", name, known)
+}
+
+// ParseParams splits a "k=v,k=v" parameter tail into a key→value map,
+// rejecting malformed entries and duplicate keys. An empty tail yields an
+// empty map.
+func ParseParams(params string) (map[string]string, error) {
+	out := map[string]string{}
+	if params == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(params, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("apps: malformed parameter %q (want key=value)", kv)
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("apps: duplicate parameter %q", k)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// fixed adapts a Builder to a Factory that rejects parameters.
+func fixed(name string, b Builder) Factory {
+	return func(cfg Config, params string) (*App, error) {
+		if params != "" {
+			return nil, fmt.Errorf("apps: application %q takes no parameters (got %q)", name, params)
+		}
+		return b(cfg)
+	}
+}
+
+func init() {
+	// The Table I applications under their short names, plus the §V-A
+	// synthetic feedforward family with an explicit layers/width tail.
+	for _, name := range RealisticNames() {
+		b, err := ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		Register(name, fixed(name, b))
+	}
+	Register("synth", func(cfg Config, params string) (*App, error) {
+		kv, err := ParseParams(params)
+		if err != nil {
+			return nil, err
+		}
+		layers, width := 2, 200
+		for k, v := range kv {
+			var dst *int
+			switch k {
+			case "layers":
+				dst = &layers
+			case "width":
+				dst = &width
+			default:
+				return nil, fmt.Errorf("apps: synth: unknown parameter %q (layers, width)", k)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("apps: synth: parameter %s=%q: %w", k, v, err)
+			}
+			*dst = n
+		}
+		return Synthetic(cfg, layers, width)
+	})
+}

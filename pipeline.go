@@ -234,6 +234,24 @@ func NewPipeline(app *App, arch Arch, opts ...Option) (*Pipeline, error) {
 	return pl, nil
 }
 
+// NewPipelineByName is NewPipeline with both inputs resolved from the
+// registries: the application from the application registry (any spec
+// BuildApp accepts, including parameterized "gen:..." scenario families)
+// and the architecture from the architecture registry, sized for the built
+// graph. It is the one-call session constructor the CLIs and scenario
+// sweeps use.
+func NewPipelineByName(appName string, appCfg AppConfig, archName string, archSpec ArchSpec, opts ...Option) (*Pipeline, error) {
+	app, err := BuildApp(appName, appCfg)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := NewArch(archName, app.Graph, archSpec)
+	if err != nil {
+		return nil, err
+	}
+	return NewPipeline(app, arch, opts...)
+}
+
 // App returns the session's application.
 func (pl *Pipeline) App() *App { return pl.app }
 

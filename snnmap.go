@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/engine"
+	_ "repro/internal/genapp" // registers the gen:* scenario families
 	"repro/internal/graph"
 	"repro/internal/hardware"
 	"repro/internal/metrics"
@@ -106,15 +107,30 @@ var (
 	GreedyPartitioner partition.Partitioner = partition.Greedy{}
 )
 
-// BuildApp constructs one of the paper's Table I applications by short name
-// (HW, IS, HD, HE).
+// BuildApp resolves a name against the application registry and constructs
+// the application. Accepted spellings:
+//
+//   - the paper's Table I short names ("HW", "IS", "HD", "HE") and their
+//     legacy long aliases;
+//   - the synthetic feedforward family with an explicit parameter tail
+//     ("synth:layers=2,width=200");
+//   - the generated scenario families of internal/genapp
+//     ("gen:smallworld", "gen:modular:n=512,seed=7", ...), whose parameter
+//     tails override cfg's Seed/DurationMs.
 func BuildApp(name string, cfg AppConfig) (*App, error) {
-	b, err := apps.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	return b(cfg)
+	return apps.Build(name, cfg)
 }
+
+// RegisterApp adds a named application family to the registry shared by
+// both CLIs and the experiment drivers. The factory receives the common
+// config plus the raw "k=v,..." parameter tail of the resolved spec.
+func RegisterApp(name string, f func(cfg AppConfig, params string) (*App, error)) {
+	apps.Register(name, f)
+}
+
+// AppNames lists the registered application families in registration
+// order.
+func AppNames() []string { return apps.Names() }
 
 // BuildSynthetic constructs a synthetic m-layers × n-neurons feedforward
 // application (paper §V-A).

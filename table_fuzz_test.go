@@ -1,0 +1,168 @@
+package snnmap
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzTableRoundTrip fuzzes both Table codecs with one corpus: any input
+// that decodes (as JSON or as typed-header CSV) must re-encode and decode
+// to an equivalent table, and the encoding must be a fixed point — the
+// lossless-serialization contract the golden-file tests pin for two known
+// tables, extended to every table the decoders accept.
+func FuzzTableRoundTrip(f *testing.F) {
+	for _, name := range []string{"golden_table.json", "golden_table.csv"} {
+		seed, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	// A hand-written minimal seed per format keeps the corpus useful even
+	// if the golden files change shape.
+	f.Add([]byte(`{"name":"t","columns":[{"name":"a","type":"int"}],"rows":[[1]]}`))
+	f.Add([]byte("# t\na:string,b:float\nx,0.5\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if tab, err := ReadTableJSON(bytes.NewReader(data)); err == nil {
+			roundTripJSON(t, tab)
+		}
+		if tab, err := ReadTableCSV(bytes.NewReader(data)); err == nil {
+			roundTripCSV(t, tab)
+		}
+	})
+}
+
+func roundTripJSON(t *testing.T, tab *Table) {
+	t.Helper()
+	if skipUnrepresentable(tab) {
+		return
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatalf("decoded table failed to encode as JSON: %v", err)
+	}
+	again, err := ReadTableJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("JSON encoding of a decoded table failed to decode: %v\n%s", err, buf.Bytes())
+	}
+	if !tablesEquivalent(tab, again) {
+		t.Fatalf("JSON round trip changed the table:\nbefore: %+v\nafter:  %+v", tab, again)
+	}
+}
+
+func roundTripCSV(t *testing.T, tab *Table) {
+	t.Helper()
+	if skipUnrepresentable(tab) || !csvRepresentable(tab) {
+		return
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatalf("decoded table failed to encode as CSV: %v", err)
+	}
+	again, err := ReadTableCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("CSV encoding of a decoded table failed to decode: %v\n%s", err, buf.Bytes())
+	}
+	if !tablesEquivalent(tab, again) {
+		t.Fatalf("CSV round trip changed the table:\nbefore: %+v\nafter:  %+v", tab, again)
+	}
+	// The encoding must be a fixed point: encode(decode(encode(x))) ==
+	// encode(x).
+	var buf2 bytes.Buffer
+	if err := again.WriteCSV(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("CSV encoding not a fixed point:\nfirst:  %q\nsecond: %q", buf.Bytes(), buf2.Bytes())
+	}
+}
+
+// skipUnrepresentable reports whether the table holds cells outside the
+// codecs' documented round-trip domain: declared column types outside the
+// ColumnType set never re-encode typed cells, and the most negative
+// duration is not guaranteed to reparse on every Go version.
+func skipUnrepresentable(tab *Table) bool {
+	for _, c := range tab.Columns {
+		switch c.Type {
+		case ColString, ColInt, ColFloat, ColDuration:
+		default:
+			return true
+		}
+	}
+	for _, row := range tab.Rows {
+		for _, v := range row {
+			if d, ok := v.(time.Duration); ok && d == math.MinInt64 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// csvRepresentable reports whether the table survives the CSV container
+// itself: the comment record is line-based (no newlines in name/title, no
+// " — " inside the name), the typed header cuts at the first colon of each
+// cell, and encoding/csv normalizes bare carriage returns.
+func csvRepresentable(tab *Table) bool {
+	if strings.ContainsAny(tab.Name, "\r\n") || strings.Contains(tab.Name, " — ") {
+		return false
+	}
+	if strings.ContainsAny(tab.Title, "\r\n") {
+		return false
+	}
+	// An empty name with a title shifts the title into the name slot; an
+	// empty trailing title drops the separator.
+	if tab.Name == "" && tab.Title != "" || tab.Title == "" && strings.HasSuffix(tab.Name, " ") {
+		return false
+	}
+	for _, c := range tab.Columns {
+		if strings.Contains(c.Name, ":") || strings.ContainsRune(c.Name, '\r') {
+			return false
+		}
+	}
+	for _, row := range tab.Rows {
+		for _, v := range row {
+			if s, ok := v.(string); ok && strings.ContainsRune(s, '\r') {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tablesEquivalent is reflect.DeepEqual with NaN float cells compared as
+// equal to themselves (NaN != NaN would fail DeepEqual even though the
+// codecs preserve it exactly).
+func tablesEquivalent(a, b *Table) bool {
+	if a.Name != b.Name || a.Title != b.Title || len(a.Columns) != len(b.Columns) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	for ri := range a.Rows {
+		if len(a.Rows[ri]) != len(b.Rows[ri]) {
+			return false
+		}
+		for ci := range a.Rows[ri] {
+			va, vb := a.Rows[ri][ci], b.Rows[ri][ci]
+			fa, aok := va.(float64)
+			fb, bok := vb.(float64)
+			if aok && bok && math.IsNaN(fa) && math.IsNaN(fb) {
+				continue
+			}
+			if va != vb {
+				return false
+			}
+		}
+	}
+	return true
+}

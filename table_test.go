@@ -3,16 +3,13 @@ package snnmap
 import (
 	"bytes"
 	"context"
-	"flag"
-	"os"
-	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
-)
 
-var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+	"repro/internal/goldentest"
+)
 
 // goldenTable exercises every column type, including values that stress
 // exact round-tripping: an int64 above 2^53 (lost if routed through
@@ -38,31 +35,13 @@ func goldenTable() *Table {
 	return t
 }
 
-func checkGolden(t *testing.T, name string, got []byte) {
-	t.Helper()
-	path := filepath.Join("testdata", name)
-	if *updateGolden {
-		if err := os.WriteFile(path, got, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("missing golden file (run go test -run Golden -update): %v", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Fatalf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
-	}
-}
-
 func TestTableGoldenJSONRoundTrip(t *testing.T) {
 	tab := goldenTable()
 	var buf bytes.Buffer
 	if err := tab.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "golden_table.json", buf.Bytes())
+	goldentest.Check(t, "golden_table.json", buf.Bytes())
 
 	back, err := ReadTableJSON(bytes.NewReader(buf.Bytes()))
 	if err != nil {
@@ -79,7 +58,7 @@ func TestTableGoldenCSVRoundTrip(t *testing.T) {
 	if err := tab.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "golden_table.csv", buf.Bytes())
+	goldentest.Check(t, "golden_table.csv", buf.Bytes())
 
 	back, err := ReadTableCSV(bytes.NewReader(buf.Bytes()))
 	if err != nil {
@@ -163,6 +142,7 @@ func TestExperimentRegistry(t *testing.T) {
 	want := []string{
 		"fig5", "table2", "fig6", "fig7", "accuracy",
 		"ablation-optimizer", "ablation-aer", "ablation-topology",
+		"scenarios",
 	}
 	if got := ExperimentNames(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("experiment registry = %v, want %v", got, want)
@@ -215,5 +195,22 @@ func TestPartitionerAndArchRegistries(t *testing.T) {
 	}
 	if _, err := NewArch("nope", g, ArchSpec{}); err == nil {
 		t.Fatal("unknown arch accepted")
+	}
+}
+
+func TestAppRegistry(t *testing.T) {
+	want := []string{
+		"HW", "IS", "HD", "HE", "synth",
+		"gen:layered", "gen:smallworld", "gen:scalefree", "gen:modular", "gen:sparserandom",
+	}
+	if got := AppNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("application registry = %v, want %v", got, want)
+	}
+	if _, err := BuildApp("nope", AppConfig{}); err == nil {
+		t.Fatal("unknown application accepted")
+	}
+	// Legacy long aliases must keep resolving.
+	if _, err := BuildApp("hello_world", AppConfig{Seed: 1, DurationMs: 100}); err != nil {
+		t.Fatal(err)
 	}
 }
