@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	snnmap "repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -74,6 +75,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		timeout  = fs.Duration("timeout", 0, "per-job wall clock limit, e.g. 90s (0 = none)")
 		format   = fs.String("format", "text", "output format: text, json or csv")
 		outPath  = fs.String("o", "", "write output to FILE instead of stdout")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -82,6 +84,10 @@ func run(args []string, stdout io.Writer) (err error) {
 		return fmt.Errorf("%w: %v", errBadFlags, err)
 	}
 
+	if *version {
+		fmt.Fprintf(stdout, "experiments %s\n", buildinfo.Read())
+		return nil
+	}
 	if *list {
 		for _, e := range snnmap.Experiments() {
 			fmt.Fprintf(stdout, "%-20s %s\n", e.Name(), e.Describe())

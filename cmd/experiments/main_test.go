@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/goldentest"
@@ -61,5 +62,12 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args, &buf); err == nil {
 			t.Fatalf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	out := string(runCLI(t, "-version"))
+	if !strings.HasPrefix(out, "experiments ") || !strings.Contains(out, "go1") {
+		t.Fatalf("version output %q", out)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	snnmap "repro"
+	"repro/internal/buildinfo"
 	"repro/internal/hardware"
 	"repro/internal/noc"
 )
@@ -82,6 +83,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		format    = fs.String("format", "text", "output format: text, json or csv")
 		outPath   = fs.String("o", "", "write output to FILE instead of stdout")
 		asJSON    = fs.Bool("json", false, "deprecated: alias for -format json")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -90,6 +92,10 @@ func run(args []string, stdout io.Writer) (err error) {
 		return fmt.Errorf("%w: %v", errBadFlags, err)
 	}
 
+	if *version {
+		fmt.Fprintf(stdout, "snnmap %s\n", buildinfo.Read())
+		return nil
+	}
 	if *list {
 		fmt.Fprintf(stdout, "applications:  %s\n", strings.Join(snnmap.AppNames(), ", "))
 		fmt.Fprintf(stdout, "partitioners:  %s\n", strings.Join(snnmap.PartitionerNames(), ", "))

@@ -1,0 +1,129 @@
+// Command snnmapd is the mapping-as-a-service daemon: a long-lived HTTP
+// server accepting mapping jobs over JSON and executing them on a
+// bounded worker pool with warm-session pooling and content-addressed
+// result caching (see internal/service).
+//
+//	snnmapd -addr 127.0.0.1:8080
+//
+// Submit a job, stream its progress, fetch the result:
+//
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	     -d '{"app":"gen:smallworld:n=512,seed=7","arch":"mesh","techniques":["greedy","pso"]}'
+//	curl -N localhost:8080/v1/jobs/job-000001/events
+//	curl -s 'localhost:8080/v1/jobs/job-000001/result?format=csv'
+//
+// Operational surface: GET /healthz (flips to 503 while draining),
+// GET /metrics (Prometheus text), GET /v1/version. SIGINT/SIGTERM
+// triggers a graceful drain: new jobs are rejected, accepted jobs finish
+// (bounded by -drain-timeout, after which running jobs are canceled —
+// the pipeline observes cancellation within one replay event batch).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snnmapd: ")
+	switch err := run(os.Args[1:], os.Stdout, nil); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// -h/-help: the FlagSet already printed usage; exit 0 like
+		// flag.ExitOnError would.
+	case errors.Is(err, errBadFlags):
+		// The FlagSet already reported the offending flag and usage.
+		os.Exit(2)
+	default:
+		log.Fatal(err)
+	}
+}
+
+// errBadFlags marks argument errors the FlagSet has already printed, so
+// main does not report them a second time.
+var errBadFlags = errors.New("invalid arguments")
+
+// run executes the daemon against an argument vector — the testable core
+// main wraps. When ready is non-nil, the bound address is sent to it
+// once the listener is up (tests and the CI smoke script use the log
+// line instead).
+func run(args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("snnmapd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
+		workers      = fs.Int("parallel", 0, "job executor worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = fs.Int("queue", 64, "accepted-job backlog bound; submissions beyond it get 503")
+		jobTimeout   = fs.Duration("job-timeout", 0, "per-job wall clock limit, e.g. 90s (0 = none)")
+		sessions     = fs.Int("sessions", 8, "warm-session pool capacity (pipelines kept hot, LRU)")
+		cacheCap     = fs.Int("cache", 256, "result cache capacity (tables kept, LRU)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before running jobs are canceled")
+		version      = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errBadFlags, err)
+	}
+	if *version {
+		fmt.Fprintf(stdout, "snnmapd %s\n", buildinfo.Read())
+		return nil
+	}
+
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		JobTimeout: *jobTimeout,
+		SessionCap: *sessions,
+		CacheCap:   *cacheCap,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on http://%s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+	}
+
+	log.Printf("signal received; draining (budget %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(dctx); err != nil {
+		log.Printf("drain deadline expired; running jobs canceled (%v)", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	log.Printf("drained; bye")
+	return nil
+}

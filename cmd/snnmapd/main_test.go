@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "snnmapd ") || !strings.Contains(out.String(), "go1") {
+		t.Fatalf("version output %q", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	err := run([]string{"-no-such-flag"}, io.Discard, nil)
+	if !errors.Is(err, errBadFlags) {
+		t.Fatalf("bad flag error = %v", err)
+	}
+	if err := run([]string{"-h"}, io.Discard, nil); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h error = %v", err)
+	}
+}
+
+// TestBootSubmitAndGracefulShutdown boots the daemon on an ephemeral
+// port, runs one tiny job end to end over a real socket, then drains it
+// with SIGTERM — the in-process twin of the CI smoke job.
+func TestBootSubmitAndGracefulShutdown(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-parallel", "1"}, io.Discard, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	spec := `{"app":"gen:modular:n=48,dur=120,seed=5","techniques":["greedy"]}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", resp.StatusCode, body)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	decode := func(b []byte) {
+		t.Helper()
+		st = struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+			Error string `json:"error"`
+		}{}
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatalf("decoding %q: %v", b, err)
+		}
+	}
+	decode(body)
+	deadline := time.Now().Add(60 * time.Second)
+	for st.State != "done" && st.State != "failed" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		decode(b)
+	}
+	if st.State != "done" {
+		t.Fatalf("job %s (%s)", st.State, st.Error)
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/result?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.HasPrefix(csv, []byte("# reports")) {
+		t.Fatalf("result = %d %q", resp.StatusCode, csv)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}

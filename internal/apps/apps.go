@@ -63,17 +63,29 @@ func (a *App) Validate() error {
 // this shape so experiment harnesses can sweep them.
 type Builder func(cfg Config) (*App, error)
 
+// longAliases maps the legacy long spellings onto the Table I short
+// names, shared by ByName resolution and CanonicalSpec.
+var longAliases = map[string]string{
+	"hello_world":          "HW",
+	"image_smoothing":      "IS",
+	"digit_recognition":    "HD",
+	"heartbeat_estimation": "HE",
+}
+
 // ByName returns the builder of a realistic application by its Table I
-// short name (HW, IS, HD, HE).
+// short name (HW, IS, HD, HE) or legacy long alias.
 func ByName(name string) (Builder, error) {
+	if short, ok := longAliases[name]; ok {
+		name = short
+	}
 	switch name {
-	case "HW", "hello_world":
+	case "HW":
 		return HelloWorld, nil
-	case "IS", "image_smoothing":
+	case "IS":
 		return ImageSmoothing, nil
-	case "HD", "digit_recognition":
+	case "HD":
 		return DigitRecognition, nil
-	case "HE", "heartbeat_estimation":
+	case "HE":
 		return func(cfg Config) (*App, error) {
 			r, err := Heartbeat(HeartbeatConfig{Config: cfg})
 			if err != nil {
@@ -163,6 +175,53 @@ func Build(name string, cfg Config) (*App, error) {
 	known := Names()
 	sort.Strings(known)
 	return nil, fmt.Errorf("apps: unknown application %q (known: %v)", name, known)
+}
+
+// CanonicalSpec normalizes an application spec textually, without
+// building it: legacy long aliases collapse onto their registry short
+// names and "k=v" parameter tails are re-rendered in sorted key order,
+// so the spellings Build treats as the same application share one
+// canonical string. Content-addressed consumers (the mapping service's
+// result cache and session pool) key on this form so reordered
+// parameters or aliased names cannot duplicate cached work. Specs that
+// omit a family default still differ from ones spelling it out —
+// that only costs cache dedup, never correctness. Unknown specs pass
+// through unchanged (Build rejects them later).
+func CanonicalSpec(spec string) string {
+	if short, ok := longAliases[spec]; ok {
+		return short
+	}
+	if _, ok := lookupFactory(spec); ok {
+		return spec
+	}
+	// Mirror Build's resolution: longest registered prefix, then the
+	// parameter tail.
+	for base := spec; ; {
+		i := strings.LastIndex(base, ":")
+		if i < 0 {
+			return spec
+		}
+		base = base[:i]
+		if _, ok := lookupFactory(base); ok {
+			kv, err := ParseParams(spec[len(base)+1:])
+			if err != nil {
+				return spec // malformed tails surface via Build's error
+			}
+			if len(kv) == 0 {
+				return base // "synth:" builds exactly like "synth"
+			}
+			keys := make([]string, 0, len(kv))
+			for k := range kv {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for j, k := range keys {
+				parts[j] = k + "=" + kv[k]
+			}
+			return base + ":" + strings.Join(parts, ",")
+		}
+	}
 }
 
 // ParseParams splits a "k=v,k=v" parameter tail into a key→value map,

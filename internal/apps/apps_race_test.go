@@ -1,0 +1,58 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentAccess races registrations against the lookup
+// paths a long-lived server exercises per request — Names, Build with
+// exact names, parameter-tail prefix resolution and unknown-name misses.
+// The -race CI job turns any unsynchronized registry access into a
+// failure. Registered names are unique to this test binary, so no other
+// apps test observes them.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	const writers, readers, iters = 2, 8, 100
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				name := fmt.Sprintf("race-test-w%d-%d", w, i)
+				Register(name, func(cfg Config, params string) (*App, error) {
+					return nil, fmt.Errorf("apps: %s is a registry race fixture", name)
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				if len(Names()) == 0 {
+					t.Error("Names came back empty")
+					return
+				}
+				// Exact fixture hit (whichever are registered yet), tail
+				// resolution miss, and unknown-name miss.
+				if _, err := Build("race-test-w0-0:k=v", Config{}); err == nil {
+					t.Error("parameter tail accepted by a fixture factory without one")
+					return
+				}
+				if _, err := Build("race-test-no-such-app", Config{}); err == nil {
+					t.Error("unknown app accepted")
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+}

@@ -352,3 +352,25 @@ func TestAppsDeterministic(t *testing.T) {
 		t.Log("warning: different seeds coincidentally equal (not fatal)")
 	}
 }
+
+func TestCanonicalSpec(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"HW", "HW"},
+		{"hello_world", "HW"},
+		{"heartbeat_estimation", "HE"},
+		{"synth", "synth"},
+		{"synth:", "synth"}, // empty tail builds exactly like the bare name
+		{"synth:width=100,layers=3", "synth:layers=3,width=100"},
+		{"synth:layers=3,width=100", "synth:layers=3,width=100"},
+		// The gen: families register from internal/genapp's init, which
+		// this test binary does not link; the root package pins their
+		// canonicalization (TestJobSpecAppCanonicalization).
+		{"no-such-app", "no-such-app"},
+		{"synth:not-a-param", "synth:not-a-param"},
+	}
+	for _, c := range cases {
+		if got := CanonicalSpec(c.in); got != c.want {
+			t.Errorf("CanonicalSpec(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

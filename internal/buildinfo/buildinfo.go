@@ -1,0 +1,64 @@
+// Package buildinfo exposes one version string shared by every binary of
+// this module (cmd/snnmap, cmd/experiments, cmd/snnmapd) and by the
+// daemon's /v1/version endpoint, derived from the build metadata the Go
+// toolchain embeds (runtime/debug.ReadBuildInfo) — no ldflags wiring
+// required.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the resolved build identity of the running binary.
+type Info struct {
+	// Version is the module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit the binary was built from, if stamped.
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted local modifications at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// Go is the toolchain that produced the binary.
+	Go string `json:"go"`
+}
+
+// Read resolves the build identity from the embedded build metadata.
+// Binaries built without module support (rare) yield a zero-value
+// version with the runtime's Go version.
+func Read() Info {
+	info := Info{Version: "(devel)", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity as the one-line form the CLIs print for
+// -version: "name version (revision[-dirty], go)".
+func (i Info) String() string {
+	s := i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if i.Dirty {
+			rev += "-dirty"
+		}
+		s += fmt.Sprintf(" (%s)", rev)
+	}
+	return s + " " + i.Go
+}

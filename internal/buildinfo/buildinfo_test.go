@@ -1,0 +1,34 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRead(t *testing.T) {
+	info := Read()
+	if info.Version == "" {
+		t.Fatal("empty version")
+	}
+	if !strings.HasPrefix(info.Go, "go") {
+		t.Fatalf("go version %q", info.Go)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		info Info
+		want string
+	}{
+		{Info{Version: "(devel)", Go: "go1.22.0"}, "(devel) go1.22.0"},
+		{Info{Version: "v1.2.3", Revision: "abcdef1234567890", Go: "go1.22.0"},
+			"v1.2.3 (abcdef123456) go1.22.0"},
+		{Info{Version: "v1.2.3", Revision: "abc", Dirty: true, Go: "go1.22.0"},
+			"v1.2.3 (abc-dirty) go1.22.0"},
+	}
+	for _, c := range cases {
+		if got := c.info.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.info, got, c.want)
+		}
+	}
+}

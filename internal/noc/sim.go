@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -126,6 +127,12 @@ type Result struct {
 	Stats      Stats
 	Deliveries []Delivery
 }
+
+// cancelCheckEvery is the event-loop iteration stride between
+// cancellation polls when a context is set (SetContext). 1024 active
+// cycles of work is well under a millisecond on every supported
+// topology, so per-request timeouts observe cancellation promptly.
+const cancelCheckEvery = 1024
 
 // flight is a packet in the network. Multicast flights fork at routing
 // divergence points; Dst always holds the destinations still to be served
@@ -303,6 +310,11 @@ type Simulator struct {
 	// the Result accumulating the trace.
 	sink func(Delivery)
 
+	// ctx, when set via SetContext, bounds Run: the event loop polls its
+	// Done channel every cancelCheckEvery iterations, so cancellation
+	// latency is one event batch, not a whole replay.
+	ctx context.Context
+
 	// ran guards against state corruption from Run-after-Run or
 	// Inject-after-Run without an intervening Reset.
 	ran bool
@@ -455,6 +467,7 @@ func (s *Simulator) Reset() {
 	s.nextSeq = 0
 	s.result = Result{}
 	s.sink = nil
+	s.ctx = nil
 	s.ran = false
 }
 
@@ -468,6 +481,14 @@ func (s *Simulator) HopDistance(a, b int) (int, error) {
 	}
 	return s.topo.HopDistance(a, b), nil
 }
+
+// SetContext bounds the next Run by ctx: the event loop polls for
+// cancellation every cancelCheckEvery iterations and Run then returns an
+// error wrapping ctx.Err(), leaving the simulator in need of a Reset
+// (like any aborted run). A nil ctx (the default) disables the polling
+// entirely — the hot loop pays nothing. Set it after construction or
+// Reset and before Run; Reset clears it.
+func (s *Simulator) SetContext(ctx context.Context) { s.ctx = ctx }
 
 // SetDeliverySink streams every Delivery to fn, in arrival order, instead
 // of accumulating the trace on the Result (Result.Deliveries stays empty;
@@ -571,6 +592,15 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 	s.ran = true
 
+	var done <-chan struct{}
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("noc: replay not started: %w", err)
+		}
+		done = s.ctx.Done()
+	}
+	var iter uint
+
 	// Expand to unicast if multicast is disabled, then order by creation.
 	// Every flight carries the exact set of destinations still to serve,
 	// so the total delivery count is known up front and the trace buffer
@@ -640,6 +670,18 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 
 	for remaining > 0 || inFlight > 0 || !s.arrivals.empty() {
+		// One poll per cancelCheckEvery iterations: each iteration is one
+		// active cycle (or one time jump), so an event batch bounds the
+		// cancellation latency while the steady-state loop stays free of
+		// channel operations.
+		if iter++; done != nil && iter%cancelCheckEvery == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("noc: replay canceled at cycle %d with %d packets outstanding: %w",
+					now, remaining+inFlight, s.ctx.Err())
+			default:
+			}
+		}
 		progressed := false
 
 		// 1. Buffer insertions for completed link traversals.

@@ -1,6 +1,9 @@
 package partition
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // PlaceCrossbars optimizes the physical placement of logical crossbars on
 // the interconnect: it permutes crossbar labels so that pairs exchanging
@@ -23,6 +26,19 @@ import "fmt"
 // order and accepts exactly the same ones, so the result is bit-identical
 // (see TestPlacementMatchesReference).
 func PlaceCrossbars(p *Problem, a Assignment, hop func(a, b int) (int, error)) (Assignment, error) {
+	return PlaceCrossbarsCtx(context.Background(), p, a, hop)
+}
+
+// PlaceCrossbarsCtx is PlaceCrossbars bounded by a context: cancellation
+// is observed between 2-opt descent rows (each row is O(C²) work), so a
+// server's per-request timeout aborts placement within one row instead
+// of waiting out the whole descent. The accepted swaps — and therefore
+// the returned assignment — are identical to PlaceCrossbars whenever the
+// context does not fire.
+func PlaceCrossbarsCtx(ctx context.Context, p *Problem, a Assignment, hop func(a, b int) (int, error)) (Assignment, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(a); err != nil {
 		return nil, fmt.Errorf("partition: placement input: %w", err)
 	}
@@ -43,6 +59,9 @@ func PlaceCrossbars(p *Problem, a Assignment, hop func(a, b int) (int, error)) (
 	// the contract only requires consistency), so both directions are kept.
 	dist := make([][]int64, c)
 	for i := range dist {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("partition: placement canceled resolving distances: %w", err)
+		}
 		dist[i] = make([]int64, c)
 		for j := 0; j < c; j++ {
 			if i == j {
@@ -98,6 +117,9 @@ func PlaceCrossbars(p *Problem, a Assignment, hop func(a, b int) (int, error)) (
 	for improved := true; improved; {
 		improved = false
 		for i := 0; i < c; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("partition: placement canceled mid-descent: %w", err)
+			}
 			for j := i + 1; j < c; j++ {
 				if swapDelta(i, j) < 0 {
 					place[i], place[j] = place[j], place[i]

@@ -1,0 +1,54 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestPlaceCrossbarsCtxCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 40, 300)
+	p, err := NewProblem(g, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randomFeasible(p, rng)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PlaceCrossbarsCtx(ctx, p, a, lineHop); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled placement = %v, want context.Canceled", err)
+	}
+
+	// An unfired context changes nothing: the descent accepts the same
+	// swaps as the context-free entry point.
+	want, err := PlaceCrossbars(p, a, lineHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PlaceCrossbarsCtx(context.Background(), p, a, lineHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("assignment diverged at neuron %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+
+	// A hop callback that cancels mid-precompute aborts the descent
+	// before any swap work happens.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	calls := 0
+	hop := func(x, y int) (int, error) {
+		if calls++; calls == p.Crossbars { // after the first distance row
+			cancel2()
+		}
+		return lineHop(x, y)
+	}
+	if _, err := PlaceCrossbarsCtx(ctx2, p, a, hop); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-precompute cancel = %v, want context.Canceled", err)
+	}
+}

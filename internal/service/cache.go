@@ -1,0 +1,49 @@
+package service
+
+import (
+	"sync"
+
+	snnmap "repro"
+)
+
+// resultCache is the content-addressed result store: completed job
+// tables keyed by the SHA-256 of their canonical JobSpec. The mapping
+// pipeline is deterministic end to end for a fixed canonical spec
+// (pinned by the scenario invariant harness), so a cached Table answers
+// an identical later request bit-for-bit — the daemon replays the bytes
+// without touching a pipeline. An LRU bound caps memory; cached tables
+// are treated as immutable by every reader.
+type resultCache struct {
+	mu      sync.Mutex
+	entries *lru[*snnmap.Table]
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{entries: newLRU[*snnmap.Table](capacity)}
+}
+
+// get returns the cached table of a spec hash, refreshing its recency.
+func (c *resultCache) get(hash string) (*snnmap.Table, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries.get(hash)
+}
+
+// put stores a completed job's table under its spec hash, evicting the
+// least recently used entry beyond the capacity bound. Re-putting an
+// existing hash refreshes recency and keeps the first table (both are
+// byte-identical by the determinism contract).
+func (c *resultCache) put(hash string, table *snnmap.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries.get(hash); ok {
+		return
+	}
+	c.entries.add(hash, table)
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries.len()
+}

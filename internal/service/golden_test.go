@@ -1,0 +1,87 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	snnmap "repro"
+	"repro/internal/goldentest"
+)
+
+// stepClock is a deterministic clock: every call advances one second
+// from a fixed epoch, so timestamps in golden responses are stable.
+func stepClock() func() time.Time {
+	var mu sync.Mutex
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return base.Add(time.Duration(n) * time.Second)
+	}
+}
+
+// TestWireFormatsGolden pins every externally visible response schema
+// byte-for-byte: submission (202 and cached 200), job status, job list,
+// the result Table in both encodings, healthz and the error shape. A
+// drifting golden file is an API break surfacing in review as a plain
+// git diff (regenerate with go test ./internal/service -update).
+//
+// Determinism: job IDs are sequential per server, the clock is injected,
+// the spec is fixed, and the pipeline is deterministic end to end for a
+// fixed canonical spec — so even the result CSV/JSON (float metrics
+// included) is byte-stable, exactly the property the result cache
+// relies on.
+func TestWireFormatsGolden(t *testing.T) {
+	_, h := newTestServer(t, Config{Workers: 1, Now: stepClock()})
+	spec := snnmap.JobSpec{
+		App:        "gen:modular:n=48,dur=120,seed=5",
+		Arch:       "tree",
+		Techniques: []string{"greedy"},
+	}
+
+	rec := doRequest(t, h, http.MethodPost, "/v1/jobs", spec)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", rec.Code, rec.Body.String())
+	}
+	goldentest.Check(t, "submit_accepted.json.golden", rec.Body.Bytes())
+	st := decodeStatus(t, rec)
+	if got := waitTerminal(t, h, st.ID); got.State != JobDone {
+		t.Fatalf("job %s (%s)", got.State, got.Error)
+	}
+
+	status := doRequest(t, h, http.MethodGet, "/v1/jobs/"+st.ID, nil)
+	goldentest.Check(t, "status_done.json.golden", status.Body.Bytes())
+
+	goldentest.Check(t, "result_table.json.golden", fetchResult(t, h, st.ID, "json"))
+	goldentest.Check(t, "result_table.csv.golden", fetchResult(t, h, st.ID, "csv"))
+
+	// Format negotiation via Accept picks the same CSV bytes.
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+st.ID+"/result", nil)
+	req.Header.Set("Accept", "text/csv")
+	acc := httptest.NewRecorder()
+	h.ServeHTTP(acc, req)
+	goldentest.Check(t, "result_table.csv.golden", acc.Body.Bytes())
+
+	cached := doRequest(t, h, http.MethodPost, "/v1/jobs", spec)
+	if cached.Code != http.StatusOK {
+		t.Fatalf("cached submit = %d %s", cached.Code, cached.Body.String())
+	}
+	goldentest.Check(t, "submit_cached.json.golden", cached.Body.Bytes())
+
+	list := doRequest(t, h, http.MethodGet, "/v1/jobs", nil)
+	goldentest.Check(t, "jobs_list.json.golden", list.Body.Bytes())
+
+	health := doRequest(t, h, http.MethodGet, "/healthz", nil)
+	goldentest.Check(t, "healthz.json.golden", health.Body.Bytes())
+
+	notFound := doRequest(t, h, http.MethodGet, "/v1/jobs/job-999999", nil)
+	if notFound.Code != http.StatusNotFound {
+		t.Fatalf("unknown job = %d", notFound.Code)
+	}
+	goldentest.Check(t, "error_not_found.json.golden", notFound.Body.Bytes())
+}

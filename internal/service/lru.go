@@ -1,0 +1,70 @@
+package service
+
+import "container/list"
+
+// lru is the string-keyed least-recently-used index shared by the
+// result cache and the session pool: one eviction/accounting
+// implementation instead of two drifting copies. It is not safe for
+// concurrent use — each owner guards it with the mutex that also
+// protects its adjacent state.
+type lru[V any] struct {
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type lruItem[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](capacity int) *lru[V] {
+	return &lru[V]{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the value of key, refreshing its recency.
+func (l *lru[V]) get(key string) (V, bool) {
+	if el, ok := l.entries[key]; ok {
+		l.order.MoveToFront(el)
+		return el.Value.(*lruItem[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// peek returns the value of key without touching recency.
+func (l *lru[V]) peek(key string) (V, bool) {
+	if el, ok := l.entries[key]; ok {
+		return el.Value.(*lruItem[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// add inserts key (which must not be present) at the front and evicts
+// least-recently-used entries beyond the capacity bound, returning how
+// many were dropped.
+func (l *lru[V]) add(key string, val V) (evicted int) {
+	l.entries[key] = l.order.PushFront(&lruItem[V]{key: key, val: val})
+	for l.cap > 0 && l.order.Len() > l.cap {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.entries, oldest.Value.(*lruItem[V]).key)
+		evicted++
+	}
+	return evicted
+}
+
+// remove deletes key if present.
+func (l *lru[V]) remove(key string) {
+	if el, ok := l.entries[key]; ok {
+		l.order.Remove(el)
+		delete(l.entries, key)
+	}
+}
+
+func (l *lru[V]) len() int { return l.order.Len() }

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	snnmap "repro"
+)
+
+// stageBuckets are the upper bounds (seconds) of the per-stage latency
+// histograms. Stage wall clocks span microseconds (placement on small
+// grids) to tens of seconds (saturated replays), so the buckets run
+// log-ish across that range.
+var stageBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 1, 2.5, 10, 30}
+
+// histogram is a fixed-bucket latency histogram in the Prometheus
+// cumulative-bucket shape. Guarded by the owning Metrics mutex.
+type histogram struct {
+	counts []int64 // one per stageBuckets entry; +Inf is implicit via count
+	sum    float64
+	count  int64
+}
+
+func (h *histogram) observe(seconds float64) {
+	if h.counts == nil {
+		h.counts = make([]int64, len(stageBuckets))
+	}
+	for i, ub := range stageBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
+
+// Metrics aggregates the daemon's operational counters and renders them
+// in the Prometheus text exposition format — stdlib only, scrapeable by
+// any Prometheus-compatible collector. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	jobsTotal   map[string]int64 // by terminal state
+	jobsQueued  int64
+	jobsRunning int64
+
+	cacheHits   int64
+	cacheMisses int64
+
+	poolHits      int64
+	poolMisses    int64
+	poolEvictions int64
+
+	stages map[snnmap.Stage]*histogram
+
+	// occupancy gauges are read at render time so they can never drift
+	// from the structures they describe.
+	cacheEntries func() int
+	poolEntries  func() int
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		jobsTotal: map[string]int64{},
+		stages:    map[snnmap.Stage]*histogram{},
+	}
+}
+
+func (m *Metrics) jobQueued() {
+	m.mu.Lock()
+	m.jobsQueued++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobStarted() {
+	m.mu.Lock()
+	m.jobsQueued--
+	m.jobsRunning++
+	m.mu.Unlock()
+}
+
+// jobFinished records a job reaching the terminal state; running tracks
+// whether it occupied a worker (cached and pre-start-canceled jobs never
+// do).
+func (m *Metrics) jobFinished(state string, running bool) {
+	m.mu.Lock()
+	if running {
+		m.jobsRunning--
+	}
+	m.jobsTotal[state]++
+	m.mu.Unlock()
+}
+
+// jobDequeued records a job leaving the queue without running (canceled
+// while queued, or dropped at submission rollback).
+func (m *Metrics) jobDequeued() {
+	m.mu.Lock()
+	m.jobsQueued--
+	m.mu.Unlock()
+}
+
+func (m *Metrics) cacheLookup(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.cacheHits++
+	} else {
+		m.cacheMisses++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) poolLookup(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.poolHits++
+	} else {
+		m.poolMisses++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) poolEvicted(n int) {
+	m.mu.Lock()
+	m.poolEvictions += int64(n)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) observeStage(stage snnmap.Stage, elapsed time.Duration) {
+	m.mu.Lock()
+	h := m.stages[stage]
+	if h == nil {
+		h = &histogram{}
+		m.stages[stage] = h
+	}
+	h.observe(elapsed.Seconds())
+	m.mu.Unlock()
+}
+
+// fmtFloat renders a float the way Prometheus clients do (shortest
+// round-trip form).
+func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// WritePrometheus renders every metric in the text exposition format,
+// deterministically ordered so the output is diffable and golden-testable.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b []byte
+	p := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+
+	p("# HELP snnmapd_jobs_total Jobs reaching a terminal state, by state.\n")
+	p("# TYPE snnmapd_jobs_total counter\n")
+	states := make([]string, 0, len(m.jobsTotal))
+	for s := range m.jobsTotal {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		p("snnmapd_jobs_total{state=%q} %d\n", s, m.jobsTotal[s])
+	}
+
+	p("# HELP snnmapd_jobs_queued Jobs accepted and waiting for a worker.\n")
+	p("# TYPE snnmapd_jobs_queued gauge\n")
+	p("snnmapd_jobs_queued %d\n", m.jobsQueued)
+	p("# HELP snnmapd_jobs_running Jobs currently executing on a worker.\n")
+	p("# TYPE snnmapd_jobs_running gauge\n")
+	p("snnmapd_jobs_running %d\n", m.jobsRunning)
+
+	p("# HELP snnmapd_result_cache_hits_total Jobs answered from the content-addressed result cache.\n")
+	p("# TYPE snnmapd_result_cache_hits_total counter\n")
+	p("snnmapd_result_cache_hits_total %d\n", m.cacheHits)
+	p("# HELP snnmapd_result_cache_misses_total Jobs whose canonical spec was not cached.\n")
+	p("# TYPE snnmapd_result_cache_misses_total counter\n")
+	p("snnmapd_result_cache_misses_total %d\n", m.cacheMisses)
+	if m.cacheEntries != nil {
+		p("# HELP snnmapd_result_cache_entries Result tables currently cached.\n")
+		p("# TYPE snnmapd_result_cache_entries gauge\n")
+		p("snnmapd_result_cache_entries %d\n", m.cacheEntries())
+	}
+
+	p("# HELP snnmapd_session_pool_hits_total Jobs served by an already-warm pipeline session.\n")
+	p("# TYPE snnmapd_session_pool_hits_total counter\n")
+	p("snnmapd_session_pool_hits_total %d\n", m.poolHits)
+	p("# HELP snnmapd_session_pool_misses_total Jobs that had to construct a pipeline session.\n")
+	p("# TYPE snnmapd_session_pool_misses_total counter\n")
+	p("snnmapd_session_pool_misses_total %d\n", m.poolMisses)
+	p("# HELP snnmapd_session_pool_evictions_total Warm sessions evicted by the LRU bound.\n")
+	p("# TYPE snnmapd_session_pool_evictions_total counter\n")
+	p("snnmapd_session_pool_evictions_total %d\n", m.poolEvictions)
+	if m.poolEntries != nil {
+		p("# HELP snnmapd_session_pool_entries Warm sessions currently pooled.\n")
+		p("# TYPE snnmapd_session_pool_entries gauge\n")
+		p("snnmapd_session_pool_entries %d\n", m.poolEntries())
+	}
+
+	p("# HELP snnmapd_stage_seconds Pipeline stage wall clock.\n")
+	p("# TYPE snnmapd_stage_seconds histogram\n")
+	stages := make([]snnmap.Stage, 0, len(m.stages))
+	for s := range m.stages {
+		stages = append(stages, s)
+	}
+	sort.Slice(stages, func(i, j int) bool { return stages[i] < stages[j] })
+	for _, s := range stages {
+		h := m.stages[s]
+		for i, ub := range stageBuckets {
+			p("snnmapd_stage_seconds_bucket{stage=%q,le=%q} %d\n", s.String(), fmtFloat(ub), h.counts[i])
+		}
+		p("snnmapd_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", s.String(), h.count)
+		p("snnmapd_stage_seconds_sum{stage=%q} %s\n", s.String(), fmtFloat(h.sum))
+		p("snnmapd_stage_seconds_count{stage=%q} %d\n", s.String(), h.count)
+	}
+
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	snnmap "repro"
+)
+
+// sessionPool is the daemon's warm-session cache: constructed Pipelines
+// keyed by their canonical session key (JobSpec.SessionKey — everything
+// that feeds pipeline construction, nothing per-run). Repeat traffic for
+// one (app, arch, options) tuple skips application characterization, CSR
+// and problem construction and NoC topology building, and forks
+// simulators from the one warm session; Pipelines are safe for
+// concurrent runs, so any number of in-flight jobs may share an entry.
+//
+// Construction is single-flight: concurrent first requests for one key
+// build once and the rest wait on the entry. Failed builds are not
+// cached — the next request retries. An LRU bound caps the pool; an
+// evicted session stays usable by jobs already holding it (nothing to
+// close, the GC reclaims it once the last run finishes).
+type sessionPool struct {
+	mu      sync.Mutex
+	entries *lru[*sessionEntry]
+
+	// builds counts pipeline constructions — the observable a cache-hit
+	// test pins ("no new pipeline constructed").
+	builds atomic.Int64
+
+	build func(spec snnmap.JobSpec) (*snnmap.Pipeline, error)
+}
+
+type sessionEntry struct {
+	key   string
+	ready chan struct{} // closed once pipe/err are final
+	pipe  *snnmap.Pipeline
+	err   error
+}
+
+func newSessionPool(capacity int, build func(spec snnmap.JobSpec) (*snnmap.Pipeline, error)) *sessionPool {
+	return &sessionPool{
+		entries: newLRU[*sessionEntry](capacity),
+		build:   build,
+	}
+}
+
+// get returns the warm session of a normalized spec, building it on
+// first use. hit reports whether a warm (or in-flight) session existed;
+// evicted is the number of sessions dropped by the LRU bound.
+func (p *sessionPool) get(spec snnmap.JobSpec) (pipe *snnmap.Pipeline, hit bool, evicted int, err error) {
+	key := spec.SessionKey()
+	p.mu.Lock()
+	if e, ok := p.entries.get(key); ok {
+		p.mu.Unlock()
+		<-e.ready
+		// A lost build race is possible: the entry errored and was
+		// removed between our lookup and the wait. Surface the error,
+		// and only report a warm hit when a session actually exists —
+		// the caller's retry takes the build path.
+		return e.pipe, e.err == nil, 0, e.err
+	}
+	e := &sessionEntry{key: key, ready: make(chan struct{})}
+	evicted = p.entries.add(key, e)
+	p.mu.Unlock()
+
+	p.builds.Add(1)
+	p.runBuild(e, spec)
+	return e.pipe, false, evicted, e.err
+}
+
+// runBuild populates the entry, converting a build panic into its error
+// and always closing ready — a panicking constructor must never leave
+// waiters blocked or a poisoned entry in the pool.
+func (p *sessionPool) runBuild(e *sessionEntry, spec snnmap.JobSpec) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = fmt.Errorf("session build panicked: %v", r)
+		}
+		close(e.ready)
+		if e.err != nil {
+			p.mu.Lock()
+			if cur, ok := p.entries.peek(e.key); ok && cur == e {
+				p.entries.remove(e.key)
+			}
+			p.mu.Unlock()
+		}
+	}()
+	e.pipe, e.err = p.build(spec)
+}
+
+func (p *sessionPool) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.entries.len()
+}

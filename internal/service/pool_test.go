@@ -1,0 +1,270 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	snnmap "repro"
+)
+
+// fakeSpec builds a normalized spec whose session key is unique per tag
+// (the seed separates keys; the app never gets built by these tests).
+func fakeSpec(t *testing.T, seed int64) snnmap.JobSpec {
+	t.Helper()
+	spec, err := snnmap.JobSpec{App: "HW", Seed: seed}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestSessionPoolSingleflight(t *testing.T) {
+	var builds atomic.Int64
+	p := newSessionPool(4, func(spec snnmap.JobSpec) (*snnmap.Pipeline, error) {
+		builds.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the race window
+		return nil, nil
+	})
+	spec := fakeSpec(t, 1)
+	const callers = 8
+	var wg sync.WaitGroup
+	hits := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, hit, _, err := p.get(spec)
+			if err != nil {
+				t.Error(err)
+			}
+			hits[i] = hit
+		}(i)
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("concurrent gets built %d sessions, want 1", got)
+	}
+	misses := 0
+	for _, h := range hits {
+		if !h {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d callers saw a miss, want exactly the builder", misses)
+	}
+}
+
+func TestSessionPoolLRUEviction(t *testing.T) {
+	p := newSessionPool(2, func(spec snnmap.JobSpec) (*snnmap.Pipeline, error) {
+		return nil, nil
+	})
+	a, b, c := fakeSpec(t, 1), fakeSpec(t, 2), fakeSpec(t, 3)
+	mustGet := func(s snnmap.JobSpec) (hit bool, evicted int) {
+		t.Helper()
+		_, hit, evicted, err := p.get(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit, evicted
+	}
+	mustGet(a)
+	mustGet(b)
+	if hit, _ := mustGet(a); !hit { // refresh a: b is now LRU
+		t.Fatal("a evicted prematurely")
+	}
+	if _, evicted := mustGet(c); evicted != 1 {
+		t.Fatal("third key did not evict")
+	}
+	if hit, _ := mustGet(a); !hit {
+		t.Fatal("recently used entry a was evicted")
+	}
+	// b was the LRU victim; this probe is a miss (and reinserts b).
+	if hit, _ := mustGet(b); hit {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if p.len() > 2 {
+		t.Fatalf("pool holds %d entries beyond cap 2", p.len())
+	}
+}
+
+func TestSessionPoolFailedBuildsNotCached(t *testing.T) {
+	fail := true
+	p := newSessionPool(2, func(spec snnmap.JobSpec) (*snnmap.Pipeline, error) {
+		if fail {
+			return nil, errors.New("boom")
+		}
+		return nil, nil
+	})
+	spec := fakeSpec(t, 1)
+	if _, _, _, err := p.get(spec); err == nil {
+		t.Fatal("failed build reported no error")
+	}
+	if p.len() != 0 {
+		t.Fatal("failed build left a pool entry")
+	}
+	fail = false
+	if _, hit, _, err := p.get(spec); err != nil || hit {
+		t.Fatalf("retry after failed build: hit=%v err=%v, want cold success", hit, err)
+	}
+}
+
+// TestSessionPoolBuildPanic pins that a panicking constructor cannot
+// poison the pool: waiters are released with an error instead of
+// blocking forever, the entry is removed, and a retry rebuilds.
+func TestSessionPoolBuildPanic(t *testing.T) {
+	panicking := true
+	p := newSessionPool(2, func(spec snnmap.JobSpec) (*snnmap.Pipeline, error) {
+		if panicking {
+			time.Sleep(5 * time.Millisecond) // let waiters queue up
+			panic("constructor exploded")
+		}
+		return nil, nil
+	})
+	spec := fakeSpec(t, 1)
+	const callers = 4
+	errs := make(chan error, callers)
+	hitsWithErr := make(chan bool, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			_, hit, _, err := p.get(spec)
+			errs <- err
+			hitsWithErr <- hit
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		select {
+		case err := <-errs:
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Errorf("caller error = %v, want build panic", err)
+			}
+			if <-hitsWithErr {
+				t.Error("failed build reported as a warm hit")
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("caller wedged on a panicked build")
+		}
+	}
+	if p.len() != 0 {
+		t.Fatalf("panicked build left %d pool entries", p.len())
+	}
+	panicking = false
+	if _, hit, _, err := p.get(spec); err != nil || hit {
+		t.Fatalf("retry after panic: hit=%v err=%v, want cold success", hit, err)
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	tab := func(name string) *snnmap.Table { return snnmap.NewTable(name, "") }
+	c.put("a", tab("a"))
+	c.put("b", tab("b"))
+	if _, ok := c.get("a"); !ok { // refresh a
+		t.Fatal("a missing")
+	}
+	c.put("c", tab("c"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b survived")
+	}
+	if got, ok := c.get("a"); !ok || got.Name != "a" {
+		t.Fatal("a lost or wrong")
+	}
+	if got, ok := c.get("c"); !ok || got.Name != "c" {
+		t.Fatal("c lost or wrong")
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d, want 2", c.len())
+	}
+	// Re-putting an existing hash keeps the first table (determinism
+	// makes them interchangeable) and does not grow the cache.
+	first, _ := c.get("a")
+	c.put("a", tab("replacement"))
+	if cur, _ := c.get("a"); cur != first {
+		t.Fatal("re-put replaced the cached table")
+	}
+}
+
+func TestEventLogCursorDelivery(t *testing.T) {
+	l := newEventLog()
+	l.append("state", statePayload{State: JobQueued})
+
+	wake, cancel := l.subscribe()
+	defer cancel()
+	if tail, done := l.since(0); len(tail) != 1 || done {
+		t.Fatalf("since(0) = %d events, done=%v; want 1, false", len(tail), done)
+	}
+	l.append("state", statePayload{State: JobRunning})
+	select {
+	case <-wake:
+	case <-time.After(time.Second):
+		t.Fatal("append did not wake the subscriber")
+	}
+	if tail, _ := l.since(1); len(tail) != 1 || tail[0].name != "state" {
+		t.Fatalf("since(1) = %v", tail)
+	}
+	l.close()
+	if _, ok := <-wake; ok {
+		t.Fatal("wake channel not closed on completion")
+	}
+	if tail, done := l.since(2); len(tail) != 0 || !done {
+		t.Fatalf("post-close since(2) = %d events, done=%v", len(tail), done)
+	}
+
+	// A late subscriber gets an already-closed wake channel and the full
+	// history from its cursor.
+	wake2, _ := l.subscribe()
+	if _, ok := <-wake2; ok {
+		t.Fatal("late wake channel not closed")
+	}
+	if tail, done := l.since(0); len(tail) != 2 || !done {
+		t.Fatalf("late since(0) = %d events, done=%v", len(tail), done)
+	}
+	// Appending to a closed log is a no-op, not a panic.
+	l.append("state", statePayload{State: JobDone})
+	if tail, _ := l.since(0); len(tail) != 2 {
+		t.Fatal("append after close recorded")
+	}
+}
+
+// TestEventLogSlowSubscriberLosesNothing pins the no-drop guarantee: a
+// subscriber that never drains its wake channel while thousands of
+// events (far beyond any buffer) are appended still reads every event —
+// including the terminal one — because wakeups only coalesce and the
+// cursor reads from the log itself.
+func TestEventLogSlowSubscriberLosesNothing(t *testing.T) {
+	l := newEventLog()
+	wake, cancel := l.subscribe()
+	defer cancel()
+	const total = 5000
+	for i := 0; i < total; i++ {
+		l.append("stage", stageEventPayload{Stage: fmt.Sprintf("s%d", i)})
+	}
+	l.append("state", statePayload{State: JobFailed, Error: "the outcome the client must see"})
+	l.close()
+
+	idx := 0
+	var last event
+	for {
+		tail, done := l.since(idx)
+		for _, ev := range tail {
+			last = ev
+		}
+		idx += len(tail)
+		if done {
+			break
+		}
+		<-wake
+	}
+	if idx != total+1 {
+		t.Fatalf("cursor saw %d events, want %d", idx, total+1)
+	}
+	if last.name != "state" || !bytes.Contains(last.data, []byte("the outcome the client must see")) {
+		t.Fatalf("terminal event lost; last = %s %s", last.name, last.data)
+	}
+}

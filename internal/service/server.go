@@ -1,0 +1,239 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	snnmap "repro"
+)
+
+// maxSpecBytes bounds a submission body; job specs are a handful of
+// short fields, so anything larger is malformed or hostile.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the daemon's HTTP surface on a fresh ServeMux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON renders v as indented JSON (trailing newline included), the
+// uniform response shape of every JSON endpoint.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a mapping job: the body is a JobSpec, normalized
+// and content-addressed. An identical canonical spec already completed
+// is answered from the result cache — the job is born done, no pipeline
+// touched. Otherwise the job is queued for the worker pool and the
+// response is 202 with the job's status (poll GET /v1/jobs/{id}, stream
+// GET /v1/jobs/{id}/events).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec snnmap.JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	spec, err := spec.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.submitMu.Lock()
+	draining := s.draining
+	s.submitMu.Unlock()
+	if draining {
+		// Even cache-answerable submissions are refused: drain means
+		// "this instance takes no new work", full stop.
+		writeError(w, http.StatusServiceUnavailable, "draining: no new jobs accepted")
+		return
+	}
+	hash := spec.Hash()
+
+	if table, ok := s.cache.get(hash); ok {
+		// Content-address hit: identical canonical spec ⇒ byte-identical
+		// result, by the end-to-end determinism the invariant harness
+		// pins. Serve the cached table; no queue, no session, no run.
+		s.metrics.cacheLookup(true)
+		now := s.cfg.Now()
+		j := s.store.create(spec, hash, now)
+		s.store.setCached(j)
+		st := s.store.finish(j, JobDone, table, "", now)
+		s.metrics.jobFinished(string(JobDone), false)
+		j.events.append("state", statePayload{State: JobDone, Cached: true})
+		j.events.close()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	s.metrics.cacheLookup(false)
+
+	s.submitMu.Lock()
+	if s.draining {
+		s.submitMu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "draining: no new jobs accepted")
+		return
+	}
+	j := s.store.create(spec, hash, s.cfg.Now())
+	select {
+	case s.queue <- j:
+		s.metrics.jobQueued()
+		j.events.append("state", statePayload{State: JobQueued})
+		s.submitMu.Unlock()
+	default:
+		s.submitMu.Unlock()
+		s.store.remove(j.id)
+		writeError(w, http.StatusServiceUnavailable, "job queue full (%d deep)", s.cfg.QueueDepth)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.store.status(j))
+}
+
+// listResponse is the wire shape of GET /v1/jobs.
+type listResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, listResponse{Jobs: s.store.list()})
+}
+
+// lookupJob resolves {id} or writes 404.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.status(j))
+}
+
+// handleCancel cancels a queued or running job. Terminal jobs are left
+// untouched (409).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	state, acted := s.store.markCanceled(j, s.cfg.Now())
+	if !acted {
+		writeError(w, http.StatusConflict, "job %s already %s", j.id, state)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.status(j))
+}
+
+// handleResult serves a done job's Table. The format is negotiated from
+// ?format=json|csv, falling back to the Accept header (text/csv selects
+// CSV), defaulting to JSON. Both encodings are the library's canonical
+// Table wire forms — the CSV bytes equal `snnmap ... -format csv` for
+// the same canonical spec.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	table, state, errMsg := s.store.result(j)
+	switch state {
+	case JobDone:
+	case JobFailed, JobCanceled:
+		writeError(w, http.StatusConflict, "job %s %s: %s", j.id, state, errMsg)
+		return
+	default:
+		writeError(w, http.StatusConflict, "job %s still %s", j.id, state)
+		return
+	}
+
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/csv") {
+			format = "csv"
+		} else {
+			format = "json"
+		}
+	}
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = table.WriteJSON(w) // a write error means the client went away
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		_ = table.WriteCSV(w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (json, csv)", format)
+	}
+}
+
+// handleEvents streams the job's stage progress as server-sent events:
+// a full replay of history, then live events until the job completes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	serveSSE(w, r, j.events)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.info)
+}
+
+// healthzBody is the wire shape of GET /healthz.
+type healthzBody struct {
+	Status string `json:"status"`
+}
+
+// handleHealthz reports liveness: 200 "ok" while serving, 503
+// "draining" once Drain began (load balancers stop routing, in-flight
+// work finishes).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.submitMu.Lock()
+	draining := s.draining
+	s.submitMu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, healthzBody{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzBody{Status: "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}

@@ -1,0 +1,282 @@
+// Package service is the mapping-as-a-service layer of this
+// reproduction: a long-lived HTTP/JSON daemon (cmd/snnmapd) that accepts
+// mapping jobs — {app, arch, techniques, seed, AER mode, options}
+// resolved through the library registries — executes them on a bounded
+// worker pool with per-job timeouts, and serves results as the
+// serializable Table wire type (JSON or CSV).
+//
+// Two layers make repeat traffic cheap, exploiting invariants earlier
+// PRs pinned:
+//
+//   - a warm-session pool: constructed Pipelines cached per canonical
+//     (app, arch, options) session key, so repeat traffic skips
+//     characterization/CSR/NoC construction and forks simulators from
+//     one warm session (sessionPool);
+//   - a content-addressed result cache: canonical job specs are
+//     deterministic end to end, so a completed Table is cached under the
+//     SHA-256 of its spec and replayed bit-identically for identical
+//     requests (resultCache).
+//
+// Endpoints: POST /v1/jobs (async submission), GET /v1/jobs,
+// GET /v1/jobs/{id}, GET /v1/jobs/{id}/result (?format=json|csv or
+// Accept), GET /v1/jobs/{id}/events (SSE stage progress),
+// DELETE /v1/jobs/{id} (cancel), /healthz, /metrics (Prometheus text),
+// GET /v1/version. The handler layer is a plain ServeMux, fully
+// exercisable with httptest.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	snnmap "repro"
+	"repro/internal/buildinfo"
+	"repro/internal/engine"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Workers bounds the job executor pool (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the accepted-but-unstarted job backlog; beyond
+	// it, submissions are rejected with 503 (default 64).
+	QueueDepth int
+	// JobTimeout bounds each job's wall clock; 0 means none. Timed-out
+	// jobs fail with a deadline error; the pipeline observes the
+	// cancellation within one placement row or replay event batch.
+	JobTimeout time.Duration
+	// SessionCap bounds the warm-session pool (default 8 sessions).
+	SessionCap int
+	// CacheCap bounds the result cache (default 256 tables).
+	CacheCap int
+	// PipelineWorkers bounds intra-job parallelism handed to pipeline
+	// construction; the daemon's default of 1 keeps one job ≈ one core
+	// so the executor pool is the only concurrency knob.
+	PipelineWorkers int
+	// Now is the clock (tests inject a fixed one; default time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SessionCap <= 0 {
+		c.SessionCap = 8
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 256
+	}
+	if c.PipelineWorkers == 0 {
+		c.PipelineWorkers = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Server is one daemon instance: job store, executor, session pool,
+// result cache, metrics and the HTTP handler layer. Create with New,
+// serve via Handler, stop via Drain.
+type Server struct {
+	cfg     Config
+	store   *jobStore
+	pool    *sessionPool
+	cache   *resultCache
+	metrics *Metrics
+	info    buildinfo.Info
+
+	queue   chan *job
+	workers sync.WaitGroup
+
+	// submitMu serializes submissions against drain: once draining, no
+	// sender can race the queue close.
+	submitMu sync.Mutex
+	draining bool
+
+	// baseCtx parents every job context; baseCancel aborts running jobs
+	// when the drain deadline expires.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   newJobStore(),
+		cache:   newResultCache(cfg.CacheCap),
+		metrics: newMetrics(),
+		info:    buildinfo.Read(),
+		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	s.pool = newSessionPool(cfg.SessionCap, func(spec snnmap.JobSpec) (*snnmap.Pipeline, error) {
+		// Streaming delivery: job results are aggregate tables, so the
+		// replay never accumulates the full delivery trace (bit-identical
+		// reports either way).
+		return snnmap.NewSessionPipeline(spec,
+			snnmap.WithStreamingDelivery(true),
+			snnmap.WithWorkers(cfg.PipelineWorkers))
+	})
+	s.metrics.cacheEntries = s.cache.len
+	s.metrics.poolEntries = s.pool.len
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// runJob executes one dequeued job through the warm-session pool on the
+// experiment engine (per-job timeout, panic capture) and finishes it.
+func (s *Server) runJob(j *job) {
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !s.store.markRunning(j, s.cfg.Now(), cancel) {
+		// Canceled while queued.
+		s.metrics.jobDequeued()
+		s.metrics.jobFinished(string(JobCanceled), false)
+		j.events.append("state", statePayload{State: JobCanceled})
+		j.events.close()
+		return
+	}
+	s.metrics.jobStarted()
+	j.events.append("state", statePayload{State: JobRunning})
+
+	// One engine sweep of one job: the engine contributes the per-job
+	// timeout and panic→error capture every other sweep in this module
+	// already relies on.
+	results := engine.Sweep(jctx, engine.Config{Workers: 1, Timeout: s.cfg.JobTimeout},
+		[]*job{j}, func(ctx context.Context, j *job) (*snnmap.Table, error) {
+			return s.execute(ctx, j)
+		})
+	table, err := results[0].Value, results[0].Err
+
+	now := s.cfg.Now()
+	switch {
+	case err == nil:
+		s.cache.put(j.hash, table)
+		st := s.store.finish(j, JobDone, table, "", now)
+		s.metrics.jobFinished(string(JobDone), true)
+		j.events.append("state", statePayload{State: st.State})
+	case jctx.Err() != nil:
+		// The job context itself fired: a client DELETE or the drain
+		// deadline. Per-job timeouts fire the engine's child context
+		// instead and land in the failed branch with a deadline error.
+		st := s.store.finish(j, JobCanceled, nil, err.Error(), now)
+		s.metrics.jobFinished(string(JobCanceled), true)
+		j.events.append("state", statePayload{State: st.State, Error: st.Error})
+	default:
+		st := s.store.finish(j, JobFailed, nil, err.Error(), now)
+		s.metrics.jobFinished(string(JobFailed), true)
+		j.events.append("state", statePayload{State: st.State, Error: st.Error})
+	}
+	j.events.close()
+}
+
+// execute runs the job's technique sweep on its warm session.
+func (s *Server) execute(ctx context.Context, j *job) (*snnmap.Table, error) {
+	pipe, warm, evicted, err := s.pool.get(j.spec)
+	s.metrics.poolLookup(warm)
+	if evicted > 0 {
+		s.metrics.poolEvicted(evicted)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("building session: %w", err)
+	}
+	j.events.append("session", map[string]any{"key": j.spec.SessionKey(), "warm": warm})
+
+	pts, err := j.spec.Partitioners()
+	if err != nil {
+		return nil, err
+	}
+	obs := snnmap.ObserverFunc(func(ev snnmap.StageEvent) {
+		s.metrics.observeStage(ev.Stage, ev.Elapsed)
+		j.events.append("stage", stagePayload(ev))
+	})
+	// Techniques run sequentially within a job — the executor pool is
+	// the concurrency knob — so each job's SSE stream stays in stage
+	// order per technique.
+	reports := make([]*snnmap.Report, 0, len(pts))
+	for _, pt := range pts {
+		rep, err := pipe.RunObserved(ctx, pt, obs)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return snnmap.NewReportTable(reports...)
+}
+
+// Drain stops the daemon gracefully: submissions are rejected from the
+// moment it is called, queued and running jobs are given until ctx
+// expires to finish, and past the deadline running jobs are canceled
+// (the pipeline's cancellation latency bounds how long they linger).
+// Drain returns nil when every worker exited.
+func (s *Server) Drain(ctx context.Context) error {
+	s.submitMu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.submitMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // abort running jobs; they observe within one event batch
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats is a point-in-time snapshot of the daemon's internal counters,
+// exported for tests and introspection (the Prometheus endpoint is the
+// operational surface).
+type Stats struct {
+	CacheHits, CacheMisses int64
+	CacheEntries           int
+	PoolHits, PoolMisses   int64
+	PoolEntries            int
+	// PoolBuilds counts pipeline constructions since startup — the
+	// "no new pipeline constructed" observable.
+	PoolBuilds int64
+}
+
+// Snapshot returns the current Stats.
+func (s *Server) Snapshot() Stats {
+	m := s.metrics
+	m.mu.Lock()
+	st := Stats{
+		CacheHits:   m.cacheHits,
+		CacheMisses: m.cacheMisses,
+		PoolHits:    m.poolHits,
+		PoolMisses:  m.poolMisses,
+	}
+	m.mu.Unlock()
+	st.CacheEntries = s.cache.len()
+	st.PoolEntries = s.pool.len()
+	st.PoolBuilds = s.pool.builds.Load()
+	return st
+}

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	snnmap "repro"
+)
+
+// event is one server-sent event: a name and a pre-marshaled JSON
+// payload.
+type event struct {
+	name string
+	data []byte
+}
+
+// eventLog is one job's progress history plus its live fan-out.
+// Subscribers are cursors over the history: each reads events by index
+// (since) and parks on a coalescing wake channel between reads, so a
+// slow subscriber can fall behind but never loses an event — in
+// particular the closing state event carrying the job's outcome is
+// always delivered. A subscriber attaching mid-run (or after
+// completion) sees the whole stage history the same way.
+type eventLog struct {
+	mu     sync.Mutex
+	events []event
+	subs   map[chan struct{}]struct{}
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{subs: make(map[chan struct{}]struct{})}
+}
+
+// append records an event and wakes the subscribers.
+func (l *eventLog) append(name string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		// Payloads are service-owned structs; a marshal failure is a
+		// programming error surfaced as an error event rather than a
+		// dropped one.
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.events = append(l.events, event{name: name, data: data})
+	for ch := range l.subs {
+		select {
+		case ch <- struct{}{}: // wakeups coalesce; readers re-read by index
+		default:
+		}
+	}
+}
+
+// close marks the log complete and releases every subscriber (a closed
+// wake channel reads immediately, so parked cursors drain the tail and
+// observe done).
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for ch := range l.subs {
+		close(ch)
+	}
+	l.subs = nil
+}
+
+// since returns a snapshot of the events from index i on, plus whether
+// the log is complete. done with the returned tail means the cursor has
+// seen everything.
+func (l *eventLog) since(i int) (tail []event, done bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i < len(l.events) {
+		tail = append(tail, l.events[i:]...)
+	}
+	return tail, l.closed
+}
+
+// subscribe registers a wake channel: signaled (coalesced) on every
+// append, closed when the log completes. cancel unregisters it.
+func (l *eventLog) subscribe() (wake <-chan struct{}, cancel func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ch := make(chan struct{}, 1)
+	if l.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	l.subs[ch] = struct{}{}
+	return ch, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		delete(l.subs, ch)
+	}
+}
+
+// stageEventPayload is the wire shape of one pipeline stage completion
+// on the SSE stream.
+type stageEventPayload struct {
+	Technique string  `json:"technique"`
+	Stage     string  `json:"stage"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Traffic is the partitioning fitness F, present after the
+	// partition stage.
+	Traffic *int64 `json:"traffic,omitempty"`
+	// Delivered is the replay's delivered packet count, present after
+	// the simulate stage.
+	Delivered *int64 `json:"delivered,omitempty"`
+}
+
+// stagePayload projects a pipeline StageEvent onto the wire shape.
+func stagePayload(ev snnmap.StageEvent) stageEventPayload {
+	p := stageEventPayload{
+		Technique: ev.Technique,
+		Stage:     ev.Stage.String(),
+		ElapsedMs: float64(ev.Elapsed) / float64(time.Millisecond),
+	}
+	if ev.Partition != nil {
+		c := ev.Partition.Cost
+		p.Traffic = &c
+	}
+	if ev.NoC != nil {
+		d := ev.NoC.Stats.Delivered
+		p.Delivered = &d
+	}
+	return p
+}
+
+// statePayload is the wire shape of a job lifecycle transition on the
+// SSE stream.
+type statePayload struct {
+	State  JobState `json:"state"`
+	Cached bool     `json:"cached,omitempty"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// serveSSE streams a job's event log as text/event-stream: full replay,
+// then live events until the job completes or the client disconnects.
+func serveSSE(w http.ResponseWriter, r *http.Request, log *eventLog) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by this connection", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	wake, cancel := log.subscribe()
+	defer cancel()
+	idx := 0
+	for {
+		tail, done := log.since(idx)
+		for _, ev := range tail {
+			writeSSE(w, ev)
+		}
+		if len(tail) > 0 {
+			flusher.Flush()
+		}
+		idx += len(tail)
+		if done {
+			return // job finished and the cursor has drained the log
+		}
+		select {
+		case <-wake: // signaled on append, closed on completion
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev event) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+}

@@ -263,9 +263,12 @@ func (pl *Pipeline) Arch() Arch { return pl.arch }
 // Cost/CostDelta evaluation.
 func (pl *Pipeline) Problem() *Problem { return pl.problem }
 
-func (pl *Pipeline) observe(ev StageEvent) {
+func (pl *Pipeline) observe(extra Observer, ev StageEvent) {
 	if pl.opts.observer != nil {
 		pl.opts.observer.OnStage(ev)
+	}
+	if extra != nil {
+		extra.OnStage(ev)
 	}
 }
 
@@ -273,7 +276,22 @@ func (pl *Pipeline) observe(ev StageEvent) {
 // returns the same Report the package-level Run produces — byte-identical
 // for identical inputs, with the per-pair setup amortized across the
 // session (see TestPipelineMatchesLegacyRun).
+//
+// Cancellation: besides the between-stage checks, ctx is threaded into
+// the placement descent (per 2-opt row) and the interconnect replay (per
+// event batch), so canceling a run — a server's per-request timeout, a
+// client disconnect — returns within a small fraction of one stage, not
+// after the whole replay (see TestPipelineCancelMidRun).
 func (pl *Pipeline) Run(ctx context.Context, pt Partitioner) (*Report, error) {
+	return pl.RunObserved(ctx, pt, nil)
+}
+
+// RunObserved is Run with an additional per-call observer, invoked after
+// the session-wide WithObserver one. It is the hook a shared warm session
+// needs when each caller wants its own stage-progress stream (e.g. one
+// SSE feed per job on a pipeline held in a server's session pool):
+// pipelines are pooled per (app, arch) while observers stay per request.
+func (pl *Pipeline) RunObserved(ctx context.Context, pt Partitioner, obs Observer) (*Report, error) {
 	if pt == nil {
 		return nil, errors.New("snnmap: nil partitioner")
 	}
@@ -295,7 +313,7 @@ func (pl *Pipeline) Run(ctx context.Context, pt Partitioner) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl.observe(StageEvent{Stage: StagePartition, Technique: res.Technique, Elapsed: time.Since(start), Partition: res})
+	pl.observe(obs, StageEvent{Stage: StagePartition, Technique: res.Technique, Elapsed: time.Since(start), Partition: res})
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("snnmap: %s: aborted after partition: %w", res.Technique, err)
 	}
@@ -308,7 +326,7 @@ func (pl *Pipeline) Run(ctx context.Context, pt Partitioner) (*Report, error) {
 	place := pl.opts.place
 	if place == nil {
 		place = func(p *Problem, a Assignment, hop HopFunc) (Assignment, error) {
-			return partition.PlaceCrossbars(p, a, hop)
+			return partition.PlaceCrossbarsCtx(ctx, p, a, hop)
 		}
 	}
 	// res is never mutated after the StagePartition event, so an observer
@@ -318,7 +336,7 @@ func (pl *Pipeline) Run(ctx context.Context, pt Partitioner) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl.observe(StageEvent{Stage: StagePlace, Technique: res.Technique, Elapsed: time.Since(start), Placement: placed})
+	pl.observe(obs, StageEvent{Stage: StagePlace, Technique: res.Technique, Elapsed: time.Since(start), Placement: placed})
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("snnmap: %s: aborted after placement: %w", res.Technique, err)
 	}
@@ -349,6 +367,11 @@ func (pl *Pipeline) Run(ctx context.Context, pt Partitioner) (*Report, error) {
 		simulate = simulateTrafficOn
 	}
 	sim.Reset()
+	if ctx.Done() != nil {
+		// A cancelable run threads its context into the replay's event
+		// loop; sims without one skip the polling entirely.
+		sim.SetContext(ctx)
+	}
 	// Streaming only engages when the delivery trace has no other
 	// consumer: no trace retention and no caller-supplied simulate or
 	// analyze stage.
@@ -364,7 +387,7 @@ func (pl *Pipeline) Run(ctx context.Context, pt Partitioner) (*Report, error) {
 	rep.NoC = nocRes.Stats
 	rep.GlobalEnergyPJ = nocRes.Stats.EnergyPJ
 	rep.TotalEnergyPJ = rep.LocalEnergyPJ + rep.GlobalEnergyPJ
-	pl.observe(StageEvent{Stage: StageSimulate, Technique: res.Technique, Elapsed: time.Since(start), NoC: nocRes})
+	pl.observe(obs, StageEvent{Stage: StageSimulate, Technique: res.Technique, Elapsed: time.Since(start), NoC: nocRes})
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("snnmap: %s: aborted after simulation: %w", res.Technique, err)
 	}
@@ -380,7 +403,7 @@ func (pl *Pipeline) Run(ctx context.Context, pt Partitioner) (*Report, error) {
 		}
 		rep.Metrics = analyze(nocRes.Deliveries, pl.app.Graph.DurationMs)
 	}
-	pl.observe(StageEvent{Stage: StageAnalyze, Technique: res.Technique, Elapsed: time.Since(start), Metrics: &rep.Metrics})
+	pl.observe(obs, StageEvent{Stage: StageAnalyze, Technique: res.Technique, Elapsed: time.Since(start), Metrics: &rep.Metrics})
 
 	if pl.opts.keepTrace {
 		rep.Deliveries = nocRes.Deliveries

@@ -1,0 +1,94 @@
+package snnmap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestPipelineCancelMidRun cancels a traffic-heavy run right as its
+// simulate stage starts and asserts Run returns in a small fraction of
+// the uncanceled wall clock. Before the replay core observed contexts,
+// cancellation latency was a whole replay (the dominant stage); now it
+// is one event batch, which is what a server's per-request timeout needs.
+func TestPipelineCancelMidRun(t *testing.T) {
+	n, dur := 768, 2500
+	if testing.Short() {
+		n, dur = 384, 1200
+	}
+	spec, err := JobSpec{
+		App:        stageCancelSpec(n, dur),
+		Arch:       "mesh",
+		Techniques: []string{"greedy"},
+	}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewSessionPipeline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := GreedyPartitioner
+
+	// Uncanceled baseline: total wall clock and the pre-simulate share.
+	var preSimulate time.Duration
+	base, err := NewPipeline(pl.App(), pl.Arch(), WithObserver(ObserverFunc(func(ev StageEvent) {
+		if ev.Stage == StagePartition || ev.Stage == StagePlace {
+			preSimulate += ev.Elapsed
+		}
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := base.Run(context.Background(), pt); err != nil {
+		t.Fatal(err)
+	}
+	baseline := time.Since(start)
+	simShare := baseline - preSimulate
+	if simShare < 20*time.Millisecond {
+		t.Skipf("simulate stage too fast to observe cancellation (%v of %v)", simShare, baseline)
+	}
+
+	// Cancel as soon as placement completes: the run is then inside the
+	// replay, the formerly uncancellable stretch.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	canceled, err := NewPipeline(pl.App(), pl.Arch(), WithObserver(ObserverFunc(func(ev StageEvent) {
+		if ev.Stage == StagePlace {
+			cancel()
+		}
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	_, err = canceled.Run(ctx, pt)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run = %v, want context.Canceled", err)
+	}
+	// "A small multiple of one stage": the canceled run may spend the
+	// full pre-simulate stages plus one cancellation latency, but never
+	// anything close to the replay it skipped.
+	budget := 2*preSimulate + simShare/4 + 100*time.Millisecond
+	if elapsed > budget {
+		t.Fatalf("canceled run took %v, budget %v (baseline %v, pre-simulate %v)",
+			elapsed, budget, baseline, preSimulate)
+	}
+
+	// The session survives: a fresh uncanceled run on the same pipeline
+	// still succeeds (pooled simulators recover via Reset).
+	if _, err := canceled.Run(context.Background(), pt); err != nil {
+		t.Fatalf("run after canceled run: %v", err)
+	}
+}
+
+// stageCancelSpec names a generated workload whose replay dominates the
+// run: small-world wiring at this size carries plenty of cross-crossbar
+// traffic.
+func stageCancelSpec(n, dur int) string {
+	return fmt.Sprintf("gen:smallworld:n=%d,dur=%d,seed=3", n, dur)
+}

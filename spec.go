@@ -1,0 +1,183 @@
+package snnmap
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/hardware"
+)
+
+// JobSpec is one mapping job as a value: the application and architecture
+// registry specs, the partitioning techniques to sweep, and every option
+// that influences the result. It is the request body of the mapping
+// service (cmd/snnmapd) and the unit of content addressing — the whole
+// pipeline is deterministic end to end for a fixed spec (pinned by the
+// scenario invariant harness), so two jobs with equal canonical specs
+// produce byte-identical result tables and may share one cached result.
+//
+// Zero values select the CLI defaults (seed 1, per-synapse AER,
+// app-sized architecture, 100×100 PSO), so the canonical form of a
+// sparse request equals the canonical form of its fully spelled-out
+// equivalent.
+type JobSpec struct {
+	// App is an application registry spec ("HW",
+	// "gen:smallworld:n=512,seed=7", "synth:layers=2,width=200", ...).
+	App string `json:"app"`
+	// Arch is an architecture registry name (default "tree").
+	Arch string `json:"arch,omitempty"`
+	// Techniques are partitioner registry names, swept in order
+	// (default ["pso"]).
+	Techniques []string `json:"techniques,omitempty"`
+	// Seed drives every stochastic component: application
+	// characterization and technique seeding (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// DurationMs overrides the characterization run length (0 keeps the
+	// application default).
+	DurationMs int64 `json:"duration_ms,omitempty"`
+	// AER is the packetization mode label: "per-synapse" (default),
+	// "per-crossbar" or "multicast".
+	AER string `json:"aer,omitempty"`
+	// Crossbars and CrossbarSize override the architecture sizing
+	// (0 keeps the family's app-derived default).
+	Crossbars    int `json:"crossbars,omitempty"`
+	CrossbarSize int `json:"crossbar_size,omitempty"`
+	// SwarmSize and Iterations shape the stochastic techniques
+	// (default 100 each, the CLI defaults).
+	SwarmSize  int `json:"swarm,omitempty"`
+	Iterations int `json:"iterations,omitempty"`
+}
+
+// Normalize validates the spec against the registries and fills every
+// defaulted field with its canonical value, so equal jobs normalize to
+// equal structs: technique names are trimmed, the AER label is resolved
+// and re-rendered, the application spec is canonicalized textually
+// (legacy aliases collapse, parameter tails re-render in sorted key
+// order — apps.CanonicalSpec), and the CLI defaults are applied. The
+// application spec is otherwise validated lazily (building an app is
+// expensive); unknown app names surface when the job's session is built.
+func (s JobSpec) Normalize() (JobSpec, error) {
+	s.App = strings.TrimSpace(s.App)
+	if s.App == "" {
+		return s, fmt.Errorf("snnmap: job spec without an application")
+	}
+	// Textual canonicalization (legacy aliases, parameter-tail order) so
+	// equivalent app spellings share one content address and session key.
+	s.App = apps.CanonicalSpec(s.App)
+	s.Arch = strings.TrimSpace(s.Arch)
+	if s.Arch == "" {
+		s.Arch = "tree"
+	}
+	if _, ok := architectures.lookup(s.Arch); !ok {
+		return s, fmt.Errorf("snnmap: unknown architecture %q (known: %s)", s.Arch, architectures.known())
+	}
+	if len(s.Techniques) == 0 {
+		s.Techniques = []string{"pso"}
+	}
+	names := make([]string, len(s.Techniques))
+	for i, name := range s.Techniques {
+		name = strings.TrimSpace(name)
+		if _, ok := partitioners.lookup(name); !ok {
+			return s, fmt.Errorf("snnmap: unknown partitioner %q (known: %s)", name, partitioners.known())
+		}
+		names[i] = name
+	}
+	s.Techniques = names
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.DurationMs < 0 {
+		return s, fmt.Errorf("snnmap: negative duration_ms %d", s.DurationMs)
+	}
+	if s.Crossbars < 0 || s.CrossbarSize < 0 {
+		return s, fmt.Errorf("snnmap: negative architecture sizing (%d crossbars × %d)", s.Crossbars, s.CrossbarSize)
+	}
+	mode, err := hardware.ParseAERMode(s.AER)
+	if err != nil {
+		return s, err
+	}
+	s.AER = mode.String()
+	if s.SwarmSize == 0 {
+		s.SwarmSize = 100
+	}
+	if s.Iterations == 0 {
+		s.Iterations = 100
+	}
+	if s.SwarmSize < 0 || s.Iterations < 0 {
+		return s, fmt.Errorf("snnmap: negative swarm shape (%d × %d)", s.SwarmSize, s.Iterations)
+	}
+	return s, nil
+}
+
+// AERMode resolves the spec's packetization label. Call on normalized
+// specs (Normalize guarantees the label parses).
+func (s JobSpec) AERMode() (hardware.AERMode, error) {
+	return hardware.ParseAERMode(s.AER)
+}
+
+// SessionKey identifies the warm session a job runs on: every field that
+// feeds NewPipelineByName — the application spec with its
+// characterization config and the sized architecture — and none of the
+// per-run fields (techniques, swarm shape). Jobs with equal session keys
+// can share one Pipeline: the techniques draw forked simulators from the
+// session pool, and per-run state never leaks across jobs. Call on
+// normalized specs.
+func (s JobSpec) SessionKey() string {
+	return fmt.Sprintf("app=%s|seed=%d|duration_ms=%d|arch=%s|crossbars=%d|size=%d|aer=%s",
+		s.App, s.Seed, s.DurationMs, s.Arch, s.Crossbars, s.CrossbarSize, s.AER)
+}
+
+// Canonical renders the full spec as one deterministic line: the session
+// key plus the per-run fields, every default spelled out. Equal canonical
+// strings imply byte-identical result tables (the content-address
+// contract the service's result cache relies on). Call on normalized
+// specs.
+func (s JobSpec) Canonical() string {
+	return fmt.Sprintf("%s|techniques=%s|swarm=%d|iterations=%d",
+		s.SessionKey(), strings.Join(s.Techniques, ","), s.SwarmSize, s.Iterations)
+}
+
+// Hash is the spec's content address: the hex SHA-256 of its canonical
+// form.
+func (s JobSpec) Hash() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// NewSessionPipeline builds the warm session of a normalized spec —
+// NewPipelineByName with the spec's session-key fields, plus any extra
+// options (a server adds streaming delivery and worker bounds).
+func NewSessionPipeline(s JobSpec, opts ...Option) (*Pipeline, error) {
+	mode, err := s.AERMode()
+	if err != nil {
+		return nil, err
+	}
+	return NewPipelineByName(
+		s.App, AppConfig{Seed: s.Seed, DurationMs: s.DurationMs},
+		s.Arch, ArchSpec{Crossbars: s.Crossbars, CrossbarSize: s.CrossbarSize, AER: mode},
+		opts...)
+}
+
+// Partitioners materializes the spec's technique list from the
+// partitioner registry. Call on normalized specs.
+func (s JobSpec) Partitioners() ([]Partitioner, error) {
+	out := make([]Partitioner, len(s.Techniques))
+	for i, name := range s.Techniques {
+		pt, err := NewPartitioner(name, PartitionerSpec{
+			Seed:       s.Seed,
+			SwarmSize:  s.SwarmSize,
+			Iterations: s.Iterations,
+			// One technique sweep per job: each PSO evaluates
+			// sequentially so a job's cost is one worker, mirroring the
+			// CLI's multi-technique budget split.
+			Workers: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pt
+	}
+	return out, nil
+}
