@@ -359,6 +359,84 @@ func BenchmarkNoCReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelReplay measures the region-sharded replay core against
+// the sequential one (w=1) on a saturated interconnect at growing worker
+// counts. Results are bit-identical at every count, so the benchmark is a
+// pure wall-clock comparison; speedups need real cores — on a
+// single-CPU machine the workers time-slice and the sharded core only
+// pays its coordination overhead.
+func BenchmarkParallelReplay(b *testing.B) {
+	for _, kind := range []noc.Kind{noc.Mesh, noc.Tree} {
+		const endpoints = 36
+		cfg := noc.DefaultConfig(kind, endpoints)
+		pkts := replayWorkload(endpoints, true)
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/saturated/w=%d", kind, w), func(b *testing.B) {
+				sim, err := noc.NewSimulator(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim.SetWorkers(w)
+				b.ResetTimer()
+				var delivered int64
+				for i := 0; i < b.N; i++ {
+					sim.Reset()
+					for _, p := range pkts {
+						if err := sim.Inject(p); err != nil {
+							b.Fatal(err)
+						}
+					}
+					res, err := sim.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					delivered = res.Stats.Delivered
+					sim.Reclaim(res)
+				}
+				b.ReportMetric(float64(delivered)*float64(b.N)/b.Elapsed().Seconds(), "deliveries/s")
+			})
+		}
+	}
+}
+
+// BenchmarkRunSeedsBatched compares the two multi-seed sweep paths on one
+// warm session: per-seed pooled simulators (RunSeeds) versus per-worker
+// batched simulators with Reclaimed traces (RunSeedsBatched). Both
+// produce deep-equal reports; the batched path trades pool churn for
+// warm per-chunk reuse.
+func BenchmarkRunSeedsBatched(b *testing.B) {
+	app, err := BuildSynthetic(AppConfig{Seed: 4, DurationMs: 150}, 2, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arch := ForNeurons(app.Graph.Neurons, 16)
+	pl, err := NewPipeline(app, arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := make([]int64, 16)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	pso := func() Partitioner {
+		return NewPSO(PSOConfig{SwarmSize: 8, Iterations: 8, Seed: 1, Workers: 1})
+	}
+	b.Run("perseed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.RunSeeds(context.Background(), pso(), seeds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.RunSeedsBatched(context.Background(), pso(), seeds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkPlacement measures PlaceCrossbars at growing crossbar counts on
 // a mesh interconnect. C=64 was intractable under the original
 // full-objective 2-opt (O(C⁴) per pass); the delta-evaluated descent keeps

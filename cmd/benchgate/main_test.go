@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNoCReplay/mesh/saturated-8         	       3	   7206215 ns/op	   1633248 deliveries/s
+BenchmarkNoCReplay/tree/light-8             	      12	    155071 ns/op
+BenchmarkNoCReplay/tree/light-8             	      12	    150000 ns/op
+garbage line
+PASS
+ok  	repro	14.038s
+`
+
+func TestParse(t *testing.T) {
+	art, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Environment.GoOS != "linux" || art.Environment.GoArch != "amd64" {
+		t.Fatalf("environment: %+v", art.Environment)
+	}
+	if !strings.Contains(art.Environment.CPU, "Xeon") {
+		t.Fatalf("cpu not captured: %q", art.Environment.CPU)
+	}
+	if len(art.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(art.Benchmarks))
+	}
+	mesh := art.Benchmarks["BenchmarkNoCReplay/mesh/saturated-8"]
+	if mesh.NsPerOp != 7206215 || mesh.Iterations != 3 {
+		t.Fatalf("mesh entry: %+v", mesh)
+	}
+	if mesh.Metrics["deliveries/s"] != 1633248 {
+		t.Fatalf("custom metric lost: %+v", mesh.Metrics)
+	}
+	// Repeated lines keep the fastest run.
+	if got := art.Benchmarks["BenchmarkNoCReplay/tree/light-8"].NsPerOp; got != 150000 {
+		t.Fatalf("repeat handling: ns/op = %v, want 150000", got)
+	}
+}
+
+// writeArtifact fabricates a one-benchmark JSON artifact.
+func writeArtifact(t *testing.T, dir, name string, ns float64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	art := fmt.Sprintf(`{"environment":{"goos":"linux","goarch":"amd64","gomaxprocs":8},`+
+		`"benchmarks":{"BenchmarkNoCReplay/mesh-8":{"iterations":3,"ns_per_op":%.0f}}}`, ns)
+	if err := os.WriteFile(path, []byte(art), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", 1000000)
+
+	var out strings.Builder
+	ok := writeArtifact(t, dir, "ok.json", 1100000)
+	if err := run([]string{"compare", "-base", base, "-head", ok}, nil, &out); err != nil {
+		t.Fatalf("10%% slowdown must pass the 20%% gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "gate passed") {
+		t.Fatalf("missing pass line:\n%s", out.String())
+	}
+
+	out.Reset()
+	bad := writeArtifact(t, dir, "bad.json", 1300000)
+	if err := run([]string{"compare", "-base", base, "-head", bad}, nil, &out); err == nil {
+		t.Fatalf("30%% slowdown must fail the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("offender not printed:\n%s", out.String())
+	}
+
+	out.Reset()
+	fast := writeArtifact(t, dir, "fast.json", 500000)
+	if err := run([]string{"compare", "-base", base, "-head", fast, "-threshold", "0.05"}, nil, &out); err != nil {
+		t.Fatalf("speedup must pass any gate: %v", err)
+	}
+}
+
+func TestCompareReportsNewAndGone(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	head := filepath.Join(dir, "head.json")
+	if err := os.WriteFile(base, []byte(`{"benchmarks":{"BenchmarkOld-8":{"iterations":1,"ns_per_op":10}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(head, []byte(`{"benchmarks":{"BenchmarkNew-8":{"iterations":1,"ns_per_op":10}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"compare", "-base", base, "-head", head}, nil, &out); err != nil {
+		t.Fatalf("disjoint artifacts must not fail the gate: %v", err)
+	}
+	for _, want := range []string{"NEW", "BenchmarkNew-8", "GONE", "BenchmarkOld-8"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bench.json")
+	if err := run([]string{"parse", "-in", in, "-out", out, "-note", "unit test"}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	art, err := load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Environment.Note != "unit test" || len(art.Benchmarks) != 2 {
+		t.Fatalf("round trip lost data: %+v", art)
+	}
+}

@@ -75,6 +75,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		swarm     = fs.Int("swarm", 100, "PSO swarm size")
 		iters     = fs.Int("iterations", 100, "PSO iterations")
 		parallel  = fs.Int("parallel", 0, "worker pool size for the technique sweep and PSO swarm evaluation (0 = GOMAXPROCS)")
+		replayW   = fs.Int("replay-workers", 0, "shard each interconnect replay across N region workers (bit-identical results; 0/1 = sequential replay)")
 		timeout   = fs.Duration("timeout", 0, "per-technique wall clock limit, e.g. 90s (0 = none)")
 		crossbars = fs.Int("crossbars", 0, "crossbar count (0 = sized from the app)")
 		size      = fs.Int("size", 0, "neurons per crossbar (0 = sized from the app)")
@@ -143,7 +144,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	pipe, err := snnmap.NewPipelineByName(
 		spec, snnmap.AppConfig{Seed: *seed, DurationMs: *duration},
 		*topology, snnmap.ArchSpec{Crossbars: *crossbars, CrossbarSize: *size, AER: aerMode},
-		snnmap.WithWorkers(*parallel), snnmap.WithTimeout(*timeout))
+		snnmap.WithWorkers(*parallel), snnmap.WithReplayWorkers(*replayW), snnmap.WithTimeout(*timeout))
 	if err != nil {
 		return err
 	}

@@ -69,6 +69,7 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		queueDepth   = fs.Int("queue", 64, "accepted-job backlog bound; submissions beyond it get 503")
 		jobTimeout   = fs.Duration("job-timeout", 0, "per-job wall clock limit, e.g. 90s (0 = none)")
 		sessions     = fs.Int("sessions", 8, "warm-session pool capacity (pipelines kept hot, LRU)")
+		replayW      = fs.Int("replay-workers", 0, "shard each job's interconnect replay across N region workers (bit-identical results; 0/1 = sequential)")
 		cacheCap     = fs.Int("cache", 256, "result cache capacity (tables kept, LRU)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before running jobs are canceled")
 		version      = fs.Bool("version", false, "print version and exit")
@@ -85,11 +86,12 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	}
 
 	svc := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		JobTimeout: *jobTimeout,
-		SessionCap: *sessions,
-		CacheCap:   *cacheCap,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		JobTimeout:    *jobTimeout,
+		SessionCap:    *sessions,
+		CacheCap:      *cacheCap,
+		ReplayWorkers: *replayW,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

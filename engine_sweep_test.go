@@ -146,10 +146,7 @@ func TestRunFig5ParallelMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick-mode experiment still costs tens of seconds")
 	}
-	seq, err := RunFig5(ExpOptions{Quick: true, Seed: 1, Parallel: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
+	seq := fig5Quick(t)
 	par, err := RunFig5(ExpOptions{Quick: true, Seed: 1, Parallel: 4})
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package snnmap
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -10,14 +11,36 @@ import (
 // are the reproduction targets — absolute numbers live in EXPERIMENTS.md.
 // They are skipped under -short.
 
+// fig5Quick memoizes one sequential quick-mode Fig. 5 run. The full
+// driver costs tens of seconds per invocation even in quick mode, and
+// two tests need rows for the identical options — TestRunFig5Shapes
+// (curve shapes) and TestRunFig5ParallelMatchesSequential (its
+// sequential reference). Sharing the run keeps both tests' assertions
+// intact while removing a third of the package's wall clock; the
+// cross-worker-count identity the sharing relies on is exactly what
+// TestRunFig5ParallelMatchesSequential pins.
+var fig5QuickOnce struct {
+	sync.Once
+	rows []Fig5Row
+	err  error
+}
+
+func fig5Quick(t *testing.T) []Fig5Row {
+	t.Helper()
+	fig5QuickOnce.Do(func() {
+		fig5QuickOnce.rows, fig5QuickOnce.err = RunFig5(ExpOptions{Quick: true, Seed: 1, Parallel: 1})
+	})
+	if fig5QuickOnce.err != nil {
+		t.Fatal(fig5QuickOnce.err)
+	}
+	return fig5QuickOnce.rows
+}
+
 func TestRunFig5Shapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick-mode experiment still costs tens of seconds")
 	}
-	rows, err := RunFig5(ExpOptions{Quick: true, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
+	rows := fig5Quick(t)
 	if len(rows) != 12 {
 		t.Fatalf("rows = %d, want 8 synthetic + 4 realistic", len(rows))
 	}

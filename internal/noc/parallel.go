@@ -1,0 +1,913 @@
+package noc
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the region-sharded parallel replay core: routers
+// are partitioned into contiguous index ranges, each range is simulated
+// by its own worker goroutine, and the workers synchronize conservatively
+// at region boundaries. The constant link traversal time (PacketFlits
+// cycles) is the lookahead horizon: a region may process cycle t once
+// every region feeding it has completed cycle t-PacketFlits, because any
+// flit not yet sent can only arrive later than t. Cross-region flits
+// travel through per-link single-producer single-consumer mailboxes.
+//
+// The only zero-lookahead coupling in the sequential core is the
+// back-pressure occupancy test, which reads the *neighbor's* FIFO within
+// the same cycle. The parallel core reproduces it exactly with a
+// producer-side occupancy model: the producer counts its sends per cross
+// link, the consumer publishes every pop of a cross-fed FIFO with its
+// cycle stamp, and the producer reconstructs the occupancy the dense
+// scan would have observed (pops by consumers with smaller router ids
+// count through cycle t — the dense scan visits them earlier in the same
+// cycle — pops by larger ids through t-1). The result is proven
+// bit-identical to the sequential core — statistics including the
+// float-accumulated energy, the delivery trace and its order — by
+// TestParallelReplayMatchesSequential.
+
+// SetWorkers selects the replay core for subsequent Run calls: n > 1
+// enables the region-sharded parallel core with up to n workers; n <= 1
+// (the default) keeps the sequential core. The parallel core produces
+// bit-identical Results at every worker count. Topologies too small to
+// shard fall back to the sequential core automatically. The setting
+// persists across Reset and is inherited by Fork.
+func (s *Simulator) SetWorkers(n int) { s.workers = n }
+
+// ReplayWorkers reports the worker count configured via SetWorkers.
+func (s *Simulator) ReplayWorkers() int { return s.workers }
+
+// minShardRouters is the smallest router count worth splitting; below it
+// the synchronization overhead dwarfs any per-region work.
+const minShardRouters = 6
+
+// regionPlan partitions the routers into up to `workers` contiguous
+// ranges, or returns nil when the topology is too small to shard. Mesh
+// boundaries align to row multiples so only the vertical links between
+// adjacent row bands cross regions; other topologies use an even split
+// (correct for any contiguous partition, just with more cross links).
+func (s *Simulator) regionPlan(workers int) [][2]int {
+	nr := s.nr
+	if workers < 2 || nr < minShardRouters {
+		return nil
+	}
+	if m, ok := s.topo.(*meshTopo); ok {
+		rows := m.h
+		k := workers
+		if k > rows {
+			k = rows
+		}
+		if k < 2 {
+			return nil
+		}
+		plan := make([][2]int, 0, k)
+		for i := 0; i < k; i++ {
+			plan = append(plan, [2]int{i * rows / k * m.w, (i + 1) * rows / k * m.w})
+		}
+		return plan
+	}
+	k := workers
+	if k > nr/2 {
+		k = nr / 2 // keep every region at least two routers wide
+	}
+	if k < 2 {
+		return nil
+	}
+	plan := make([][2]int, 0, k)
+	for i := 0; i < k; i++ {
+		plan = append(plan, [2]int{i * nr / k, (i + 1) * nr / k})
+	}
+	return plan
+}
+
+// ringCap sizes the per-link rings: the back-pressure invariant bounds
+// both the flits in a mailbox and the unconsumed pop stamps by the
+// buffer depth, so depth+1 slots (rounded to a power of two) never
+// overflow.
+func ringCap(depth int) int64 {
+	c := int64(8)
+	for c < int64(depth)+1 {
+		c <<= 1
+	}
+	return c
+}
+
+// mailEntry is one cross-region flit hand-off.
+type mailEntry struct {
+	cycle int64 // arrival cycle at the consumer input port
+	f     *flight
+}
+
+// mailRing is a bounded single-producer single-consumer queue carrying
+// cross-region flits in send order (send cycles are nondecreasing, so
+// arrival cycles are too).
+type mailRing struct {
+	buf  []mailEntry
+	mask int64
+	head atomic.Int64 // consumer position
+	tail atomic.Int64 // producer position
+}
+
+func (r *mailRing) push(cycle int64, f *flight) {
+	t := r.tail.Load()
+	r.buf[t&r.mask] = mailEntry{cycle, f}
+	r.tail.Store(t + 1)
+}
+
+func (r *mailRing) peek() (mailEntry, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return mailEntry{}, false
+	}
+	return r.buf[h&r.mask], true
+}
+
+func (r *mailRing) pop() {
+	h := r.head.Load()
+	r.buf[h&r.mask].f = nil
+	r.head.Store(h + 1)
+}
+
+// popRing publishes the cycle stamps of a consumer's pops of one
+// cross-fed FIFO, in nondecreasing stamp order.
+type popRing struct {
+	buf  []int64
+	mask int64
+	head atomic.Int64
+	tail atomic.Int64
+}
+
+func (r *popRing) push(stamp int64) {
+	t := r.tail.Load()
+	r.buf[t&r.mask] = stamp
+	r.tail.Store(t + 1)
+}
+
+// drain consumes every published pop with stamp <= cutoff and returns
+// the count. Stamps are nondecreasing, so the prefix test is exact and
+// later stamps stay queued for a later cutoff.
+func (r *popRing) drain(cutoff int64) int64 {
+	h := r.head.Load()
+	t := r.tail.Load()
+	n := int64(0)
+	for h < t && r.buf[h&r.mask] <= cutoff {
+		h++
+		n++
+	}
+	if n > 0 {
+		r.head.Store(h)
+	}
+	return n
+}
+
+// crossLink is one directed router-to-router link whose endpoints live in
+// different regions.
+type crossLink struct {
+	prodRegion, consRegion int
+	nr, npIn               int // consumer router and input port
+	mail                   mailRing
+	pops                   popRing
+	// sends counts the producer's cumulative forwards on this link and
+	// popsSeen the consumer pops drained so far; both are producer-local.
+	// sends-popsSeen is an upper bound on the consumer FIFO occupancy
+	// (exact once every pop through the cutoff cycle is drained).
+	sends, popsSeen int64
+}
+
+// shardRegion is the shared coordination state of one region.
+type shardRegion struct {
+	idx       int
+	lo, hi    int   // router range [lo, hi)
+	eps       []int // endpoints attached to routers in the range
+	in        []*crossLink
+	producers []int // distinct region indices with links into this one
+	// completed is the conservative clock: cycle c means every event of
+	// this region at cycles <= c is processed, every pop <= c published
+	// and every send <= c mailed.
+	completed atomic.Int64
+}
+
+const (
+	abortCanceled int32 = 1
+	abortStalled  int32 = 2
+)
+
+// shardState is the state shared by every region worker of one run.
+type shardState struct {
+	s       *Simulator
+	regions []*shardRegion
+	linkOut [][]*crossLink // [router][port] -> producer-side link, nil rows for interior routers
+	linkIn  [][]*crossLink // [router][port] -> consumer-side link
+
+	outstanding atomic.Int64 // undelivered flights network-wide
+	lastEvent   atomic.Int64 // latest progressed cycle network-wide
+	abort       atomic.Int32
+
+	ni     [][]*flight
+	niHead []int
+}
+
+// energyEv is one energy accumulation the sequential core would perform;
+// replaying them in the sequential visit order keeps the float sum
+// bit-identical.
+type energyEv struct {
+	cycle int64
+	pj    float64
+}
+
+// regionWorker is the private replay state of one region: the same
+// locals the sequential event loop keeps, scoped to the router range.
+type regionWorker struct {
+	sh  *shardState
+	s   *Simulator
+	reg *shardRegion
+
+	now, lastEvent int64
+	lastInject     int64 // last cycle phase 2 ran (re-visits must not re-inject)
+	iter           uint
+	arrivals       arrivalQueue // intra-region link traversals
+	active         Mask
+	free           []*flight
+	nextSeq        int64
+	buffered       int // packets buffered across the region's routers
+	remaining      int // local injections not yet entered
+	totalLat       int64
+	delivered      int64
+	maxLat         int64
+	hops           int64
+	deliveries     []Delivery
+	energy         []energyEv
+	done           bool
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		old := a.Load()
+		if v <= old || a.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// runSharded executes the replay on the region plan and merges the
+// per-region results back into the sequential order.
+func (s *Simulator) runSharded(plan [][2]int) (*Result, error) {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("noc: replay not started: %w", err)
+		}
+	}
+	queue, totalDst := s.buildInjection()
+
+	sh := &shardState{s: s}
+	regionOf := make([]int, s.nr)
+	for i, pr := range plan {
+		reg := &shardRegion{idx: i, lo: pr[0], hi: pr[1]}
+		reg.completed.Store(-1)
+		sh.regions = append(sh.regions, reg)
+		for r := pr[0]; r < pr[1]; r++ {
+			regionOf[r] = i
+		}
+	}
+	for ep, r := range s.endpointR {
+		reg := sh.regions[regionOf[r]]
+		reg.eps = append(reg.eps, ep)
+	}
+	sh.linkOut = make([][]*crossLink, s.nr)
+	sh.linkIn = make([][]*crossLink, s.nr)
+	rc := ringCap(s.cfg.BufferDepth)
+	for r := 0; r < s.nr; r++ {
+		for p := 0; p < s.np; p++ {
+			nr := s.neighR[r][p]
+			if nr < 0 || regionOf[nr] == regionOf[r] {
+				continue
+			}
+			l := &crossLink{
+				prodRegion: regionOf[r], consRegion: regionOf[nr],
+				nr: nr, npIn: s.neighP[r][p],
+			}
+			l.mail.buf = make([]mailEntry, rc)
+			l.mail.mask = rc - 1
+			l.pops.buf = make([]int64, rc)
+			l.pops.mask = rc - 1
+			if sh.linkOut[r] == nil {
+				sh.linkOut[r] = make([]*crossLink, s.np)
+			}
+			sh.linkOut[r][p] = l
+			if sh.linkIn[nr] == nil {
+				sh.linkIn[nr] = make([]*crossLink, s.np)
+			}
+			sh.linkIn[nr][l.npIn] = l
+			cons := sh.regions[l.consRegion]
+			cons.in = append(cons.in, l)
+		}
+	}
+	for _, reg := range sh.regions {
+		seen := make(map[int]bool, 4)
+		for _, l := range reg.in {
+			if !seen[l.prodRegion] {
+				seen[l.prodRegion] = true
+				reg.producers = append(reg.producers, l.prodRegion)
+			}
+		}
+	}
+
+	sh.ni = make([][]*flight, s.cfg.Endpoints)
+	for _, f := range queue {
+		sh.ni[f.src] = append(sh.ni[f.src], f)
+	}
+	sh.niHead = make([]int, s.cfg.Endpoints)
+	sh.outstanding.Store(int64(len(queue)))
+	s.result.Stats.Injected = int64(len(queue))
+
+	workers := make([]*regionWorker, len(sh.regions))
+	var wg sync.WaitGroup
+	nfree, k := len(s.free), len(sh.regions)
+	for i, reg := range sh.regions {
+		w := &regionWorker{sh: sh, s: s, reg: reg, active: NewMask(s.nr), lastInject: -1}
+		// Seed the split-flight pool from the simulator free-list so warm
+		// Reset+Run cycles reuse flights across runs and cores. The
+		// three-index slice caps each chunk: a worker growing its pool
+		// reallocates instead of writing into a sibling's chunk.
+		lo, hi := i*nfree/k, (i+1)*nfree/k
+		w.free = s.free[lo:hi:hi]
+		for _, ep := range reg.eps {
+			w.remaining += len(sh.ni[ep])
+		}
+		if totalDst > 0 {
+			w.deliveries = make([]Delivery, 0, totalDst/len(sh.regions)+1)
+		}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run()
+		}()
+	}
+	wg.Wait()
+
+	// Collect the flight pools (into a fresh backing array — the chunks
+	// handed out above alias the old one) so the free-list survives the
+	// run, aborted or not.
+	s.free = nil
+	for _, w := range workers {
+		s.free = append(s.free, w.free...)
+	}
+
+	switch sh.abort.Load() {
+	case abortCanceled:
+		return nil, fmt.Errorf("noc: replay canceled at cycle %d with %d packets outstanding: %w",
+			sh.lastEvent.Load(), sh.outstanding.Load(), s.ctx.Err())
+	case abortStalled:
+		return nil, s.stallError(sh.outstanding.Load())
+	}
+	s.mergeShards(workers, totalDst)
+	res := s.result
+	return &res, nil
+}
+
+// spin yields between polls of remote state. The Gosched is load-bearing:
+// at GOMAXPROCS=1 a tight spin would never let the awaited region run.
+func (w *regionWorker) spin() bool {
+	if w.sh.abort.Load() != 0 || w.sh.outstanding.Load() == 0 {
+		w.done = true
+		return false
+	}
+	w.pollCtx()
+	runtime.Gosched()
+	return !w.done
+}
+
+// pollCtx checks for cancellation every cancelCheckEvery polls, matching
+// the sequential core's cancellation latency contract.
+func (w *regionWorker) pollCtx() {
+	if w.s.ctx == nil {
+		return
+	}
+	if w.iter++; w.iter%cancelCheckEvery != 0 {
+		return
+	}
+	select {
+	case <-w.s.ctx.Done():
+		w.sh.abort.CompareAndSwap(0, abortCanceled)
+		w.done = true
+	default:
+	}
+}
+
+// waitProducers blocks until every producing region has completed the
+// given cycle, so all arrivals due in the current cycle sit in the
+// mailboxes. Returns false when the run aborted or drained meanwhile.
+func (w *regionWorker) waitProducers(need int64) bool {
+	for _, j := range w.reg.producers {
+		reg := w.sh.regions[j]
+		for reg.completed.Load() < need {
+			if !w.spin() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (w *regionWorker) run() {
+	flits := int64(w.s.cfg.PacketFlits)
+	for !w.done {
+		if w.sh.abort.Load() != 0 || w.sh.outstanding.Load() == 0 {
+			break
+		}
+		w.pollCtx()
+		if w.done {
+			break
+		}
+		if !w.waitProducers(w.now - flits) {
+			break
+		}
+		progressed := w.cycle()
+		if w.done {
+			break
+		}
+		w.reg.completed.Store(w.now)
+		if progressed {
+			w.lastEvent = w.now
+			atomicMax(&w.sh.lastEvent, w.now)
+		}
+		w.advance(progressed)
+	}
+	// Publish a terminal clock so no peer ever waits on an exited region.
+	w.reg.completed.Store(1 << 62)
+}
+
+// advance picks the next cycle. With packets buffered the region steps
+// cycle by cycle — a remote pop can unblock a back-pressured head at any
+// time, and re-running arbitration on an unchanged cycle is state-neutral
+// — otherwise it jumps to the earliest possible local event, bounded by
+// how far the producing regions have advanced.
+func (w *regionWorker) advance(progressed bool) {
+	s, sh := w.s, w.sh
+	if w.buffered > 0 {
+		if !progressed && w.now-sh.lastEvent.Load() > s.cfg.StallLimit {
+			sh.abort.CompareAndSwap(0, abortStalled)
+			w.done = true
+			return
+		}
+		w.now++
+		return
+	}
+	flits := int64(s.cfg.PacketFlits)
+	// Snapshot the producer clocks BEFORE peeking the mailboxes. Mail
+	// pushed after the snapshot is due strictly beyond bound (the sender
+	// was already past the snapshotted cycle), and mail pushed before it
+	// happened-before the clock store and is therefore visible to the
+	// peek — so no in-window flit can slip past the jump.
+	bound := int64(1) << 62
+	for _, j := range w.reg.producers {
+		if c := sh.regions[j].completed.Load() + flits; c < bound {
+			bound = c
+		}
+	}
+	next := int64(-1)
+	if !w.arrivals.empty() {
+		next = w.arrivals.front().cycle
+	}
+	for _, l := range w.reg.in {
+		if e, ok := l.mail.peek(); ok && (next < 0 || e.cycle < next) {
+			next = e.cycle
+		}
+	}
+	if w.remaining > 0 {
+		for _, ep := range w.reg.eps {
+			if h := sh.niHead[ep]; h < len(sh.ni[ep]) {
+				c := sh.ni[ep][h].createdCycle
+				if c <= w.now {
+					// Backlogged injection (was blocked on FIFO space):
+					// the sequential core retries it next cycle.
+					c = w.now + 1
+				}
+				if next < 0 || c < next {
+					next = c
+				}
+			}
+		}
+	}
+	target := next
+	if target < 0 || target > bound {
+		target = bound
+	}
+	if target <= w.now {
+		// Producers lag behind this region's clock: nothing new can be
+		// due yet; yield and re-evaluate.
+		runtime.Gosched()
+		return
+	}
+	w.now = target
+	// The skipped span holds no region events, so completed = target-1
+	// is already true — publishing it lets idle neighbor chains advance.
+	w.reg.completed.Store(target - 1)
+}
+
+// crossSpace evaluates the back-pressure test for a forward across a
+// region boundary at the current cycle, bit-equal to the sequential
+// occupancy read. Pops by a consumer with a smaller region index count
+// through the current cycle (the dense scan visits those routers earlier
+// within the cycle); larger indices count through the previous cycle.
+// The fast path needs no waiting: undrained pops only lower occupancy,
+// so an upper bound below depth already proves space. Only a full-looking
+// link makes the producer wait for the consumer to finish the cutoff
+// cycle and decide exactly.
+func (w *regionWorker) crossSpace(l *crossLink, now int64, depth int) (space, alive bool) {
+	cutoff := now
+	if l.consRegion > w.reg.idx {
+		cutoff = now - 1
+	}
+	l.popsSeen += l.pops.drain(cutoff)
+	if l.sends-l.popsSeen < int64(depth) {
+		return true, true
+	}
+	cons := w.sh.regions[l.consRegion]
+	for cons.completed.Load() < cutoff {
+		if !w.spin() {
+			return false, false
+		}
+	}
+	l.popsSeen += l.pops.drain(cutoff)
+	return l.sends-l.popsSeen < int64(depth), true
+}
+
+// popNotify publishes the pop of a cross-fed FIFO so the producing
+// region can reconstruct exact occupancy.
+func (w *regionWorker) popNotify(r, in int, now int64) {
+	if row := w.sh.linkIn[r]; row != nil {
+		if l := row[in]; l != nil {
+			l.pops.push(now)
+		}
+	}
+}
+
+func (w *regionWorker) allocFlight(srcNeuron int32, src int, createdMs, createdCycle int64) *flight {
+	var f *flight
+	if n := len(w.free); n > 0 {
+		f = w.free[n-1]
+		w.free = w.free[:n-1]
+		for i := range f.dst {
+			f.dst[i] = 0
+		}
+	} else {
+		f = &flight{dst: NewMask(w.s.cfg.Endpoints)}
+	}
+	// Split-flight ids are never compared after the injection sort, so
+	// per-region flights skip the global id counter.
+	f.srcNeuron = srcNeuron
+	f.src = src
+	f.createdMs = createdMs
+	f.createdCycle = createdCycle
+	return f
+}
+
+func (w *regionWorker) freeFlight(f *flight) { w.free = append(w.free, f) }
+
+// cycle runs the three sequential phases — arrivals, injection,
+// arbitration — for the region's routers at w.now.
+func (w *regionWorker) cycle() bool {
+	s, sh := w.s, w.sh
+	now := w.now
+	progressed := false
+	flits := int64(s.cfg.PacketFlits)
+	depth := s.cfg.BufferDepth
+	np := s.np
+
+	// 1a. Cross-region arrivals: mailbox flits whose traversal completes.
+	for _, l := range w.reg.in {
+		for {
+			e, ok := l.mail.peek()
+			if !ok || e.cycle > now {
+				break
+			}
+			l.mail.pop()
+			q := &s.fifos[l.nr][l.npIn]
+			q.push(e.f)
+			s.buffered[l.nr]++
+			w.buffered++
+			w.active.Set(l.nr)
+			if q.n == 1 {
+				s.updateHeadWants(l.nr, l.npIn)
+			}
+			progressed = true
+		}
+	}
+	// 1b. Intra-region arrivals.
+	for !w.arrivals.empty() && w.arrivals.front().cycle <= now {
+		a := w.arrivals.pop()
+		q := &s.fifos[a.router][a.port]
+		q.push(a.f)
+		s.reserved[a.router][a.port]--
+		s.buffered[a.router]++
+		w.buffered++
+		w.active.Set(a.router)
+		if q.n == 1 {
+			s.updateHeadWants(a.router, a.port)
+		}
+		progressed = true
+	}
+
+	// 2. Injection at the region's endpoints. A cycle may be re-visited
+	// when the region is blocked on slower producers (advance holds the
+	// clock still); the sequential core injects one packet per endpoint
+	// per cycle, so re-visits must skip this phase.
+	if w.remaining > 0 && now != w.lastInject {
+		w.lastInject = now
+		for _, ep := range w.reg.eps {
+			h := sh.niHead[ep]
+			if h >= len(sh.ni[ep]) || sh.ni[ep][h].createdCycle > now {
+				continue
+			}
+			r := s.endpointR[ep]
+			q := &s.fifos[r][localPort]
+			if int(q.n)+s.reserved[r][localPort] >= depth {
+				continue
+			}
+			q.push(sh.ni[ep][h])
+			s.buffered[r]++
+			w.buffered++
+			w.active.Set(r)
+			if q.n == 1 {
+				s.updateHeadWants(r, localPort)
+			}
+			sh.niHead[ep]++
+			w.remaining--
+			progressed = true
+		}
+	}
+
+	// 3. Arbitration over the region's active routers, ascending.
+	for wi := w.reg.lo >> 6; wi <= (w.reg.hi-1)>>6; wi++ {
+		wrd := w.active[wi]
+		for wrd != 0 {
+			bit := bits.TrailingZeros64(wrd)
+			wrd &^= 1 << uint(bit)
+			r := wi<<6 + bit
+			if s.buffered[r] == 0 {
+				w.active.Clear(r)
+				continue
+			}
+			fifoR := s.fifos[r]
+			lfR := s.linkFree[r]
+			rrR := s.rr[r]
+			pmR := s.portMask[r]
+			wantedR := s.portWanted[r]
+			wide := s.wide
+			out := sh.linkOut[r]
+			for p := 0; p < np; p++ {
+				if lfR[p] > now || (!wide && wantedR[p] == 0) {
+					continue
+				}
+				granted := -1
+				rot := uint(rrR[p])
+				m := wantedR[p]
+				for k := 0; ; k++ {
+					var in int
+					if !wide {
+						if m == 0 {
+							break
+						}
+						if upper := m & (^uint64(0) << rot); upper != 0 {
+							in = bits.TrailingZeros64(upper)
+						} else {
+							in = bits.TrailingZeros64(m)
+						}
+						m &^= 1 << uint(in)
+					} else {
+						if k >= np {
+							break
+						}
+						in = int(rot) + k
+						if in >= np {
+							in -= np
+						}
+					}
+					q := &fifoR[in]
+					if wide && q.n == 0 {
+						continue
+					}
+					f := q.front()
+					if wide && !f.dst.Intersects(pmR[p]) {
+						continue
+					}
+					if p == localPort {
+						ep := s.routerE[r]
+						w.deliveries = append(w.deliveries, Delivery{
+							SrcNeuron:    f.srcNeuron,
+							Src:          f.src,
+							Dst:          ep,
+							CreatedMs:    f.createdMs,
+							CreatedCycle: f.createdCycle,
+							ArriveCycle:  now,
+						})
+						w.delivered++
+						lat := now - f.createdCycle
+						if lat > w.maxLat {
+							w.maxLat = lat
+						}
+						w.totalLat += lat
+						f.dst.Clear(ep)
+						w.energy = append(w.energy, energyEv{now, float64(flits) * s.cfg.RouterEnergyPJ})
+						if f.dst.Empty() {
+							q.pop()
+							w.popNotify(r, in, now)
+							s.buffered[r]--
+							w.buffered--
+							sh.outstanding.Add(-1)
+							w.freeFlight(f)
+						}
+						s.updateHeadWants(r, in)
+						granted = in
+						break
+					}
+					nr, npIn := s.neighR[r][p], s.neighP[r][p]
+					if nr < 0 {
+						continue
+					}
+					var link *crossLink
+					if out != nil {
+						link = out[p]
+					}
+					if link == nil {
+						if int(s.fifos[nr][npIn].n)+s.reserved[nr][npIn] >= depth {
+							continue // back-pressure, intra-region
+						}
+					} else {
+						space, alive := w.crossSpace(link, now, depth)
+						if !alive {
+							return progressed
+						}
+						if !space {
+							continue // back-pressure, cross-region
+						}
+					}
+					var sub *flight
+					if f.dst.SubsetOf(pmR[p]) {
+						sub = f
+						q.pop()
+						w.popNotify(r, in, now)
+						s.buffered[r]--
+						w.buffered--
+					} else {
+						sub = w.allocFlight(f.srcNeuron, f.src, f.createdMs, f.createdCycle)
+						sub.dst.IntersectInto(f.dst, pmR[p])
+						f.dst.AndNot(sub.dst)
+						sh.outstanding.Add(1)
+					}
+					s.updateHeadWants(r, in)
+					if link == nil {
+						s.reserved[nr][npIn]++
+						w.nextSeq++
+						w.arrivals.push(arrival{
+							cycle: now + flits, router: nr, port: npIn,
+							f: sub, seq: w.nextSeq,
+						})
+					} else {
+						link.mail.push(now+flits, sub)
+						link.sends++
+					}
+					lfR[p] = now + flits
+					w.hops++
+					w.energy = append(w.energy, energyEv{now, float64(flits) * (s.cfg.HopEnergyPJ + s.cfg.RouterEnergyPJ)})
+					granted = in
+					break
+				}
+				if granted >= 0 {
+					rrR[p] = granted + 1
+					if rrR[p] >= np {
+						rrR[p] = 0
+					}
+					progressed = true
+				}
+			}
+			if s.buffered[r] == 0 {
+				w.active.Clear(r)
+			}
+		}
+	}
+	return progressed
+}
+
+// mergeShards folds the per-region results back into s.result in the
+// sequential core's order. Regions are contiguous ascending router
+// ranges, so within one cycle the dense scan's router-ascending visit
+// order equals region order, and a k-way merge keyed on (cycle, region
+// index) reproduces both the delivery trace order and the exact float
+// addition order of the energy accumulator.
+func (s *Simulator) mergeShards(ws []*regionWorker, totalDst int) {
+	st := &s.result.Stats
+	var totalLat, lastEvent int64
+	for _, w := range ws {
+		st.Delivered += w.delivered
+		st.PacketHops += w.hops
+		totalLat += w.totalLat
+		if w.maxLat > st.MaxLatency {
+			st.MaxLatency = w.maxLat
+		}
+		if w.lastEvent > lastEvent {
+			lastEvent = w.lastEvent
+		}
+	}
+	st.Cycles = lastEvent
+
+	if totalDst > 0 {
+		var out []Delivery
+		if s.sink == nil {
+			out = s.traceBuf(totalDst)
+		}
+		di := make([]int, len(ws))
+		for {
+			c := int64(-1)
+			for i, w := range ws {
+				if di[i] < len(w.deliveries) {
+					if ac := w.deliveries[di[i]].ArriveCycle; c < 0 || ac < c {
+						c = ac
+					}
+				}
+			}
+			if c < 0 {
+				break
+			}
+			for i, w := range ws {
+				for di[i] < len(w.deliveries) && w.deliveries[di[i]].ArriveCycle == c {
+					if s.sink != nil {
+						s.sink(w.deliveries[di[i]])
+					} else {
+						out = append(out, w.deliveries[di[i]])
+					}
+					di[i]++
+				}
+			}
+		}
+		if s.sink == nil {
+			s.result.Deliveries = out
+		}
+	}
+
+	ei := make([]int, len(ws))
+	for {
+		c := int64(-1)
+		for i, w := range ws {
+			if ei[i] < len(w.energy) {
+				if ec := w.energy[ei[i]].cycle; c < 0 || ec < c {
+					c = ec
+				}
+			}
+		}
+		if c < 0 {
+			break
+		}
+		for i, w := range ws {
+			for ei[i] < len(w.energy) && w.energy[ei[i]].cycle == c {
+				st.EnergyPJ += w.energy[ei[i]].pj
+				ei[i]++
+			}
+		}
+	}
+
+	if st.Delivered > 0 {
+		st.AvgLatency = float64(totalLat) / float64(st.Delivered)
+	}
+	if st.Cycles > 0 && s.cfg.CyclesPerMs > 0 {
+		st.ThroughputPerMs = float64(st.Delivered) * float64(s.cfg.CyclesPerMs) / float64(st.Cycles)
+	}
+}
+
+// buildInjection expands the pending packets into their initial flights
+// (unicast expansion when multicast is off), ordered by creation cycle
+// with injection order as the tie-break — shared by both replay cores.
+func (s *Simulator) buildInjection() (queue []*flight, totalDst int) {
+	queue = make([]*flight, 0, len(s.pending))
+	for i := range s.pending {
+		p := &s.pending[i]
+		cc := p.CreatedMs * s.cfg.CyclesPerMs
+		if s.cfg.Multicast {
+			f := s.allocFlight(p.SrcNeuron, p.Src, p.CreatedMs, cc)
+			copy(f.dst, p.Dst)
+			totalDst += f.dst.Count()
+			queue = append(queue, f)
+		} else {
+			p.Dst.ForEach(func(d int) {
+				f := s.allocFlight(p.SrcNeuron, p.Src, p.CreatedMs, cc)
+				f.dst.Set(d)
+				totalDst++
+				queue = append(queue, f)
+			})
+		}
+	}
+	sort.SliceStable(queue, func(i, j int) bool {
+		if queue[i].createdCycle != queue[j].createdCycle {
+			return queue[i].createdCycle < queue[j].createdCycle
+		}
+		return queue[i].id < queue[j].id
+	})
+	return queue, totalDst
+}

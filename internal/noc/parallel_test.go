@@ -1,0 +1,243 @@
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// runTrace injects pkts into a fresh simulator configured for the given
+// worker count and runs it to completion.
+func runTrace(t *testing.T, cfg Config, pkts []Packet, workers int) *Result {
+	t.Helper()
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetWorkers(workers)
+	for _, p := range pkts {
+		if err := sim.Inject(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func requireIdentical(t *testing.T, got, want *Result, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Stats, want.Stats) {
+		t.Fatalf("%s: stats diverge from sequential:\n got %+v\nwant %+v", label, got.Stats, want.Stats)
+	}
+	if !reflect.DeepEqual(got.Deliveries, want.Deliveries) {
+		for i := range want.Deliveries {
+			if i < len(got.Deliveries) && got.Deliveries[i] != want.Deliveries[i] {
+				t.Fatalf("%s: delivery %d diverges:\n got %+v\nwant %+v",
+					label, i, got.Deliveries[i], want.Deliveries[i])
+			}
+		}
+		t.Fatalf("%s: delivery count diverges: got %d, want %d",
+			label, len(got.Deliveries), len(want.Deliveries))
+	}
+}
+
+// TestParallelReplayMatchesSequential pins the region-sharded core to the
+// sequential one exactly the way the sequential core is pinned to the
+// dense reference scan: for every topology, multicast setting,
+// back-pressure regime, packet size and AER packetization shape, and at
+// every worker count, the full Result — statistics including the
+// float-accumulated energy, delivery trace and its exact order — must be
+// bit-identical.
+func TestParallelReplayMatchesSequential(t *testing.T) {
+	type variant struct {
+		name string
+		cfg  Config
+	}
+	var variants []variant
+	for _, kind := range []Kind{Mesh, Tree} {
+		for _, endpoints := range []int{9, 70} {
+			for _, multicast := range []bool{true, false} {
+				for _, depth := range []int{1, 4} {
+					cfg := DefaultConfig(kind, endpoints)
+					cfg.Multicast = multicast
+					cfg.BufferDepth = depth
+					variants = append(variants, variant{
+						fmt.Sprintf("%v/e%d/mc=%v/depth=%d", kind, endpoints, multicast, depth), cfg,
+					})
+				}
+			}
+		}
+	}
+	flitCfg := DefaultConfig(Mesh, 12)
+	flitCfg.PacketFlits = 3
+	variants = append(variants, variant{"mesh/e12/flits=3", flitCfg})
+	arityCfg := DefaultConfig(Tree, 27)
+	arityCfg.TreeArity = 3
+	arityCfg.BufferDepth = 1
+	variants = append(variants, variant{"tree/e27/arity=3/depth=1", arityCfg})
+	// The star tree has 72 ports per router (wide-router arbitration
+	// fallback) and every packet crossing the root region boundary.
+	starCfg := DefaultConfig(Tree, 70)
+	starCfg.TreeArity = 70
+	variants = append(variants, variant{"tree/e70/arity=70(star)", starCfg})
+
+	for _, v := range variants {
+		for _, mode := range []string{"multicast", "percrossbar", "persynapse"} {
+			t.Run(v.name+"/"+mode, func(t *testing.T) {
+				pkts := aerTrace(v.cfg.Endpoints, mode, 1234)
+				want := runTrace(t, v.cfg, pkts, 1)
+				if want.Stats.Delivered == 0 {
+					t.Fatal("degenerate workload: nothing delivered")
+				}
+				for _, workers := range []int{2, 4, 8} {
+					got := runTrace(t, v.cfg, pkts, workers)
+					requireIdentical(t, got, want, fmt.Sprintf("workers=%d", workers))
+				}
+			})
+		}
+	}
+}
+
+// TestParallelReplayDense cross-checks the cores on heavier saturating
+// random traffic, where back-pressure keeps region boundaries full and
+// the exact-occupancy slow path is exercised constantly.
+func TestParallelReplayDense(t *testing.T) {
+	for _, kind := range []Kind{Mesh, Tree} {
+		for _, seed := range []int64{3, 11} {
+			const endpoints = 16
+			cfg := DefaultConfig(kind, endpoints)
+			cfg.BufferDepth = 2
+
+			rng := rand.New(rand.NewSource(seed))
+			var pkts []Packet
+			for i := 0; i < 400; i++ {
+				src := rng.Intn(endpoints)
+				m := NewMask(endpoints)
+				for d := 0; d < endpoints; d++ {
+					if d != src && rng.Intn(3) == 0 {
+						m.Set(d)
+					}
+				}
+				if m.Empty() {
+					m.Set((src + 1) % endpoints)
+				}
+				pkts = append(pkts, Packet{
+					SrcNeuron: int32(i), Src: src, Dst: m,
+					CreatedMs: int64(i % 3),
+				})
+			}
+			want := runTrace(t, cfg, pkts, 1)
+			for _, workers := range []int{2, 4, 8} {
+				got := runTrace(t, cfg, pkts, workers)
+				requireIdentical(t, got, want,
+					fmt.Sprintf("%v/seed=%d/workers=%d", kind, seed, workers))
+			}
+		}
+	}
+}
+
+// TestParallelReplayResetReuse pins that a parallel simulator survives
+// Reset + rerun cycles bit-identically (the warm-session contract), and
+// that SetWorkers persists across Reset and is inherited by Fork.
+func TestParallelReplayResetReuse(t *testing.T) {
+	cfg := DefaultConfig(Mesh, 16)
+	pkts := aerTrace(16, "multicast", 77)
+
+	want := runTrace(t, cfg, pkts, 1)
+
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetWorkers(4)
+	if got := sim.ReplayWorkers(); got != 4 {
+		t.Fatalf("ReplayWorkers = %d, want 4", got)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		for _, p := range pkts {
+			if err := sim.Inject(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, got, want, fmt.Sprintf("reset cycle %d", cycle))
+		sim.Reset()
+		if sim.ReplayWorkers() != 4 {
+			t.Fatal("Reset cleared the worker configuration")
+		}
+	}
+
+	fork := sim.Fork()
+	if fork.ReplayWorkers() != 4 {
+		t.Fatal("Fork did not inherit the worker configuration")
+	}
+	for _, p := range pkts {
+		if err := fork.Inject(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := fork.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, got, want, "forked parallel sim")
+}
+
+// TestParallelReplayEmpty pins the no-traffic edge: the parallel core
+// must return the same zero Result (nil Deliveries included).
+func TestParallelReplayEmpty(t *testing.T) {
+	sim, err := NewSimulator(DefaultConfig(Mesh, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetWorkers(4)
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != (Stats{}) || res.Deliveries != nil {
+		t.Fatalf("empty parallel run not zero: %+v", res)
+	}
+}
+
+// TestParallelReplayStreamingSink pins that a delivery sink observes the
+// merged arrival order (identical to the sequential stream) and that the
+// Result accumulates no trace while streaming.
+func TestParallelReplayStreamingSink(t *testing.T) {
+	cfg := DefaultConfig(Tree, 16)
+	pkts := aerTrace(16, "percrossbar", 4321)
+	want := runTrace(t, cfg, pkts, 1)
+
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetWorkers(4)
+	var streamed []Delivery
+	sim.SetDeliverySink(func(d Delivery) { streamed = append(streamed, d) })
+	for _, p := range pkts {
+		if err := sim.Inject(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Deliveries) != 0 {
+		t.Fatalf("streaming run accumulated %d deliveries on the Result", len(got.Deliveries))
+	}
+	if !reflect.DeepEqual(got.Stats, want.Stats) {
+		t.Fatalf("streaming stats diverge:\n got %+v\nwant %+v", got.Stats, want.Stats)
+	}
+	if !reflect.DeepEqual(streamed, want.Deliveries) {
+		t.Fatalf("streamed order diverges: got %d deliveries, want %d", len(streamed), len(want.Deliveries))
+	}
+}

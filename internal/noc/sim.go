@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"sort"
 )
 
 // Config parameterizes the interconnect simulator. The configurable
@@ -318,6 +317,17 @@ type Simulator struct {
 	// ran guards against state corruption from Run-after-Run or
 	// Inject-after-Run without an intervening Reset.
 	ran bool
+
+	// workers selects the replay core (SetWorkers): > 1 enables the
+	// region-sharded parallel core. Configuration-like: it survives
+	// Reset and is inherited by Fork.
+	workers int
+
+	// trace is delivery-trace capacity donated back via Reclaim; the next
+	// Run fills it in place instead of allocating. Like the flight
+	// free-list it survives Reset, so warm Reset+Run cycles on repeat
+	// traffic stop reallocating.
+	trace []Delivery
 }
 
 // NewSimulator validates the configuration and builds the topology.
@@ -431,6 +441,7 @@ func (s *Simulator) Fork() *Simulator {
 		portMask:   s.portMask,
 		neighR:     s.neighR,
 		neighP:     s.neighP,
+		workers:    s.workers,
 	}
 	n.allocMutableState()
 	return n
@@ -522,6 +533,35 @@ func (s *Simulator) allocFlight(srcNeuron int32, src int, createdMs, createdCycl
 // freeFlight returns a fully served flight (empty mask) to the free-list.
 func (s *Simulator) freeFlight(f *flight) { s.free = append(s.free, f) }
 
+// Reclaim donates the delivery-trace capacity of a Result the caller has
+// finished with back to the simulator: the next Run reuses the backing
+// array instead of allocating a fresh trace. Only call it when nothing
+// else retains res or a sub-slice of res.Deliveries — the donated array
+// is overwritten by the next Run. Results that are never Reclaimed stay
+// untouched (Reset alone never recycles a returned trace), and donated
+// capacity survives Reset like the flight free-list.
+func (s *Simulator) Reclaim(res *Result) {
+	if res == nil {
+		return
+	}
+	if d := res.Deliveries; cap(d) > cap(s.trace) {
+		s.trace = d[:0]
+	}
+	res.Deliveries = nil
+}
+
+// traceBuf returns a delivery buffer with the given capacity, reusing
+// Reclaimed capacity when it suffices. Ownership moves to the caller's
+// Result until the trace is Reclaimed again.
+func (s *Simulator) traceBuf(totalDst int) []Delivery {
+	if cap(s.trace) >= totalDst {
+		b := s.trace[:0]
+		s.trace = nil
+		return b
+	}
+	return make([]Delivery, 0, totalDst)
+}
+
 // updateHeadWants recomputes the want-mask of input FIFO in at router r
 // after its head flight changed (push to empty, pop, or an in-place
 // destination mutation) and keeps the portWanted transpose in sync.
@@ -586,12 +626,26 @@ func (s *Simulator) Inject(p Packet) error {
 // statistics with the full delivery trace. Run may only be called once
 // per injection cycle — a second Run without an intervening Reset returns
 // an error instead of silently replaying corrupted state.
+//
+// With SetWorkers(n > 1) the replay executes on the region-sharded
+// parallel core (bit-identical results); topologies too small to shard
+// fall back to this sequential core.
 func (s *Simulator) Run() (*Result, error) {
 	if s.ran {
 		return nil, errors.New("noc: Run already called on this simulator; call Reset before running again")
 	}
 	s.ran = true
+	if s.workers > 1 {
+		if plan := s.regionPlan(s.workers); plan != nil {
+			return s.runSharded(plan)
+		}
+	}
+	return s.runSeq()
+}
 
+// runSeq is the sequential event-driven replay core — the reference the
+// parallel core is pinned against.
+func (s *Simulator) runSeq() (*Result, error) {
 	var done <-chan struct{}
 	if s.ctx != nil {
 		if err := s.ctx.Err(); err != nil {
@@ -605,31 +659,7 @@ func (s *Simulator) Run() (*Result, error) {
 	// Every flight carries the exact set of destinations still to serve,
 	// so the total delivery count is known up front and the trace buffer
 	// is allocated once at its final size.
-	queue := make([]*flight, 0, len(s.pending))
-	totalDst := 0
-	for i := range s.pending {
-		p := &s.pending[i]
-		cc := p.CreatedMs * s.cfg.CyclesPerMs
-		if s.cfg.Multicast {
-			f := s.allocFlight(p.SrcNeuron, p.Src, p.CreatedMs, cc)
-			copy(f.dst, p.Dst)
-			totalDst += f.dst.Count()
-			queue = append(queue, f)
-		} else {
-			p.Dst.ForEach(func(d int) {
-				f := s.allocFlight(p.SrcNeuron, p.Src, p.CreatedMs, cc)
-				f.dst.Set(d)
-				totalDst++
-				queue = append(queue, f)
-			})
-		}
-	}
-	sort.SliceStable(queue, func(i, j int) bool {
-		if queue[i].createdCycle != queue[j].createdCycle {
-			return queue[i].createdCycle < queue[j].createdCycle
-		}
-		return queue[i].id < queue[j].id
-	})
+	queue, totalDst := s.buildInjection()
 	// Per-endpoint NI queues preserving creation order.
 	endpoints := s.cfg.Endpoints
 	ni := make([][]*flight, endpoints)
@@ -642,7 +672,7 @@ func (s *Simulator) Run() (*Result, error) {
 
 	s.result.Stats.Injected = int64(len(queue))
 	if s.sink == nil && totalDst > 0 {
-		s.result.Deliveries = make([]Delivery, 0, totalDst)
+		s.result.Deliveries = s.traceBuf(totalDst)
 	}
 
 	var now int64

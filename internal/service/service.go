@@ -56,6 +56,12 @@ type Config struct {
 	// construction; the daemon's default of 1 keeps one job ≈ one core
 	// so the executor pool is the only concurrency knob.
 	PipelineWorkers int
+	// ReplayWorkers shards each job's interconnect replay across N region
+	// workers (snnmap.WithReplayWorkers). Replay results are bit-identical
+	// at every worker count, so this is a deployment knob — it is
+	// deliberately NOT part of JobSpec or its content address; 0/1 keeps
+	// the sequential replay core.
+	ReplayWorkers int
 	// Now is the clock (tests inject a fixed one; default time.Now).
 	Now func() time.Time
 }
@@ -124,7 +130,8 @@ func New(cfg Config) *Server {
 		// reports either way).
 		return snnmap.NewSessionPipeline(spec,
 			snnmap.WithStreamingDelivery(true),
-			snnmap.WithWorkers(cfg.PipelineWorkers))
+			snnmap.WithWorkers(cfg.PipelineWorkers),
+			snnmap.WithReplayWorkers(cfg.ReplayWorkers))
 	})
 	s.metrics.cacheEntries = s.cache.len
 	s.metrics.poolEntries = s.pool.len

@@ -110,14 +110,15 @@ type AnalyzeFunc func(deliveries []Delivery, durationMs int64) MetricsReport
 
 // pipelineOptions is the resolved functional-option state of a Pipeline.
 type pipelineOptions struct {
-	keepTrace bool
-	streaming bool
-	timeout   time.Duration
-	workers   int
-	observer  Observer
-	place     PlaceFunc
-	simulate  SimulateFunc
-	analyze   AnalyzeFunc
+	keepTrace     bool
+	streaming     bool
+	timeout       time.Duration
+	workers       int
+	replayWorkers int
+	observer      Observer
+	place         PlaceFunc
+	simulate      SimulateFunc
+	analyze       AnalyzeFunc
 }
 
 // Option configures a Pipeline at construction.
@@ -155,6 +156,20 @@ func WithTimeout(d time.Duration) Option {
 // (Compare, RunSeeds). 0 selects GOMAXPROCS; 1 runs sequentially.
 func WithWorkers(n int) Option {
 	return func(o *pipelineOptions) { o.workers = n }
+}
+
+// WithReplayWorkers shards each run's interconnect replay across n region
+// workers (noc.Simulator.SetWorkers): the router grid is split into
+// contiguous regions that advance under conservative windowed lookahead,
+// exchanging boundary flits through mailboxes. Replay results are
+// bit-identical at every worker count, so this is purely a wall-clock
+// knob for replay-dominated sessions; 0 or 1 keeps the sequential replay
+// core, as do interconnects too small to shard. When the sweep pool
+// (WithWorkers) is left defaulted, it is sized to GOMAXPROCS/n so sweep ×
+// replay parallelism does not oversubscribe the machine (engine.Budget);
+// setting both explicitly is honored as given.
+func WithReplayWorkers(n int) Option {
+	return func(o *pipelineOptions) { o.replayWorkers = n }
 }
 
 // WithObserver registers an observer for stage-completion events.
@@ -201,8 +216,9 @@ type Pipeline struct {
 	problem *Problem
 	counts  []int64 // per-neuron spike counts, shared across runs
 
-	proto *noc.Simulator
-	sims  sync.Pool
+	proto     *noc.Simulator
+	sims      sync.Pool
+	singleton []noc.Mask // prefilled destination-mask table, shared by every run
 }
 
 // NewPipeline builds a warm mapping session for the application and
@@ -227,8 +243,16 @@ func NewPipeline(app *App, arch Arch, opts ...Option) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Resolve the nested worker pools before the prototype is pooled:
+	// forks inherit the prototype's replay-worker setting, so SetWorkers
+	// must precede sims.New/Put.
+	pl.opts.workers, pl.opts.replayWorkers = engine.Budget(pl.opts.workers, pl.opts.replayWorkers)
+	if pl.opts.replayWorkers > 1 {
+		pl.proto.SetWorkers(pl.opts.replayWorkers)
+	}
 	app.Graph.CSR() // force the memoized adjacency build into the session setup
 	pl.counts = app.Graph.SpikeCounts()
+	pl.singleton = newSingletonTable(arch.Crossbars)
 	pl.sims.New = func() any { return pl.proto.Fork() }
 	pl.sims.Put(pl.proto)
 	return pl, nil
@@ -292,8 +316,22 @@ func (pl *Pipeline) Run(ctx context.Context, pt Partitioner) (*Report, error) {
 // SSE feed per job on a pipeline held in a server's session pool):
 // pipelines are pooled per (app, arch) while observers stay per request.
 func (pl *Pipeline) RunObserved(ctx context.Context, pt Partitioner, obs Observer) (*Report, error) {
+	sim := pl.sims.Get().(*noc.Simulator)
+	defer pl.sims.Put(sim)
+	rep, _, err := pl.runWith(ctx, sim, &trafficScratch{singleton: pl.singleton}, pt, obs)
+	return rep, err
+}
+
+// runWith is the staged run on a caller-provided simulator and injection
+// scratch. It is the common core of RunObserved (which draws both from
+// the session pool per call) and RunSeedsBatched (which holds one of each
+// per sweep worker across a whole seed chunk). The raw NoC result is
+// returned alongside the report so the batched path can Reclaim its
+// delivery trace into the simulator once no other consumer can be
+// holding it.
+func (pl *Pipeline) runWith(ctx context.Context, sim *noc.Simulator, sc *trafficScratch, pt Partitioner, obs Observer) (*Report, *noc.Result, error) {
 	if pt == nil {
-		return nil, errors.New("snnmap: nil partitioner")
+		return nil, nil, errors.New("snnmap: nil partitioner")
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -304,22 +342,19 @@ func (pl *Pipeline) RunObserved(ctx context.Context, pt Partitioner, obs Observe
 		defer cancel()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("snnmap: pipeline run not started: %w", err)
+		return nil, nil, fmt.Errorf("snnmap: pipeline run not started: %w", err)
 	}
 
 	// Stage 1 — partition.
 	start := time.Now()
 	res, err := partition.Solve(pt, pl.problem)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pl.observe(obs, StageEvent{Stage: StagePartition, Technique: res.Technique, Elapsed: time.Since(start), Partition: res})
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("snnmap: %s: aborted after partition: %w", res.Technique, err)
+		return nil, nil, fmt.Errorf("snnmap: %s: aborted after partition: %w", res.Technique, err)
 	}
-
-	sim := pl.sims.Get().(*noc.Simulator)
-	defer pl.sims.Put(sim)
 
 	// Stage 2 — place.
 	start = time.Now()
@@ -334,11 +369,11 @@ func (pl *Pipeline) RunObserved(ctx context.Context, pt Partitioner, obs Observe
 	// against the placed one.
 	placed, err := place(pl.problem, res.Assign, sim.HopDistance)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pl.observe(obs, StageEvent{Stage: StagePlace, Technique: res.Technique, Elapsed: time.Since(start), Placement: placed})
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("snnmap: %s: aborted after placement: %w", res.Technique, err)
+		return nil, nil, fmt.Errorf("snnmap: %s: aborted after placement: %w", res.Technique, err)
 	}
 
 	rep := &Report{
@@ -355,7 +390,7 @@ func (pl *Pipeline) RunObserved(ctx context.Context, pt Partitioner, obs Observe
 
 	local, err := hardware.LocalActivityCounts(pl.app.Graph, pl.counts, placed, pl.arch)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep.LocalEvents = local.Events
 	rep.LocalEnergyPJ = local.EnergyPJ
@@ -364,7 +399,7 @@ func (pl *Pipeline) RunObserved(ctx context.Context, pt Partitioner, obs Observe
 	start = time.Now()
 	simulate := pl.opts.simulate
 	if simulate == nil {
-		simulate = simulateTrafficOn
+		simulate = sc.injectAndRun
 	}
 	sim.Reset()
 	if ctx.Done() != nil {
@@ -382,14 +417,14 @@ func (pl *Pipeline) RunObserved(ctx context.Context, pt Partitioner, obs Observe
 	}
 	nocRes, err := simulate(sim, pl.app.Graph, placed, pl.arch)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep.NoC = nocRes.Stats
 	rep.GlobalEnergyPJ = nocRes.Stats.EnergyPJ
 	rep.TotalEnergyPJ = rep.LocalEnergyPJ + rep.GlobalEnergyPJ
 	pl.observe(obs, StageEvent{Stage: StageSimulate, Technique: res.Technique, Elapsed: time.Since(start), NoC: nocRes})
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("snnmap: %s: aborted after simulation: %w", res.Technique, err)
+		return nil, nil, fmt.Errorf("snnmap: %s: aborted after simulation: %w", res.Technique, err)
 	}
 
 	// Stage 4 — analyze.
@@ -408,7 +443,7 @@ func (pl *Pipeline) RunObserved(ctx context.Context, pt Partitioner, obs Observe
 	if pl.opts.keepTrace {
 		rep.Deliveries = nocRes.Deliveries
 	}
-	return rep, nil
+	return rep, nocRes, nil
 }
 
 // engineConfig derives the engine configuration of the pipeline's own
@@ -471,6 +506,90 @@ func (pl *Pipeline) RunSeeds(ctx context.Context, pt Partitioner, seeds []int64)
 			continue
 		}
 		out[i] = r.Value
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return out, nil
+}
+
+// RunSeedsBatched is RunSeeds through the batched replay path: the seeds
+// are split into one contiguous chunk per sweep worker, and each chunk
+// runs on a single simulator and injection scratch held for the whole
+// chunk — every seed after the first reuses the simulator's flight
+// free-list, its Reclaimed delivery-trace capacity, and the scratch's
+// multiplicity table instead of churning per-seed working sets through
+// the session pool. Reports are bit-identical to RunSeeds and returned in
+// seed order (see TestRunSeedsBatchedMatchesRunSeeds); per-seed failures
+// are aggregated the same way. Prefer it for wide seed sweeps on one
+// technique; RunSeeds remains the simpler general path.
+func (pl *Pipeline) RunSeedsBatched(ctx context.Context, pt Partitioner, seeds []int64) ([]*Report, error) {
+	if pt == nil {
+		return nil, errors.New("snnmap: nil partitioner")
+	}
+	seeded, ok := pt.(partition.Seeded)
+	if !ok {
+		return nil, fmt.Errorf("snnmap: %s is deterministic (does not implement partition.Seeded); RunSeedsBatched would repeat one result", pt.Name())
+	}
+	cfg := pl.engineConfig()
+	k := cfg.Workers
+	if k < 1 {
+		k = 1
+	}
+	if k > len(seeds) {
+		k = len(seeds)
+	}
+	type chunk struct{ lo, hi int }
+	chunks := make([]chunk, 0, k)
+	for i := 0; i < k; i++ {
+		if lo, hi := i*len(seeds)/k, (i+1)*len(seeds)/k; lo < hi {
+			chunks = append(chunks, chunk{lo, hi})
+		}
+	}
+	type seedOut struct {
+		rep *Report
+		err error
+	}
+	// The delivery trace can be Reclaimed into the chunk's simulator only
+	// when nothing outside the run can still reference it: no trace
+	// retention on the report, no caller-supplied simulate stage (its
+	// Result is the caller's), and no observer (StageSimulate events carry
+	// the NoC result, and observers may retain what they see).
+	reclaim := !pl.opts.keepTrace && pl.opts.simulate == nil && pl.opts.analyze == nil && pl.opts.observer == nil
+	results := engine.Sweep(ctx, cfg, chunks,
+		func(ctx context.Context, c chunk) ([]seedOut, error) {
+			sim := pl.sims.Get().(*noc.Simulator)
+			defer pl.sims.Put(sim)
+			sc := &trafficScratch{singleton: pl.singleton}
+			outs := make([]seedOut, 0, c.hi-c.lo)
+			for i := c.lo; i < c.hi; i++ {
+				rep, nocRes, err := pl.runWith(ctx, sim, sc, seeded.Reseed(seeds[i]), nil)
+				if err == nil && reclaim {
+					sim.Reclaim(nocRes)
+				}
+				outs = append(outs, seedOut{rep, err})
+			}
+			return outs, nil
+		})
+	out := make([]*Report, len(seeds))
+	var errs []error
+	for ci, r := range results {
+		c := chunks[ci]
+		if r.Err != nil {
+			// The whole chunk was never run (cancellation before dispatch,
+			// or a panic captured by the engine): attribute it to each seed.
+			for i := c.lo; i < c.hi; i++ {
+				errs = append(errs, fmt.Errorf("snnmap: %s seed %d on %s: %w", pt.Name(), seeds[i], pl.app.Name, r.Err))
+			}
+			continue
+		}
+		for j, so := range r.Value {
+			if so.err != nil {
+				errs = append(errs, fmt.Errorf("snnmap: %s seed %d on %s: %w", pt.Name(), seeds[c.lo+j], pl.app.Name, so.err))
+				continue
+			}
+			out[c.lo+j] = so.rep
+		}
 	}
 	if len(errs) > 0 {
 		return nil, errors.Join(errs...)

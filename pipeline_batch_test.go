@@ -1,0 +1,191 @@
+package snnmap
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+// TestRunSeedsBatchedMatchesRunSeeds is the batched path's identity
+// guarantee: chunking seeds onto per-worker simulators (with Reclaimed
+// traces and reused injection scratch) must produce reports deep-equal to
+// the per-seed pooled path, in seed order, at several worker counts.
+func TestRunSeedsBatchedMatchesRunSeeds(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 4, DurationMs: 150}, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := ForNeurons(app.Graph.Neurons, 16)
+	seeds := []int64{11, 7, 3, 5, 2, 13, 1}
+	psoCfg := PSOConfig{SwarmSize: 8, Iterations: 8, Seed: 99, Workers: 1}
+
+	ref, err := NewPipeline(app, arch, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.RunSeeds(context.Background(), NewPSO(psoCfg), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 4, 16} {
+		pl, err := NewPipeline(app, arch, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pl.RunSeedsBatched(context.Background(), NewPSO(psoCfg), seeds)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: batched reports differ from RunSeeds", workers)
+		}
+		// Batching must stay warm-session reentrant.
+		again, err := pl.RunSeedsBatched(context.Background(), NewPSO(psoCfg), seeds)
+		if err != nil {
+			t.Fatalf("workers=%d rerun: %v", workers, err)
+		}
+		if !reflect.DeepEqual(again, want) {
+			t.Fatalf("workers=%d: second batched sweep diverged (state leaked across batch)", workers)
+		}
+	}
+
+	if _, err := ref.RunSeedsBatched(context.Background(), Pacman, seeds); err == nil {
+		t.Fatal("RunSeedsBatched must reject deterministic partitioners")
+	}
+	if out, err := ref.RunSeedsBatched(context.Background(), NewPSO(psoCfg), nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty seed list: out=%v err=%v", out, err)
+	}
+}
+
+// TestRunSeedsBatchedKeepsTrace checks the retained-trace interaction:
+// with WithTrace the batched path must not Reclaim the delivery traces it
+// just handed out on the reports.
+func TestRunSeedsBatchedKeepsTrace(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 4, DurationMs: 120}, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := ForNeurons(app.Graph.Neurons, 16)
+	pl, err := NewPipeline(app, arch, WithTrace(true), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pso := NewPSO(PSOConfig{SwarmSize: 6, Iterations: 6, Seed: 1, Workers: 1})
+	seeds := []int64{1, 2, 3}
+	reports, err := pl.RunSeedsBatched(context.Background(), pso, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reports {
+		if int64(len(rep.Deliveries)) != rep.NoC.Delivered {
+			t.Fatalf("seed %d: retained trace has %d deliveries, stats say %d",
+				seeds[i], len(rep.Deliveries), rep.NoC.Delivered)
+		}
+	}
+	for i := 1; i < len(reports); i++ {
+		if len(reports[i].Deliveries) == 0 || len(reports[0].Deliveries) == 0 {
+			continue
+		}
+		if &reports[i].Deliveries[0] == &reports[0].Deliveries[0] {
+			t.Fatal("two reports share one delivery trace: Reclaim ran despite WithTrace")
+		}
+	}
+}
+
+// explodingSeeded is a Seeded partitioner whose every reseed fails,
+// carrying its seed in the error for aggregation checks.
+type explodingSeeded struct{ seed int64 }
+
+func (e explodingSeeded) Name() string { return "exploder" }
+func (e explodingSeeded) Partition(*Problem) (Assignment, error) {
+	return nil, fmt.Errorf("seed %d exploded", e.seed)
+}
+func (e explodingSeeded) Reseed(seed int64) Partitioner { return explodingSeeded{seed} }
+
+func TestRunSeedsBatchedAggregatesAllFailures(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 2, DurationMs: 100}, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := ForNeurons(app.Graph.Neurons, 8)
+	pl, err := NewPipeline(app, arch, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pl.RunSeedsBatched(context.Background(), explodingSeeded{}, []int64{4, 5, 6})
+	if err == nil {
+		t.Fatal("expected aggregated error")
+	}
+	for _, want := range []string{"seed 4 exploded", "seed 5 exploded", "seed 6 exploded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("aggregated error misses %q: %v", want, err)
+		}
+	}
+}
+
+// TestWithReplayWorkersBitIdentical pins the pipeline plumbing of the
+// parallel replay core: a session built with WithReplayWorkers must hand
+// every pooled fork the worker setting (forks inherit the prototype's),
+// and its reports — single runs, Compare sweeps, and batched seed sweeps
+// — must be deep-equal to a sequential-replay session's.
+func TestWithReplayWorkersBitIdentical(t *testing.T) {
+	app, err := BuildSynthetic(AppConfig{Seed: 6, DurationMs: 150}, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 crossbars: a tree interconnect large enough for regionPlan to
+	// shard, so the parallel core actually runs rather than falling back.
+	arch := ForNeurons(app.Graph.Neurons, 4)
+
+	seqPl, err := NewPipeline(app, arch, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPl, err := NewPipeline(app, arch, WithWorkers(1), WithReplayWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parPl.proto.ReplayWorkers(); got != 2 {
+		t.Fatalf("prototype replay workers = %d, want 2", got)
+	}
+	fork := parPl.sims.Get().(*noc.Simulator)
+	if got := fork.ReplayWorkers(); got != 2 {
+		t.Fatalf("pooled fork replay workers = %d, want 2 (SetWorkers must precede pool setup)", got)
+	}
+	parPl.sims.Put(fork)
+
+	pt, err := NewPartitioner("pso", PartitionerSpec{Seed: 1, SwarmSize: 8, Iterations: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seqPl.Run(context.Background(), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parPl.Run(context.Background(), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel-replay report differs from sequential-replay report")
+	}
+
+	seeds := []int64{1, 2, 3}
+	pso := NewPSO(PSOConfig{SwarmSize: 8, Iterations: 8, Seed: 99, Workers: 1})
+	wantSeeds, err := seqPl.RunSeeds(context.Background(), pso, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSeeds, err := parPl.RunSeedsBatched(context.Background(), pso, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSeeds, wantSeeds) {
+		t.Fatal("parallel-replay batched seeds differ from sequential RunSeeds")
+	}
+}

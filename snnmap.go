@@ -230,22 +230,62 @@ func SimulateTraffic(g *SpikeGraph, assign Assignment, arch Arch) (*noc.Result, 
 // simulateTrafficOn is SimulateTraffic on a caller-provided simulator
 // (freshly constructed or Reset), letting one simulator per pipeline run
 // serve both placement distance queries and traffic replay.
-//
-// Per spiking neuron the cost is O(out-degree): destination multiplicity
-// is tracked through a touched-crossbar list, so only the entries a
-// neuron actually wrote are cleared, instead of wiping the full
-// O(Crossbars) scratch slice every neuron. Destination masks are never
-// mutated by the simulator (multicast flights clone them at Run), so
-// single-crossbar masks are built once per destination and shared across
-// neurons and spikes.
 func simulateTrafficOn(sim *noc.Simulator, g *SpikeGraph, assign Assignment, arch Arch) (*noc.Result, error) {
+	return new(trafficScratch).injectAndRun(sim, g, assign, arch)
+}
+
+// trafficScratch is the reusable injection scratch behind
+// simulateTrafficOn: destination multiplicity, the touched-crossbar list,
+// and the single-crossbar destination-mask table. A zero value works
+// (everything is sized on first use); a warm Pipeline seeds one scratch
+// per run — per sweep worker in the batched seed path — from a
+// session-wide prefilled singleton table so repeated replays allocate no
+// injection scratch at all. A scratch is single-goroutine state except
+// for the singleton table, which may be shared across scratches only when
+// fully prefilled (newSingletonTable): lazy fills write the table.
+type trafficScratch struct {
+	multiplicity []int
+	touched      []int
+	singleton    []noc.Mask
+}
+
+// newSingletonTable prefills the single-crossbar destination masks so the
+// table is immutable afterwards and safe to share across concurrent runs.
+// Destination masks are never mutated by the simulator (multicast flights
+// clone them at Run), so one mask per destination serves every neuron,
+// spike, and run of a session.
+func newSingletonTable(crossbars int) []noc.Mask {
+	t := make([]noc.Mask, crossbars)
+	for k := range t {
+		m := noc.NewMask(crossbars)
+		m.Set(k)
+		t[k] = m
+	}
+	return t
+}
+
+// injectAndRun packetizes the mapped graph's global traffic into sim and
+// replays it. Per spiking neuron the cost is O(out-degree): destination
+// multiplicity is tracked through a touched-crossbar list, so only the
+// entries a neuron actually wrote are cleared, instead of wiping the full
+// O(Crossbars) scratch slice every neuron.
+func (sc *trafficScratch) injectAndRun(sim *noc.Simulator, g *SpikeGraph, assign Assignment, arch Arch) (*noc.Result, error) {
 	if len(assign) != g.Neurons {
 		return nil, fmt.Errorf("snnmap: assignment covers %d of %d neurons", len(assign), g.Neurons)
 	}
 	csr := g.CSR()
-	multiplicity := make([]int, arch.Crossbars)
-	touched := make([]int, 0, arch.Crossbars)
-	singleton := make([]noc.Mask, arch.Crossbars)
+	if len(sc.multiplicity) < arch.Crossbars {
+		sc.multiplicity = make([]int, arch.Crossbars)
+	}
+	if len(sc.singleton) < arch.Crossbars {
+		sc.singleton = make([]noc.Mask, arch.Crossbars)
+	}
+	if cap(sc.touched) < arch.Crossbars {
+		sc.touched = make([]int, 0, arch.Crossbars)
+	}
+	multiplicity, singleton := sc.multiplicity, sc.singleton
+	touched := sc.touched[:0]
+	defer func() { sc.touched = touched[:0] }()
 	singletonMask := func(k int) noc.Mask {
 		if singleton[k] == nil {
 			m := noc.NewMask(arch.Crossbars)

@@ -22,6 +22,12 @@ import (
 // app-sized architecture, 100×100 PSO), so the canonical form of a
 // sparse request equals the canonical form of its fully spelled-out
 // equivalent.
+//
+// Execution knobs that cannot change the result stay out of the spec by
+// design: replay sharding (WithReplayWorkers) is bit-identical at every
+// worker count, so it is a server deployment setting
+// (service.Config.ReplayWorkers) — encoding it here would split the
+// content address of jobs whose tables are byte-equal.
 type JobSpec struct {
 	// App is an application registry spec ("HW",
 	// "gen:smallworld:n=512,seed=7", "synth:layers=2,width=200", ...).
