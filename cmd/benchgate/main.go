@@ -243,5 +243,18 @@ func load(path string) (*Artifact, error) {
 	if err := json.Unmarshal(data, &art); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &art, nil
+	if len(art.Benchmarks) > 0 {
+		return &art, nil
+	}
+	// Committed benchmark records (BENCH_PR*.json) wrap two artifacts as
+	// {pr, note, schema, before, after}; the "after" side is the record's
+	// head measurement and serves as the baseline for later gates.
+	var record struct {
+		After *Artifact `json:"after"`
+	}
+	if err := json.Unmarshal(data, &record); err == nil &&
+		record.After != nil && len(record.After.Benchmarks) > 0 {
+		return record.After, nil
+	}
+	return nil, fmt.Errorf("%s: no benchmarks (neither a plain artifact nor a committed record)", path)
 }

@@ -127,3 +127,45 @@ func TestParseRoundTrip(t *testing.T) {
 		t.Fatalf("round trip lost data: %+v", art)
 	}
 }
+
+// TestLoadCommittedRecord pins the committed-record fallback: compare
+// accepts a BENCH_PR*.json {pr, note, before, after} wrapper as either
+// side, gating against its "after" artifact.
+func TestLoadCommittedRecord(t *testing.T) {
+	dir := t.TempDir()
+	record := filepath.Join(dir, "BENCH_PR0.json")
+	wrapped := `{"pr":0,"note":"n","schema":"benchgate-artifact-pair/v1",` +
+		`"before":{"environment":{"goos":"linux","goarch":"amd64","gomaxprocs":8},` +
+		`"benchmarks":{"BenchmarkNoCReplay/mesh-8":{"iterations":3,"ns_per_op":900000}}},` +
+		`"after":{"environment":{"goos":"linux","goarch":"amd64","gomaxprocs":8},` +
+		`"benchmarks":{"BenchmarkNoCReplay/mesh-8":{"iterations":3,"ns_per_op":1000000}}}}`
+	if err := os.WriteFile(record, []byte(wrapped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	head := writeArtifact(t, dir, "head.json", 1050000)
+	var out strings.Builder
+	if err := run([]string{"compare", "-base", record, "-head", head}, nil, &out); err != nil {
+		t.Fatalf("record baseline: %v\n%s", err, out.String())
+	}
+	// Gated against "after" (1.0ms), not "before" (0.9ms): a 5% delta
+	// passes a 20% gate but the output must show the after-side base.
+	if !strings.Contains(out.String(), "1000000 ->") {
+		t.Fatalf("gate did not use the record's after artifact:\n%s", out.String())
+	}
+
+	slow := writeArtifact(t, dir, "slow.json", 1500000)
+	out.Reset()
+	if err := run([]string{"compare", "-base", record, "-head", slow}, nil, &out); err == nil {
+		t.Fatalf("regression vs record must fail:\n%s", out.String())
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compare", "-base", empty, "-head", head}, nil, &out); err == nil ||
+		!strings.Contains(err.Error(), "no benchmarks") {
+		t.Fatalf("empty record error = %v", err)
+	}
+}

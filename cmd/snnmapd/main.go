@@ -17,6 +17,16 @@
 // triggers a graceful drain: new jobs are rejected, accepted jobs finish
 // (bounded by -drain-timeout, after which running jobs are canceled —
 // the pipeline observes cancellation within one replay event batch).
+//
+// Fleet modes (see internal/fleet):
+//
+//	snnmapd -fleet-route -peers 127.0.0.1:8081,127.0.0.1:8082   # router
+//	snnmapd -addr :8081 -peers :8081,:8082 -self 127.0.0.1:8081 # worker
+//
+// A router places jobs on a consistent-hash ring over the peers and
+// proxies the job API unchanged; a worker given -peers and -self
+// resolves local result-cache misses from the content address's ring
+// owner before recomputing.
 package main
 
 import (
@@ -30,10 +40,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/fleet"
 	"repro/internal/service"
 )
 
@@ -73,6 +85,14 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		cacheCap     = fs.Int("cache", 256, "result cache capacity (tables kept, LRU)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before running jobs are canceled")
 		version      = fs.Bool("version", false, "print version and exit")
+
+		fleetRoute = fs.Bool("fleet-route", false, "run as a fleet router over -peers instead of executing jobs")
+		peers      = fs.String("peers", "", "comma-separated worker base URLs (router: the fleet; worker: enables peer cache fetch)")
+		self       = fs.String("self", "", "this worker's advertised base URL among -peers (enables peer cache fetch)")
+		vnodes     = fs.Int("vnodes", 0, "consistent-hash virtual nodes per fleet member (0 = default 64; must match fleet-wide)")
+		probeIval  = fs.Duration("probe-interval", 2*time.Second, "router health-probe cadence")
+		failThresh = fs.Int("fail-threshold", 2, "consecutive failed probes before a worker is declared dead and its jobs requeued")
+		gossip     = fs.String("gossip", "", "comma-separated peer router base URLs whose /v1/fleet views are merged (router mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -85,14 +105,32 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		return nil
 	}
 
-	svc := service.New(service.Config{
+	if *fleetRoute {
+		return runRouter(routerOptions{
+			addr:          *addr,
+			peers:         splitList(*peers),
+			gossip:        splitList(*gossip),
+			vnodes:        *vnodes,
+			probeInterval: *probeIval,
+			failThreshold: *failThresh,
+		}, ready)
+	}
+
+	cfg := service.Config{
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
 		JobTimeout:    *jobTimeout,
 		SessionCap:    *sessions,
 		CacheCap:      *cacheCap,
 		ReplayWorkers: *replayW,
-	})
+	}
+	if *peers != "" && *self != "" {
+		// Fleet-attached worker: local result-cache misses consult the
+		// content address's ring owner before recomputing.
+		cfg.FetchPeer = fleet.NewPeerFetcher(*self, splitList(*peers), *vnodes, nil)
+		log.Printf("fleet peer cache enabled (self %s, %d peers)", *self, len(splitList(*peers)))
+	}
+	svc := service.New(cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -127,5 +165,73 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
 	log.Printf("drained; bye")
+	return nil
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// routerOptions carries the fleet-router flag values.
+type routerOptions struct {
+	addr          string
+	peers         []string
+	gossip        []string
+	vnodes        int
+	probeInterval time.Duration
+	failThreshold int
+}
+
+// runRouter serves the fleet router until a signal stops it. The router
+// is stateless (workers hold results), so shutdown is just closing the
+// listener and the health prober.
+func runRouter(opts routerOptions, ready chan<- string) error {
+	rt, err := fleet.NewRouter(fleet.RouterConfig{
+		Peers:         opts.peers,
+		GossipPeers:   opts.gossip,
+		VNodes:        opts.vnodes,
+		ProbeInterval: opts.probeInterval,
+		FailThreshold: opts.failThreshold,
+	})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("fleet router listening on http://%s (%d workers)", ln.Addr(), len(opts.peers))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	log.Printf("router stopped; bye")
 	return nil
 }

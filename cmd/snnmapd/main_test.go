@@ -128,3 +128,112 @@ func TestBootSubmitAndGracefulShutdown(t *testing.T) {
 		t.Fatal("daemon did not drain after SIGTERM")
 	}
 }
+
+// TestFleetRouterBoot boots a worker and a router over it in-process,
+// runs one job through the router end to end, and drains both with
+// SIGTERM — the in-process twin of the CI fleet-smoke job.
+func TestFleetRouterBoot(t *testing.T) {
+	boot := func(args []string) (string, chan error) {
+		t.Helper()
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() { done <- run(args, io.Discard, ready) }()
+		select {
+		case addr := <-ready:
+			return addr, done
+		case err := <-done:
+			t.Fatalf("daemon exited before listening: %v", err)
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon never came up")
+		}
+		return "", nil
+	}
+	worker, workerDone := boot([]string{"-addr", "127.0.0.1:0", "-parallel", "1"})
+	router, routerDone := boot([]string{"-addr", "127.0.0.1:0", "-fleet-route",
+		"-peers", worker, "-probe-interval", "100ms"})
+	base := "http://" + router
+
+	resp, err := http.Get(base + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	version, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(version), "fleet-router") {
+		t.Fatalf("router version = %s", version)
+	}
+
+	spec := `{"app":"gen:modular:n=48,dur=120,seed=5","techniques":["greedy"]}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit via router = %d %s", resp.StatusCode, body)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(st.ID, "fleet-") {
+		t.Fatalf("router job ID %q", st.ID)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for st.State != "done" && st.State != "failed" && st.State != "canceled" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatalf("decoding %q: %v", b, err)
+		}
+	}
+	if st.State != "done" {
+		t.Fatalf("job %s (%s)", st.State, st.Error)
+	}
+	resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/result?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.HasPrefix(csv, []byte("# reports")) {
+		t.Fatalf("result via router = %d %q", resp.StatusCode, csv)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "snnmapd_fleet_routed_total") {
+		t.Fatalf("router metrics missing fleet families:\n%s", metrics)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for _, done := range []chan error{routerDone, workerDone} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exited with %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("daemon did not stop after SIGTERM")
+		}
+	}
+}

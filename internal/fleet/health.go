@@ -1,0 +1,279 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// NodeView is one node's entry in the gossiped membership view: its
+// address, whether this observer currently believes it alive, and the
+// last instant it was seen healthy. Views are merged by LastSeen
+// recency, so a router that lost sight of a worker (e.g. a one-sided
+// network fault) relearns it from a peer router that can still reach it.
+type NodeView struct {
+	Addr     string    `json:"addr"`
+	State    string    `json:"state"` // "alive" | "dead"
+	LastSeen time.Time `json:"last_seen,omitempty"`
+}
+
+const (
+	nodeAlive = "alive"
+	nodeDead  = "dead"
+)
+
+// monitor tracks worker liveness for the router: it probes every node's
+// /healthz on a fixed cadence, counts consecutive failures (probe
+// failures and proxy failures reported by the router both count), and
+// flips a node dead once the threshold is reached — firing onDeath so
+// the router can drop it from the ring and requeue its in-flight jobs.
+// A succeeding probe resurrects the node via onJoin. Gossip peers
+// (other routers) are polled for their /v1/fleet views and merged in.
+type monitor struct {
+	client    *http.Client
+	interval  time.Duration
+	timeout   time.Duration // per-probe budget, floored at 1s
+	threshold int
+	now       func() time.Time
+	gossip    []string // peer routers to merge views from
+
+	onDeath func(node string)
+	onJoin  func(node string)
+
+	mu    sync.Mutex
+	fails map[string]int
+	view  map[string]*NodeView
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+func newMonitor(nodes []string, interval time.Duration, threshold int, client *http.Client, now func() time.Time) *monitor {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if threshold <= 0 {
+		threshold = 2
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	// The probe budget is floored independently of the cadence: a fast
+	// probe interval (tests, aggressive detection) must not shrink the
+	// timeout to where scheduling jitter on a loaded host reads as death
+	// — a killed node still fails instantly (connection refused), so the
+	// floor costs detection latency only for genuinely hung nodes.
+	timeout := interval
+	if timeout < time.Second {
+		timeout = time.Second
+	}
+	m := &monitor{
+		client:    client,
+		interval:  interval,
+		timeout:   timeout,
+		threshold: threshold,
+		now:       now,
+		fails:     map[string]int{},
+		view:      map[string]*NodeView{},
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	// Members start optimistic: routing begins immediately and the first
+	// probe round corrects any node that was never actually up.
+	t := now()
+	for _, n := range nodes {
+		m.view[n] = &NodeView{Addr: n, State: nodeAlive, LastSeen: t}
+	}
+	return m
+}
+
+// start launches the probe loop; close() stops it and waits.
+func (m *monitor) start() {
+	go func() {
+		defer close(m.done)
+		tick := time.NewTicker(m.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-tick.C:
+				m.probeAll()
+				m.gossipAll()
+			}
+		}
+	}()
+}
+
+func (m *monitor) close() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// nodes snapshots the monitored addresses.
+func (m *monitor) nodes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.view))
+	for n := range m.view {
+		out = append(out, n)
+	}
+	return out
+}
+
+// views snapshots the membership view for /v1/fleet and gossip.
+func (m *monitor) views() []NodeView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]NodeView, 0, len(m.view))
+	for _, v := range m.view {
+		out = append(out, *v)
+	}
+	return out
+}
+
+// alive reports whether the node is currently believed healthy.
+func (m *monitor) alive(node string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.view[node]
+	return v != nil && v.State == nodeAlive
+}
+
+func (m *monitor) probeAll() {
+	nodes := m.nodes()
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			if m.probe(node) {
+				m.markAlive(node, m.now())
+			} else {
+				m.reportFailure(node)
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+func (m *monitor) probe(node string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// gossipAll merges peer routers' membership views: alive evidence newer
+// than ours resurrects a node we had declared dead (and clears its
+// failure streak), closing observation gaps between routers.
+func (m *monitor) gossipAll() {
+	for _, peer := range m.gossip {
+		ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/fleet", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := m.client.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			var fv struct {
+				Nodes []NodeView `json:"nodes"`
+			}
+			if json.NewDecoder(resp.Body).Decode(&fv) == nil {
+				for _, nv := range fv.Nodes {
+					if nv.State == nodeAlive {
+						m.mergeAlive(nv.Addr, nv.LastSeen)
+					}
+				}
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		cancel()
+	}
+}
+
+// markAlive records direct healthy evidence, firing onJoin on a
+// dead→alive transition.
+func (m *monitor) markAlive(node string, at time.Time) {
+	m.mu.Lock()
+	v := m.view[node]
+	if v == nil {
+		m.mu.Unlock()
+		return
+	}
+	m.fails[node] = 0
+	revived := v.State != nodeAlive
+	v.State = nodeAlive
+	if at.After(v.LastSeen) {
+		v.LastSeen = at
+	}
+	join := m.onJoin
+	m.mu.Unlock()
+	if revived && join != nil {
+		join(node)
+	}
+}
+
+// mergeAlive applies gossiped alive evidence: only resurrect when the
+// peer's observation is strictly newer than our last direct sighting.
+func (m *monitor) mergeAlive(node string, lastSeen time.Time) {
+	m.mu.Lock()
+	v := m.view[node]
+	if v == nil || !lastSeen.After(v.LastSeen) {
+		m.mu.Unlock()
+		return
+	}
+	m.fails[node] = 0
+	revived := v.State != nodeAlive
+	v.State = nodeAlive
+	v.LastSeen = lastSeen
+	join := m.onJoin
+	m.mu.Unlock()
+	if revived && join != nil {
+		join(node)
+	}
+}
+
+// reportFailure counts one failed interaction (probe or proxy attempt)
+// and flips the node dead at the threshold, firing onDeath once per
+// alive→dead transition.
+func (m *monitor) reportFailure(node string) {
+	m.mu.Lock()
+	v := m.view[node]
+	if v == nil {
+		m.mu.Unlock()
+		return
+	}
+	m.fails[node]++
+	died := v.State == nodeAlive && m.fails[node] >= m.threshold
+	if died {
+		v.State = nodeDead
+	}
+	death := m.onDeath
+	m.mu.Unlock()
+	if died && death != nil {
+		death(node)
+	}
+}

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// routerMetrics aggregates the router's fleet-level counters in the
+// same stdlib-only Prometheus text style as the worker's Metrics.
+type routerMetrics struct {
+	mu          sync.Mutex
+	routedBy    map[string]int64 // accepted placements by node
+	spills      int64            // shed/drain responses spilled past
+	requeues    int64            // routes replayed after a node death
+	proxyErrors int64            // network-level proxy failures
+	batches     int64            // batches fully placed
+
+	// read-time hooks so gauges can never drift from their sources.
+	routeCount func() int
+	nodeStates func() []NodeView
+}
+
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{routedBy: map[string]int64{}}
+}
+
+func (m *routerMetrics) routed(node string) {
+	m.mu.Lock()
+	m.routedBy[node]++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) spill() {
+	m.mu.Lock()
+	m.spills++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) requeue() {
+	m.mu.Lock()
+	m.requeues++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) requeueCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requeues
+}
+
+func (m *routerMetrics) proxyError() {
+	m.mu.Lock()
+	m.proxyErrors++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) batch() {
+	m.mu.Lock()
+	m.batches++
+	m.mu.Unlock()
+}
+
+// WritePrometheus renders the router metrics, deterministically ordered.
+func (m *routerMetrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b []byte
+	p := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+
+	p("# HELP snnmapd_fleet_routed_total Jobs placed on a worker, by node.\n")
+	p("# TYPE snnmapd_fleet_routed_total counter\n")
+	nodes := make([]string, 0, len(m.routedBy))
+	for n := range m.routedBy {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		p("snnmapd_fleet_routed_total{node=%q} %d\n", n, m.routedBy[n])
+	}
+
+	p("# HELP snnmapd_fleet_spills_total Placements spilled past a shedding or draining ring owner.\n")
+	p("# TYPE snnmapd_fleet_spills_total counter\n")
+	p("snnmapd_fleet_spills_total %d\n", m.spills)
+	p("# HELP snnmapd_fleet_requeues_total Jobs replayed on a ring successor after their worker died.\n")
+	p("# TYPE snnmapd_fleet_requeues_total counter\n")
+	p("snnmapd_fleet_requeues_total %d\n", m.requeues)
+	p("# HELP snnmapd_fleet_proxy_errors_total Network-level failures talking to workers.\n")
+	p("# TYPE snnmapd_fleet_proxy_errors_total counter\n")
+	p("snnmapd_fleet_proxy_errors_total %d\n", m.proxyErrors)
+	p("# HELP snnmapd_fleet_batches_total Batches fully placed across the fleet.\n")
+	p("# TYPE snnmapd_fleet_batches_total counter\n")
+	p("snnmapd_fleet_batches_total %d\n", m.batches)
+
+	if m.routeCount != nil {
+		p("# HELP snnmapd_fleet_routes Jobs currently tracked by the route table.\n")
+		p("# TYPE snnmapd_fleet_routes gauge\n")
+		p("snnmapd_fleet_routes %d\n", m.routeCount())
+	}
+	if m.nodeStates != nil {
+		views := m.nodeStates()
+		alive, dead := 0, 0
+		for _, v := range views {
+			if v.State == nodeAlive {
+				alive++
+			} else {
+				dead++
+			}
+		}
+		p("# HELP snnmapd_fleet_nodes Fleet members by health state.\n")
+		p("# TYPE snnmapd_fleet_nodes gauge\n")
+		p("snnmapd_fleet_nodes{state=\"alive\"} %d\n", alive)
+		p("snnmapd_fleet_nodes{state=\"dead\"} %d\n", dead)
+	}
+
+	_, err := w.Write(b)
+	return err
+}
+
+// sortViews orders membership views by address for stable rendering.
+func sortViews(views []NodeView) {
+	sort.Slice(views, func(i, j int) bool { return views[i].Addr < views[j].Addr })
+}

@@ -1,0 +1,59 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+
+	snnmap "repro"
+)
+
+// NewPeerFetcher builds the worker-side second tier of the result
+// cache: a service.Config.FetchPeer hook that, on a local cache miss,
+// asks the ring owner of the content address for its cached table via
+// GET /v1/cache/{hash}. self is this worker's own advertised address
+// (skipped — its cache was the first tier), peers the full fleet
+// membership, vnodes the ring's virtual-point count (must match the
+// router's so both agree on ownership; <=0 picks the default 64).
+//
+// The lookup is deliberately one hop and best-effort: a fetch that
+// fails for any reason (owner down, not cached there either, slow
+// network) is a miss and the worker recomputes — the fetch must never
+// cost more than the compute it tries to save, so it is bounded by a
+// short timeout.
+func NewPeerFetcher(self string, peers []string, vnodes int, client *http.Client) func(ctx context.Context, hash string) (*snnmap.Table, bool) {
+	self = normalizeBase(self)
+	ring := NewRing(vnodes, normalizeBases(peers)...)
+	ring.Add(self)
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return func(ctx context.Context, hash string) (*snnmap.Table, bool) {
+		owner, ok := ring.Owner(hash)
+		if !ok || owner == self {
+			// We are the owner (or alone): the local tier already missed.
+			return nil, false
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/cache/"+hash, nil)
+		if err != nil {
+			return nil, false
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, false
+		}
+		defer func() {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+		if resp.StatusCode != http.StatusOK {
+			return nil, false
+		}
+		table, err := snnmap.ReadTableJSON(resp.Body)
+		if err != nil {
+			return nil, false
+		}
+		return table, true
+	}
+}

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOwnerStable pins the consistency property that cache affinity
+// rides on: a key's owner never changes while its owner stays a member,
+// and removing one node moves only the keys that node owned.
+func TestRingOwnerStable(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(0, nodes...)
+	if r.Len() != 3 {
+		t.Fatalf("ring members = %d, want 3", r.Len())
+	}
+
+	const keys = 500
+	owner := map[string]string{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("hash-%04d", i)
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %s", k)
+		}
+		owner[k] = o
+	}
+
+	// Owner lookups are deterministic.
+	for k, o := range owner {
+		if got, _ := r.Owner(k); got != o {
+			t.Fatalf("owner of %s drifted %s -> %s with no membership change", k, o, got)
+		}
+	}
+
+	// Removing c moves only c's keys; everyone else's stay put.
+	r.Remove("http://c:1")
+	for k, o := range owner {
+		got, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %s after removal", k)
+		}
+		if o != "http://c:1" && got != o {
+			t.Fatalf("key %s owned by %s moved to %s when an unrelated node left", k, o, got)
+		}
+		if o == "http://c:1" && got == "http://c:1" {
+			t.Fatalf("key %s still owned by the removed node", k)
+		}
+	}
+
+	// Re-adding c restores the original placement exactly.
+	r.Add("http://c:1")
+	for k, o := range owner {
+		if got, _ := r.Owner(k); got != o {
+			t.Fatalf("key %s not restored to %s after rejoin (got %s)", k, o, got)
+		}
+	}
+}
+
+// TestRingBalance sanity-checks the virtual-node spread: no node of a
+// 3-node ring owns a wildly disproportionate key share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64, "http://a:1", "http://b:1", "http://c:1")
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		o, _ := r.Owner(fmt.Sprintf("hash-%05d", i))
+		counts[o]++
+	}
+	for node, n := range counts {
+		share := float64(n) / keys
+		if share < 0.10 || share > 0.60 {
+			t.Fatalf("node %s owns %.0f%% of keys (%v) — virtual nodes not spreading", node, share*100, counts)
+		}
+	}
+}
+
+// TestRingSuccessors pins the failover preference list: distinct nodes,
+// owner first, covering the whole ring.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(0, "http://a:1", "http://b:1", "http://c:1")
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("hash-%02d", i)
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("successors(%s) = %v, want all 3 nodes", k, succ)
+		}
+		owner, _ := r.Owner(k)
+		if succ[0] != owner {
+			t.Fatalf("successors(%s)[0] = %s, want owner %s", k, succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("successors(%s) repeats %s: %v", k, n, succ)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Successors("k", 10); len(got) != 3 {
+		t.Fatalf("successors beyond membership = %v, want 3 distinct", got)
+	}
+
+	empty := NewRing(0)
+	if _, ok := empty.Owner("k"); ok {
+		t.Fatal("empty ring claims an owner")
+	}
+	if got := empty.Successors("k", 3); got != nil {
+		t.Fatalf("empty ring successors = %v", got)
+	}
+}
+
+// BenchmarkRingOwner measures the routing hot path: one placement
+// lookup on a 16-node, 64-vnode ring.
+func BenchmarkRingOwner(b *testing.B) {
+	nodes := make([]string, 16)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://worker-%02d:8080", i)
+	}
+	r := NewRing(64, nodes...)
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Owner(keys[i%len(keys)]); !ok {
+			b.Fatal("no owner")
+		}
+	}
+}

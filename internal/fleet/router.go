@@ -1,0 +1,1006 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	snnmap "repro"
+	"repro/internal/service"
+)
+
+// maxSpecBytes / maxBatchBytes mirror the worker-side admission bounds.
+const (
+	maxSpecBytes  = 1 << 20
+	maxBatchBytes = 8 << 20
+)
+
+// RouterConfig configures a fleet router.
+type RouterConfig struct {
+	// Peers are the worker base URLs (host:port or http://host:port).
+	Peers []string
+	// VNodes is the consistent-hash ring's virtual-point count per node
+	// (<=0 picks the default 64). Must match the workers' peer-fetch
+	// rings so router and workers agree on content-address ownership.
+	VNodes int
+	// ProbeInterval is the health-probe cadence (default 2s).
+	ProbeInterval time.Duration
+	// FailThreshold is the consecutive-failure count that declares a
+	// node dead (default 2). Proxy failures count toward it too.
+	FailThreshold int
+	// RetryAfter is the advised backoff on relayed shed responses when
+	// every candidate refused (default 1s).
+	RetryAfter time.Duration
+	// GossipPeers are other routers whose /v1/fleet membership views are
+	// merged into this router's (optional).
+	GossipPeers []string
+	// Client overrides the request/response proxy client (tests).
+	Client *http.Client
+	// StreamClient overrides the SSE relay client (tests). It must not
+	// carry an overall timeout — streams live as long as the job.
+	StreamClient *http.Client
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// route is the router's record of one accepted job: which worker holds
+// it, under what remote ID, and everything needed to replay the
+// submission elsewhere if that worker dies. The per-route mutex
+// serializes requeue attempts — exactly one resubmission happens per
+// node death however many pollers observe the failure, which is what
+// keeps re-execution single-flight (and, with content addressing,
+// idempotent).
+type route struct {
+	id       string
+	hash     string
+	tenant   string
+	specJSON []byte // normalized submission body, replayed on requeue
+
+	mu       sync.Mutex
+	node     string
+	remoteID string
+	terminal bool
+	requeues int
+	last     service.JobStatus // last worker-observed status (raw IDs)
+}
+
+// snapshot returns the current placement.
+func (ro *route) snapshot() (node, remoteID string, terminal bool) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	return ro.node, ro.remoteID, ro.terminal
+}
+
+// observe records a worker-reported status.
+func (ro *route) observe(st service.JobStatus) {
+	ro.mu.Lock()
+	ro.last = st
+	if isTerminal(st.State) {
+		ro.terminal = true
+	}
+	ro.mu.Unlock()
+}
+
+// rewrite projects a worker status into the router's namespace: the
+// router-scoped job ID and its result path replace the worker's, the
+// rest of the wire shape passes through unchanged.
+func (ro *route) rewrite(st service.JobStatus) service.JobStatus {
+	st.ID = ro.id
+	if st.Result != "" {
+		st.Result = "/v1/jobs/" + ro.id + "/result"
+	}
+	return st
+}
+
+// lastStatus returns the last observed status, rewritten.
+func (ro *route) lastStatus() service.JobStatus {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	return ro.rewrite(ro.last)
+}
+
+func isTerminal(s service.JobState) bool {
+	return s == service.JobDone || s == service.JobFailed || s == service.JobCanceled
+}
+
+// Router is the fleet's front door: it speaks the snnmapd wire surface
+// (/v1/jobs, /v1/batches, SSE, results) and places every job on the
+// consistent-hash ring keyed by the spec's content address — so repeats
+// of a spec always land where its warm session and cached result live.
+// Overloaded owners spill to ring successors; dead nodes are detected by
+// the health monitor, dropped from the ring, and their in-flight jobs
+// requeued onto the next successor.
+type Router struct {
+	cfg     RouterConfig
+	client  *http.Client
+	stream  *http.Client
+	now     func() time.Time
+	mon     *monitor
+	metrics *routerMetrics
+
+	mu     sync.Mutex
+	ring   *Ring
+	seq    int
+	routes map[string]*route
+	order  []string
+}
+
+// NewRouter builds a router over the given worker peers. Call Start to
+// begin health probing and Close to stop it.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	peers := normalizeBases(cfg.Peers)
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("fleet: router needs at least one peer")
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	rt := &Router{
+		cfg:     cfg,
+		client:  cfg.Client,
+		stream:  cfg.StreamClient,
+		now:     cfg.Now,
+		metrics: newRouterMetrics(),
+		ring:    NewRing(cfg.VNodes, peers...),
+		routes:  map[string]*route{},
+	}
+	if rt.client == nil {
+		rt.client = apiClient()
+	}
+	if rt.stream == nil {
+		rt.stream = streamClient()
+	}
+	if rt.now == nil {
+		rt.now = time.Now
+	}
+	rt.mon = newMonitor(peers, cfg.ProbeInterval, cfg.FailThreshold, rt.client, rt.now)
+	rt.mon.gossip = normalizeBases(cfg.GossipPeers)
+	rt.mon.onDeath = rt.nodeDied
+	rt.mon.onJoin = rt.nodeJoined
+	rt.metrics.routeCount = func() int {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		return len(rt.routes)
+	}
+	rt.metrics.nodeStates = rt.mon.views
+	return rt, nil
+}
+
+// Start launches health probing.
+func (rt *Router) Start() { rt.mon.start() }
+
+// Close stops health probing.
+func (rt *Router) Close() { rt.mon.close() }
+
+// nodeDied drops the node from the ring and requeues its in-flight
+// routes onto ring successors (health-monitor callback).
+func (rt *Router) nodeDied(node string) {
+	rt.mu.Lock()
+	rt.ring.Remove(node)
+	routes := make([]*route, 0, len(rt.order))
+	for _, id := range rt.order {
+		routes = append(routes, rt.routes[id])
+	}
+	rt.mu.Unlock()
+	for _, ro := range routes {
+		n, _, terminal := ro.snapshot()
+		if n == node && !terminal {
+			rt.requeueRoute(ro, node, false)
+		}
+	}
+}
+
+// nodeJoined restores a recovered node to the ring (health-monitor
+// callback); keys it owns flow back on the next submissions.
+func (rt *Router) nodeJoined(node string) {
+	rt.mu.Lock()
+	rt.ring.Add(node)
+	rt.mu.Unlock()
+}
+
+// successors lists the live candidates for a content address: the ring
+// owner first, then the nodes that inherit the key as owners disappear.
+func (rt *Router) successors(hash string) []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring.Successors(hash, rt.ring.Len())
+}
+
+// newRoute registers an accepted placement under a fresh router job ID.
+func (rt *Router) newRoute(hash, tenant string, specJSON []byte, node string, st service.JobStatus) *route {
+	rt.mu.Lock()
+	rt.seq++
+	ro := &route{
+		id:       fmt.Sprintf("fleet-%06d", rt.seq),
+		hash:     hash,
+		tenant:   tenant,
+		specJSON: specJSON,
+		node:     node,
+		remoteID: st.ID,
+		last:     st,
+		terminal: isTerminal(st.State),
+	}
+	rt.routes[ro.id] = ro
+	rt.order = append(rt.order, ro.id)
+	rt.mu.Unlock()
+	return ro
+}
+
+// lookup resolves a router job ID.
+func (rt *Router) lookup(id string) (*route, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ro, ok := rt.routes[id]
+	return ro, ok
+}
+
+// doJSON issues one proxied request against a worker.
+func (rt *Router) doJSON(ctx context.Context, method, node, path string, body []byte, tenant string) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, node+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	return rt.client.Do(req)
+}
+
+// submitTo walks the candidate list, placing the spec on the first node
+// that accepts it. Shed (429) and draining (503) responses spill to the
+// next ring successor — content addressing makes cross-node placement
+// safe, it only trades cache locality for availability. Network
+// failures count toward the node's death threshold. Returns the
+// accepting node, its decoded status and HTTP code; or, when every
+// candidate refused, the last refusal to relay (nil body means no live
+// workers at all).
+func (rt *Router) submitTo(ctx context.Context, candidates []string, specJSON []byte, tenant string, exclude string) (node string, st service.JobStatus, code int, rf *refusal, err error) {
+	var lastRefusal *refusal
+	for _, n := range candidates {
+		if n == exclude {
+			continue
+		}
+		resp, derr := rt.doJSON(ctx, http.MethodPost, n, "/v1/jobs", specJSON, tenant)
+		if derr != nil {
+			rt.metrics.proxyError()
+			rt.mon.reportFailure(n)
+			continue
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes))
+		resp.Body.Close()
+		if rerr != nil {
+			rt.metrics.proxyError()
+			rt.mon.reportFailure(n)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			var status service.JobStatus
+			if json.Unmarshal(body, &status) != nil {
+				rt.metrics.proxyError()
+				continue
+			}
+			return n, status, resp.StatusCode, nil, nil
+		case http.StatusTooManyRequests:
+			rt.metrics.spill()
+			lastRefusal = &refusal{code: resp.StatusCode, body: body, retryAfter: resp.Header.Get("Retry-After")}
+		case http.StatusServiceUnavailable:
+			lastRefusal = &refusal{code: resp.StatusCode, body: body, retryAfter: resp.Header.Get("Retry-After")}
+		default:
+			// A definitive answer (e.g. 400): relay it, no spilling.
+			return "", service.JobStatus{}, resp.StatusCode, &refusal{code: resp.StatusCode, body: body, contentType: resp.Header.Get("Content-Type")}, nil
+		}
+	}
+	if lastRefusal != nil {
+		return "", service.JobStatus{}, lastRefusal.code, lastRefusal, nil
+	}
+	return "", service.JobStatus{}, 0, nil, fmt.Errorf("no live workers")
+}
+
+// refusal is a worker response relayed verbatim.
+type refusal struct {
+	code        int
+	body        []byte
+	retryAfter  string
+	contentType string
+}
+
+func (rt *Router) relayRefusal(w http.ResponseWriter, rf *refusal) {
+	ct := rf.contentType
+	if ct == "" {
+		ct = "application/json"
+	}
+	w.Header().Set("Content-Type", ct)
+	if rf.retryAfter != "" {
+		w.Header().Set("Retry-After", rf.retryAfter)
+	}
+	w.WriteHeader(rf.code)
+	_, _ = w.Write(rf.body)
+}
+
+// requeueRoute replays a route's submission on the failed node's ring
+// successors. The per-route lock makes the requeue single-flight: the
+// first caller to observe the death resubmits, every concurrent
+// observer sees the placement already moved and backs off. force
+// ignores the terminal flag — used when the worker holding a finished
+// result is gone and the table must be recomputed (idempotent by
+// content addressing). Reports whether the route points at a live
+// placement afterwards.
+func (rt *Router) requeueRoute(ro *route, failed string, force bool) bool {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if ro.node != failed {
+		return true // someone else already moved it
+	}
+	if ro.terminal && !force {
+		return false
+	}
+	orphanID := ro.remoteID
+	for _, n := range rt.successors(ro.hash) {
+		if n == failed {
+			continue
+		}
+		// Background context: the requeue must not die with whichever
+		// client request happened to observe the failure.
+		resp, err := rt.doJSON(context.Background(), http.MethodPost, n, "/v1/jobs", ro.specJSON, ro.tenant)
+		if err != nil {
+			rt.metrics.proxyError()
+			rt.mon.reportFailure(n)
+			continue
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes))
+		resp.Body.Close()
+		if rerr != nil {
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			var st service.JobStatus
+			if json.Unmarshal(body, &st) != nil {
+				continue
+			}
+			ro.node = n
+			ro.remoteID = st.ID
+			ro.last = st
+			ro.terminal = isTerminal(st.State)
+			ro.requeues++
+			rt.metrics.requeue()
+			// Best-effort cancel of the orphan on the failed node. A true
+			// death makes this a no-op (nothing is listening); a false
+			// positive — the node was alive and merely slow — leaves a
+			// duplicate execution running there, and this is what stops
+			// it, keeping one logical job at one execution fleet-wide.
+			go rt.cancelOrphan(failed, orphanID)
+			return true
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			continue // shed or draining: try the next successor
+		default:
+			continue
+		}
+	}
+	return false
+}
+
+// Handler returns the router's HTTP surface: the snnmapd job API
+// proxied over the fleet, plus the fleet topology view.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
+	mux.HandleFunc("POST /v1/batches", rt.handleBatch)
+	mux.HandleFunc("GET /v1/jobs", rt.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", rt.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", rt.handleEvents)
+	mux.HandleFunc("GET /v1/fleet", rt.handleFleet)
+	mux.HandleFunc("GET /v1/version", rt.handleVersion)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return mux
+}
+
+// handleSubmit places one job on the ring owner of its content address,
+// spilling to successors when the owner sheds or drains.
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec snnmap.JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	spec, err := spec.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash := spec.Hash()
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tenant := r.Header.Get("X-Tenant")
+
+	node, st, code, rf, err := rt.submitTo(r.Context(), rt.successors(hash), specJSON, tenant, "")
+	if err != nil {
+		writeBackpressure(w, http.StatusServiceUnavailable, rt.cfg.RetryAfter.Milliseconds(), "no live workers")
+		return
+	}
+	if rf != nil {
+		rt.relayRefusal(w, rf)
+		return
+	}
+	ro := rt.newRoute(hash, tenant, specJSON, node, st)
+	rt.metrics.routed(node)
+	writeJSON(w, code, ro.rewrite(st))
+}
+
+// handleStatus reports a job's status. Terminal routes answer from the
+// router's snapshot (terminal statuses never change, and must survive
+// the worker that produced them); live routes are proxied, and a dead
+// or amnesiac worker (connection failure, or 404 from a restarted
+// process that lost its store) triggers a requeue.
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	ro, ok := rt.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	node, remoteID, terminal := ro.snapshot()
+	if terminal {
+		writeJSON(w, http.StatusOK, ro.lastStatus())
+		return
+	}
+	resp, err := rt.doJSON(r.Context(), http.MethodGet, node, "/v1/jobs/"+remoteID, nil, "")
+	if err != nil {
+		rt.metrics.proxyError()
+		rt.mon.reportFailure(node)
+		rt.requeueRoute(ro, node, false)
+		writeJSON(w, http.StatusOK, ro.lastStatus())
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		rt.requeueRoute(ro, node, false)
+		writeJSON(w, http.StatusOK, ro.lastStatus())
+		return
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxSpecBytes)).Decode(&st); err != nil {
+		writeError(w, http.StatusBadGateway, "decoding worker status: %v", err)
+		return
+	}
+	ro.observe(st)
+	writeJSON(w, http.StatusOK, ro.rewrite(st))
+}
+
+// handleList reports every route's last observed status, in submission
+// order — a fleet-wide view without a fleet-wide fan-out.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	routes := make([]*route, 0, len(rt.order))
+	for _, id := range rt.order {
+		routes = append(routes, rt.routes[id])
+	}
+	rt.mu.Unlock()
+	resp := struct {
+		Jobs []service.JobStatus `json:"jobs"`
+	}{Jobs: make([]service.JobStatus, 0, len(routes))}
+	for _, ro := range routes {
+		resp.Jobs = append(resp.Jobs, ro.lastStatus())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCancel propagates DELETE to the owning worker. When the worker
+// is unreachable the cancel still wins: the route is marked canceled
+// locally — the job either died with its node or will be discarded when
+// the worker's answer has no route to land on.
+func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
+	ro, ok := rt.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	node, remoteID, _ := ro.snapshot()
+	resp, err := rt.doJSON(r.Context(), http.MethodDelete, node, "/v1/jobs/"+remoteID, nil, "")
+	if err != nil {
+		rt.metrics.proxyError()
+		rt.mon.reportFailure(node)
+		ro.mu.Lock()
+		if !ro.terminal {
+			ro.terminal = true
+			ro.last.State = service.JobCanceled
+			ro.last.Error = "canceled; worker " + node + " unreachable"
+		}
+		st := ro.rewrite(ro.last)
+		ro.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes))
+	if resp.StatusCode != http.StatusOK {
+		// Conflict and friends: relay, with the worker's job ID masked by
+		// the router's.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(bytes.ReplaceAll(body, []byte(remoteID), []byte(ro.id)))
+		return
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		writeError(w, http.StatusBadGateway, "decoding worker status: %v", err)
+		return
+	}
+	ro.observe(st)
+	writeJSON(w, http.StatusOK, ro.rewrite(st))
+}
+
+// handleResult relays a done job's table bytes verbatim — the fleet's
+// byte-identity guarantee rides on this handler never re-encoding. When
+// the worker holding the result is gone, the job is re-placed (force:
+// recomputing an identical canonical spec reproduces the identical
+// table) and the client advised to retry.
+func (rt *Router) handleResult(w http.ResponseWriter, r *http.Request) {
+	ro, ok := rt.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	node, remoteID, _ := ro.snapshot()
+	path := "/v1/jobs/" + remoteID + "/result"
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, node+path, nil)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	if accept := r.Header.Get("Accept"); accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.metrics.proxyError()
+		rt.mon.reportFailure(node)
+		rt.requeueRoute(ro, node, true)
+		writeBackpressure(w, http.StatusServiceUnavailable, rt.cfg.RetryAfter.Milliseconds(),
+			"worker %s unreachable; job requeued, retry for the recomputed result", node)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes))
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(bytes.ReplaceAll(body, []byte(remoteID), []byte(ro.id)))
+		return
+	}
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// cancelOrphan DELETEs a job left behind on a node the router stopped
+// trusting (requeue already moved the route elsewhere). Failures are
+// expected — the node is usually gone — and ignored.
+func (rt *Router) cancelOrphan(node, remoteID string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, node+"/v1/jobs/"+remoteID, nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// handleEvents relays the worker's SSE stream. Events carry no job IDs,
+// so frames pass through byte-for-byte; the router only watches for the
+// terminal state event (normal end of stream) and, when the stream
+// breaks before one, requeues the job and reattaches to its new worker
+// — emitting an explicit `requeued` event so subscribers know the
+// following replay restarts the history.
+func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ro, ok := rt.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by this connection", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		node, remoteID, _ := ro.snapshot()
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, node+"/v1/jobs/"+remoteID+"/events", nil)
+		if err != nil {
+			return
+		}
+		resp, err := rt.stream.Do(req)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client went away
+			}
+			rt.metrics.proxyError()
+			rt.mon.reportFailure(node)
+			if !rt.requeueRoute(ro, node, false) {
+				return
+			}
+			fmt.Fprintf(w, "event: requeued\ndata: {\"from\":%q}\n\n", node)
+			flusher.Flush()
+			continue
+		}
+		sawTerminal := rt.relaySSE(w, flusher, resp.Body, ro)
+		resp.Body.Close()
+		if sawTerminal || r.Context().Err() != nil {
+			return
+		}
+		// Stream cut before the job finished: the worker died mid-run.
+		rt.mon.reportFailure(node)
+		if !rt.requeueRoute(ro, node, false) {
+			return
+		}
+		fmt.Fprintf(w, "event: requeued\ndata: {\"from\":%q}\n\n", node)
+		flusher.Flush()
+	}
+}
+
+// relaySSE copies SSE frames from the worker to the client, flushing
+// per frame, and reports whether a terminal state event went through.
+// A slow client applies backpressure here, which parks the worker-side
+// cursor — its event log is lossless, so nothing is dropped end to end.
+func (rt *Router) relaySSE(w http.ResponseWriter, flusher http.Flusher, body io.Reader, ro *route) bool {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxSpecBytes)
+	inState := false
+	terminal := false
+	for sc.Scan() {
+		line := sc.Text()
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return terminal
+		}
+		switch {
+		case line == "event: state":
+			inState = true
+		case inState && strings.HasPrefix(line, "data: "):
+			inState = false
+			if strings.Contains(line, `"state":"done"`) ||
+				strings.Contains(line, `"state":"failed"`) ||
+				strings.Contains(line, `"state":"canceled"`) {
+				terminal = true
+				ro.mu.Lock()
+				ro.terminal = true
+				ro.mu.Unlock()
+			}
+		case line == "":
+			flusher.Flush()
+		}
+	}
+	return terminal
+}
+
+// handleBatch scatters a batch across the fleet by ring owner and
+// merges the per-worker responses back into input order. Each worker
+// still groups its share by session key, so warm sessions are built at
+// most once per sub-batch. If any sub-batch is refused everywhere the
+// whole batch fails with the refusal, and already-placed sub-batches
+// are canceled best-effort — a batch is admitted all-or-nothing from
+// the caller's point of view.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Jobs []snnmap.JobSpec `json:"jobs"`
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBatchBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	specs := make([]snnmap.JobSpec, len(req.Jobs))
+	hashes := make([]string, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		norm, err := spec.Normalize()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "jobs[%d]: %v", i, err)
+			return
+		}
+		specs[i] = norm
+		hashes[i] = norm.Hash()
+	}
+	tenant := r.Header.Get("X-Tenant")
+
+	// Scatter: sub-batch per ring owner, input order preserved within
+	// each. An empty ring (every worker dead) fails fast.
+	type subBatch struct {
+		owner   string
+		indices []int
+	}
+	var order []string
+	subs := map[string]*subBatch{}
+	for i, h := range hashes {
+		cands := rt.successors(h)
+		if len(cands) == 0 {
+			writeBackpressure(w, http.StatusServiceUnavailable, rt.cfg.RetryAfter.Milliseconds(), "no live workers")
+			return
+		}
+		owner := cands[0]
+		sb := subs[owner]
+		if sb == nil {
+			sb = &subBatch{owner: owner}
+			subs[owner] = sb
+			order = append(order, owner)
+		}
+		sb.indices = append(sb.indices, i)
+	}
+
+	type placed struct {
+		node     string
+		statuses []service.JobStatus
+		indices  []int
+	}
+	var placements []placed
+	rollback := func() {
+		for _, p := range placements {
+			for _, st := range p.statuses {
+				if !isTerminal(st.State) {
+					resp, err := rt.doJSON(context.Background(), http.MethodDelete, p.node, "/v1/jobs/"+st.ID, nil, "")
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}
+	}
+	for _, owner := range order {
+		sb := subs[owner]
+		sub := struct {
+			Jobs []snnmap.JobSpec `json:"jobs"`
+		}{Jobs: make([]snnmap.JobSpec, 0, len(sb.indices))}
+		for _, i := range sb.indices {
+			sub.Jobs = append(sub.Jobs, specs[i])
+		}
+		body, err := json.Marshal(sub)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Owner first, spill the whole sub-batch to the remaining live
+		// nodes on shed/drain — session grouping is per-worker, so the
+		// sub-batch stays valid wherever it lands.
+		candidates := []string{sb.owner}
+		for _, n := range rt.liveNodes() {
+			if n != sb.owner {
+				candidates = append(candidates, n)
+			}
+		}
+		st, rf, err := rt.submitBatchTo(r.Context(), candidates, body, tenant)
+		if err != nil || rf != nil {
+			rollback()
+			if rf != nil {
+				rt.relayRefusal(w, rf)
+			} else {
+				writeBackpressure(w, http.StatusServiceUnavailable, rt.cfg.RetryAfter.Milliseconds(), "no live workers")
+			}
+			return
+		}
+		if len(st.statuses) != len(sb.indices) {
+			rollback()
+			writeError(w, http.StatusBadGateway, "worker %s returned %d statuses for %d jobs", st.node, len(st.statuses), len(sb.indices))
+			return
+		}
+		placements = append(placements, placed{node: st.node, statuses: st.statuses, indices: sb.indices})
+	}
+
+	// Merge: one route per distinct remote job (duplicate hashes collapse
+	// worker-side onto one job; they share a route here too), statuses in
+	// input order.
+	rt.metrics.batch()
+	resp := struct {
+		Jobs []service.JobStatus `json:"jobs"`
+	}{Jobs: make([]service.JobStatus, len(specs))}
+	shared := map[string]*route{}
+	for _, p := range placements {
+		for k, st := range p.statuses {
+			i := p.indices[k]
+			key := p.node + "|" + st.ID
+			ro := shared[key]
+			if ro == nil {
+				specJSON, err := json.Marshal(specs[i])
+				if err != nil {
+					writeError(w, http.StatusBadRequest, "%v", err)
+					return
+				}
+				ro = rt.newRoute(hashes[i], tenant, specJSON, p.node, st)
+				rt.metrics.routed(p.node)
+				shared[key] = ro
+			}
+			resp.Jobs[i] = ro.rewrite(st)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchPlacement is one accepted sub-batch.
+type batchPlacement struct {
+	node     string
+	statuses []service.JobStatus
+}
+
+// submitBatchTo mirrors submitTo for sub-batches.
+func (rt *Router) submitBatchTo(ctx context.Context, candidates []string, body []byte, tenant string) (*batchPlacement, *refusal, error) {
+	var lastRefusal *refusal
+	for _, n := range candidates {
+		resp, err := rt.doJSON(ctx, http.MethodPost, n, "/v1/batches", body, tenant)
+		if err != nil {
+			rt.metrics.proxyError()
+			rt.mon.reportFailure(n)
+			continue
+		}
+		rb, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBatchBytes))
+		resp.Body.Close()
+		if rerr != nil {
+			rt.metrics.proxyError()
+			rt.mon.reportFailure(n)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var br struct {
+				Jobs []service.JobStatus `json:"jobs"`
+			}
+			if json.Unmarshal(rb, &br) != nil {
+				rt.metrics.proxyError()
+				continue
+			}
+			return &batchPlacement{node: n, statuses: br.Jobs}, nil, nil
+		case http.StatusTooManyRequests:
+			rt.metrics.spill()
+			lastRefusal = &refusal{code: resp.StatusCode, body: rb, retryAfter: resp.Header.Get("Retry-After")}
+		case http.StatusServiceUnavailable:
+			lastRefusal = &refusal{code: resp.StatusCode, body: rb, retryAfter: resp.Header.Get("Retry-After")}
+		default:
+			return nil, &refusal{code: resp.StatusCode, body: rb, contentType: resp.Header.Get("Content-Type")}, nil
+		}
+	}
+	if lastRefusal != nil {
+		return nil, lastRefusal, nil
+	}
+	return nil, nil, fmt.Errorf("no live workers")
+}
+
+// liveNodes lists the ring members (alive by construction).
+func (rt *Router) liveNodes() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring.Nodes()
+}
+
+// FleetView is the wire shape of GET /v1/fleet: the router's membership
+// view (also the gossip payload merged by peer routers).
+type FleetView struct {
+	VNodes   int        `json:"vnodes"`
+	Nodes    []NodeView `json:"nodes"`
+	Routes   int        `json:"routes"`
+	Requeues int64      `json:"requeues"`
+}
+
+func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
+	views := rt.mon.views()
+	sortViews(views)
+	rt.mu.Lock()
+	routes := len(rt.routes)
+	vnodes := rt.ring.vnodes
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, FleetView{
+		VNodes:   vnodes,
+		Nodes:    views,
+		Routes:   routes,
+		Requeues: rt.metrics.requeueCount(),
+	})
+}
+
+func (rt *Router) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Service string `json:"service"`
+		Mode    string `json:"mode"`
+		Peers   int    `json:"peers"`
+	}{Service: "snnmapd", Mode: "fleet-router", Peers: len(rt.mon.nodes())})
+}
+
+// handleHealthz: the router is stateless and always live; worker health
+// is reported per node on /v1/fleet.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = rt.metrics.WritePrometheus(w)
+}
+
+// --- small local twins of the worker's response helpers (the service
+// package keeps its own unexported; the wire shapes must match). ---
+
+type errorBody struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+func errCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	case http.StatusServiceUnavailable:
+		return "draining"
+	}
+	return "error"
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...), Code: errCode(code)})
+}
+
+func writeBackpressure(w http.ResponseWriter, status int, retryAfter int64, format string, args ...any) {
+	secs := retryAfter / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, errorBody{
+		Error:        fmt.Sprintf(format, args...),
+		Code:         errCode(status),
+		RetryAfterMs: retryAfter,
+	})
+}

@@ -106,3 +106,67 @@ func BenchmarkServiceWarmVsCold(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkServiceBatch measures the grouped batch path: four unique
+// jobs sharing one session key admitted as a single /v1/batches call,
+// executed back to back on one warm session. Comparing one op here
+// against four warm-session submits above isolates the batch overhead
+// (admission, grouping, status merge).
+func BenchmarkServiceBatch(b *testing.B) {
+	spec := snnmap.JobSpec{
+		App:        "gen:modular:n=96,dur=150,seed=5",
+		Arch:       "tree",
+		Techniques: []string{"greedy"},
+	}
+	s := New(Config{Workers: 1, CacheCap: 1 << 20})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = s.Drain(ctx)
+	}()
+	h := s.Handler()
+	benchSubmitAndWait(b, h, spec) // prime the session
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		specs := make([]snnmap.JobSpec, 4)
+		for j := range specs {
+			varied := spec
+			varied.Techniques = []string{"pso"}
+			varied.SwarmSize = 4
+			varied.Iterations = 1 + i*len(specs) + j // unique spec, same session key
+			specs[j] = varied
+		}
+		body, err := json.Marshal(map[string]any{"jobs": specs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batches", strings.NewReader(string(body))))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("batch = %d %s", rec.Code, rec.Body.String())
+		}
+		var resp struct {
+			Jobs []JobStatus `json:"jobs"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range resp.Jobs {
+			for !st.State.terminal() {
+				time.Sleep(200 * time.Microsecond)
+				r := httptest.NewRecorder()
+				h.ServeHTTP(r, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+st.ID, nil))
+				if err := json.Unmarshal(r.Body.Bytes(), &st); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if st.State != JobDone {
+				b.Fatalf("batch job %s (%s)", st.State, st.Error)
+			}
+		}
+	}
+	b.StopTimer()
+	if snap := s.Snapshot(); snap.PoolBuilds != 1 {
+		b.Fatalf("batch benchmark built %d sessions, want 1", snap.PoolBuilds)
+	}
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -84,4 +85,81 @@ func TestWireFormatsGolden(t *testing.T) {
 		t.Fatalf("unknown job = %d", notFound.Code)
 	}
 	goldentest.Check(t, "error_not_found.json.golden", notFound.Body.Bytes())
+}
+
+// TestBackpressureAndBatchGolden pins the backpressure (429/503) and
+// batch wire shapes. The single worker is pinned by a slow job, so the
+// queue contents — and therefore every golden byte — are deterministic:
+// batch jobs stay queued, nothing races the injected clock.
+func TestBackpressureAndBatchGolden(t *testing.T) {
+	s, h := newTestServer(t, Config{Workers: 1, QueueDepth: 2, Now: stepClock()})
+	spec := snnmap.JobSpec{
+		App:        "gen:modular:n=48,dur=120,seed=5",
+		Arch:       "tree",
+		Techniques: []string{"greedy"},
+	}
+
+	// Prime the result cache so the batch can show a born-done status.
+	prime := waitTerminal(t, h, submit(t, h, spec, http.StatusAccepted).ID)
+	if prime.State != JobDone {
+		t.Fatalf("prime job %s (%s)", prime.State, prime.Error)
+	}
+
+	slow := submit(t, h, slowSpec(), http.StatusAccepted)
+	waitRunning(t, h, slow.ID)
+
+	// Batch: a fresh spec, its duplicate, and the cached prime spec.
+	fresh := spec
+	fresh.Techniques = []string{"neutrams"}
+	batch := doRequest(t, h, http.MethodPost, "/v1/batches",
+		map[string]any{"jobs": []snnmap.JobSpec{fresh, fresh, spec}})
+	if batch.Code != http.StatusOK {
+		t.Fatalf("batch = %d %s", batch.Code, batch.Body.String())
+	}
+	goldentest.Check(t, "batch_accepted.json.golden", batch.Body.Bytes())
+
+	// The queue holds the batch's one deduped job; one more fills it.
+	filler := spec
+	filler.Seed = 301
+	submit(t, h, filler, http.StatusAccepted)
+	over := spec
+	over.Seed = 302
+	shed := doRequest(t, h, http.MethodPost, "/v1/jobs", over)
+	if shed.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d %s", shed.Code, shed.Body.String())
+	}
+	if got := shed.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	goldentest.Check(t, "error_overloaded.json.golden", shed.Body.Bytes())
+
+	// Draining: flip the flag via Drain (async — it waits for the slow
+	// job), then pin the refusal shape.
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if rec := doRequest(t, h, http.MethodGet, "/healthz", nil); rec.Code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain flag never observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	refused := doRequest(t, h, http.MethodPost, "/v1/jobs", spec)
+	if refused.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d %s", refused.Code, refused.Body.String())
+	}
+	goldentest.Check(t, "error_draining.json.golden", refused.Body.Bytes())
+
+	// Cut the slow job so the drain (and the test) finishes promptly.
+	cancelJob(t, h, slow.ID)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
 }

@@ -56,6 +56,17 @@ type Metrics struct {
 	poolMisses    int64
 	poolEvictions int64
 
+	// Tiered-cache and fleet-facing counters: second-tier lookups made
+	// through the FetchPeer hook, tables served to peers, jobs actually
+	// executed to done on this node, submissions shed by the admission
+	// bounds, and batch submissions accepted.
+	peerHits   int64
+	peerMisses int64
+	peerServes int64
+	executed   int64
+	shed       int64
+	batches    int64
+
 	stages map[snnmap.Stage]*histogram
 
 	// occupancy gauges are read at render time so they can never drift
@@ -130,6 +141,40 @@ func (m *Metrics) poolEvicted(n int) {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) peerLookup(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.peerHits++
+	} else {
+		m.peerMisses++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) peerServed() {
+	m.mu.Lock()
+	m.peerServes++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobExecuted() {
+	m.mu.Lock()
+	m.executed++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobShed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) batchAccepted() {
+	m.mu.Lock()
+	m.batches++
+	m.mu.Unlock()
+}
+
 func (m *Metrics) observeStage(stage snnmap.Stage, elapsed time.Duration) {
 	m.mu.Lock()
 	h := m.stages[stage]
@@ -144,6 +189,14 @@ func (m *Metrics) observeStage(stage snnmap.Stage, elapsed time.Duration) {
 // fmtFloat renders a float the way Prometheus clients do (shortest
 // round-trip form).
 func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ratio is hits/(hits+misses), 0 before any lookup.
+func ratio(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
 
 // WritePrometheus renders every metric in the text exposition format,
 // deterministically ordered so the output is diffable and golden-testable.
@@ -178,11 +231,34 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p("# HELP snnmapd_result_cache_misses_total Jobs whose canonical spec was not cached.\n")
 	p("# TYPE snnmapd_result_cache_misses_total counter\n")
 	p("snnmapd_result_cache_misses_total %d\n", m.cacheMisses)
+	p("# HELP snnmapd_result_cache_hit_ratio Fraction of result-cache lookups answered locally (0 before any lookup).\n")
+	p("# TYPE snnmapd_result_cache_hit_ratio gauge\n")
+	p("snnmapd_result_cache_hit_ratio %s\n", fmtFloat(ratio(m.cacheHits, m.cacheMisses)))
 	if m.cacheEntries != nil {
 		p("# HELP snnmapd_result_cache_entries Result tables currently cached.\n")
 		p("# TYPE snnmapd_result_cache_entries gauge\n")
 		p("snnmapd_result_cache_entries %d\n", m.cacheEntries())
 	}
+
+	p("# HELP snnmapd_peer_cache_hits_total Local misses answered by a peer's result cache (tiered fetch).\n")
+	p("# TYPE snnmapd_peer_cache_hits_total counter\n")
+	p("snnmapd_peer_cache_hits_total %d\n", m.peerHits)
+	p("# HELP snnmapd_peer_cache_misses_total Tiered peer-cache lookups that found nothing.\n")
+	p("# TYPE snnmapd_peer_cache_misses_total counter\n")
+	p("snnmapd_peer_cache_misses_total %d\n", m.peerMisses)
+	p("# HELP snnmapd_peer_cache_serves_total Cached tables this node served to peers via GET /v1/cache/{hash}.\n")
+	p("# TYPE snnmapd_peer_cache_serves_total counter\n")
+	p("snnmapd_peer_cache_serves_total %d\n", m.peerServes)
+
+	p("# HELP snnmapd_jobs_executed_total Jobs that ran a pipeline to done on this node (cache- and peer-answered jobs excluded).\n")
+	p("# TYPE snnmapd_jobs_executed_total counter\n")
+	p("snnmapd_jobs_executed_total %d\n", m.executed)
+	p("# HELP snnmapd_loadshed_total Submissions refused by the admission queue bounds (429).\n")
+	p("# TYPE snnmapd_loadshed_total counter\n")
+	p("snnmapd_loadshed_total %d\n", m.shed)
+	p("# HELP snnmapd_batches_total Batch submissions accepted.\n")
+	p("# TYPE snnmapd_batches_total counter\n")
+	p("snnmapd_batches_total %d\n", m.batches)
 
 	p("# HELP snnmapd_session_pool_hits_total Jobs served by an already-warm pipeline session.\n")
 	p("# TYPE snnmapd_session_pool_hits_total counter\n")
@@ -193,6 +269,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p("# HELP snnmapd_session_pool_evictions_total Warm sessions evicted by the LRU bound.\n")
 	p("# TYPE snnmapd_session_pool_evictions_total counter\n")
 	p("snnmapd_session_pool_evictions_total %d\n", m.poolEvictions)
+	p("# HELP snnmapd_session_pool_hit_ratio Fraction of session lookups served by an already-warm pipeline (0 before any lookup).\n")
+	p("# TYPE snnmapd_session_pool_hit_ratio gauge\n")
+	p("snnmapd_session_pool_hit_ratio %s\n", fmtFloat(ratio(m.poolHits, m.poolMisses)))
 	if m.poolEntries != nil {
 		p("# HELP snnmapd_session_pool_entries Warm sessions currently pooled.\n")
 		p("# TYPE snnmapd_session_pool_entries gauge\n")

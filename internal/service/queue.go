@@ -1,0 +1,154 @@
+package service
+
+import (
+	"sync"
+)
+
+// workGroup is one admission-queue entry: a set of jobs sharing a warm
+// session key, executed back to back on one worker so the session is
+// fetched (and at most built) once for the whole group. Single
+// submissions are groups of one; the batch endpoint enqueues one group
+// per session key.
+type workGroup struct {
+	tenant string
+	jobs   []*job
+}
+
+// shedError is the admission verdict of a full queue: which bound was
+// hit, for the machine-readable load-shed response.
+type shedError struct {
+	tenant  bool // the per-tenant bound rather than the total one
+	depth   int
+	backlog int
+}
+
+func (e *shedError) Error() string {
+	if e.tenant {
+		return "tenant job backlog full"
+	}
+	return "job queue full"
+}
+
+// fairQueue is the daemon's admission queue: a bounded, tenant-aware
+// buffer between the HTTP submit path and the executor workers. Jobs
+// land in per-tenant FIFO lanes and workers drain the lanes round-robin,
+// so one tenant flooding the queue delays only its own backlog — another
+// tenant's next job waits behind at most one group per competing tenant,
+// not behind the flood (per-tenant fair queueing). Two bounds shed load:
+// a total backlog bound and a per-tenant one; admission past either is
+// refused and the HTTP layer answers 429 with Retry-After.
+//
+// close() stops admission but lets workers drain everything already
+// accepted — the graceful-drain contract the channel-based queue had.
+type fairQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	capTotal  int
+	capTenant int
+
+	lanes  map[string][]*workGroup // tenant → FIFO of pending groups
+	rota   []string                // round-robin order over tenants with pending work
+	next   int                     // rota cursor
+	depth  int                     // total queued jobs (not groups)
+	counts map[string]int          // per-tenant queued jobs
+
+	closed bool
+}
+
+func newFairQueue(capTotal, capTenant int) *fairQueue {
+	q := &fairQueue{
+		capTotal:  capTotal,
+		capTenant: capTenant,
+		lanes:     map[string][]*workGroup{},
+		counts:    map[string]int{},
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits one group, or all-or-nothing admits several (the batch
+// endpoint's atomicity: a batch is either queued whole or shed whole —
+// no partially accepted batches to reason about).
+func (q *fairQueue) push(groups ...*workGroup) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return &shedError{depth: q.capTotal, backlog: q.depth}
+	}
+	add := 0
+	perTenant := map[string]int{}
+	for _, g := range groups {
+		add += len(g.jobs)
+		perTenant[g.tenant] += len(g.jobs)
+	}
+	if q.depth+add > q.capTotal {
+		return &shedError{depth: q.capTotal, backlog: q.depth}
+	}
+	for tenant, n := range perTenant {
+		if q.counts[tenant]+n > q.capTenant {
+			return &shedError{tenant: true, depth: q.capTenant, backlog: q.counts[tenant]}
+		}
+	}
+	for _, g := range groups {
+		if len(q.lanes[g.tenant]) == 0 {
+			q.rota = append(q.rota, g.tenant)
+		}
+		q.lanes[g.tenant] = append(q.lanes[g.tenant], g)
+		q.counts[g.tenant] += len(g.jobs)
+		q.depth += len(g.jobs)
+	}
+	q.cond.Broadcast()
+	return nil
+}
+
+// pop blocks until a group is available (returned round-robin across
+// tenants) or the queue is closed and fully drained.
+func (q *fairQueue) pop() (*workGroup, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.rota) > 0 {
+			if q.next >= len(q.rota) {
+				q.next = 0
+			}
+			tenant := q.rota[q.next]
+			lane := q.lanes[tenant]
+			g := lane[0]
+			if len(lane) == 1 {
+				delete(q.lanes, tenant)
+				q.rota = append(q.rota[:q.next], q.rota[q.next+1:]...)
+				// next now points at the following tenant already.
+			} else {
+				q.lanes[tenant] = lane[1:]
+				q.next++
+			}
+			q.counts[tenant] -= len(g.jobs)
+			if q.counts[tenant] <= 0 {
+				delete(q.counts, tenant)
+			}
+			q.depth -= len(g.jobs)
+			return g, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// close stops admission and releases every parked worker once the
+// backlog drains. Idempotent.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// backlog reports the total queued jobs.
+func (q *fairQueue) backlog() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}

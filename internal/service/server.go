@@ -1,10 +1,12 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	snnmap "repro"
@@ -12,12 +14,18 @@ import (
 
 // maxSpecBytes bounds a submission body; job specs are a handful of
 // short fields, so anything larger is malformed or hostile.
-const maxSpecBytes = 1 << 20
+// maxBatchBytes bounds a batch body (many specs).
+const (
+	maxSpecBytes  = 1 << 20
+	maxBatchBytes = 8 << 20
+)
 
 // Handler returns the daemon's HTTP surface on a fresh ServeMux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/batches", s.handleBatch)
+	mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheFetch)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -39,13 +47,110 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// errorBody is the uniform error response shape.
+// errorBody is the uniform error response shape: a human-readable
+// message plus a stable machine-readable code, and — on backpressure
+// responses — the advised retry delay mirroring the Retry-After header.
 type errorBody struct {
 	Error string `json:"error"`
+	// Code discriminates error classes without string matching:
+	// bad_request, not_found, conflict, overloaded, draining.
+	Code string `json:"code"`
+	// RetryAfterMs is set on load-shed (429) and draining (503)
+	// responses: the client should back off this long (overloaded) or
+	// move to another node (draining).
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+// errCode derives the stable error code of an HTTP status.
+func errCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	case http.StatusServiceUnavailable:
+		return "draining"
+	}
+	return "error"
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...), Code: errCode(code)})
+}
+
+// writeBackpressure renders a shed (429) or draining (503) response with
+// the Retry-After header and its machine-readable body twin.
+func writeBackpressure(w http.ResponseWriter, status int, retryAfter int64, format string, args ...any) {
+	secs := retryAfter / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, errorBody{
+		Error:        fmt.Sprintf(format, args...),
+		Code:         errCode(status),
+		RetryAfterMs: retryAfter,
+	})
+}
+
+// shed refuses an admission-bound violation: 429, Retry-After, counter.
+func (s *Server) shed(w http.ResponseWriter, err error) {
+	s.metrics.jobShed()
+	writeBackpressure(w, http.StatusTooManyRequests, s.cfg.RetryAfter.Milliseconds(),
+		"%v (backlog %d)", err, s.queue.backlog())
+}
+
+// unavailable refuses work while draining.
+func (s *Server) unavailable(w http.ResponseWriter) {
+	writeBackpressure(w, http.StatusServiceUnavailable, s.cfg.RetryAfter.Milliseconds(),
+		"draining: no new jobs accepted")
+}
+
+// isDraining snapshots the drain flag.
+func (s *Server) isDraining() bool {
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+	return s.draining
+}
+
+// cachedTable consults the tiered result cache: the local LRU first,
+// then — on a miss, when the node is fleet-attached — the FetchPeer hook
+// against the content address's ring owner. A peer hit is promoted into
+// the local tier so the next identical request is answered without a
+// network hop.
+func (s *Server) cachedTable(ctx context.Context, hash string) (*snnmap.Table, bool) {
+	if table, ok := s.cache.get(hash); ok {
+		s.metrics.cacheLookup(true)
+		return table, true
+	}
+	s.metrics.cacheLookup(false)
+	if s.cfg.FetchPeer == nil {
+		return nil, false
+	}
+	table, ok := s.cfg.FetchPeer(ctx, hash)
+	s.metrics.peerLookup(ok)
+	if !ok {
+		return nil, false
+	}
+	s.cache.put(hash, table)
+	return table, true
+}
+
+// finishCached materializes a born-done job answered from the cache
+// tiers: created, finished and event-logged without touching a worker.
+func (s *Server) finishCached(spec snnmap.JobSpec, hash string, table *snnmap.Table) JobStatus {
+	now := s.cfg.Now()
+	j := s.store.create(spec, hash, now)
+	s.store.setCached(j)
+	st := s.store.finish(j, JobDone, table, "", now)
+	s.metrics.jobFinished(string(JobDone), false)
+	j.events.append("state", statePayload{State: JobDone, Cached: true})
+	j.events.close()
+	return st
 }
 
 // handleSubmit accepts a mapping job: the body is a JobSpec, normalized
@@ -67,53 +172,199 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.submitMu.Lock()
-	draining := s.draining
-	s.submitMu.Unlock()
-	if draining {
+	if s.isDraining() {
 		// Even cache-answerable submissions are refused: drain means
 		// "this instance takes no new work", full stop.
-		writeError(w, http.StatusServiceUnavailable, "draining: no new jobs accepted")
+		s.unavailable(w)
 		return
 	}
 	hash := spec.Hash()
 
-	if table, ok := s.cache.get(hash); ok {
-		// Content-address hit: identical canonical spec ⇒ byte-identical
-		// result, by the end-to-end determinism the invariant harness
-		// pins. Serve the cached table; no queue, no session, no run.
-		s.metrics.cacheLookup(true)
-		now := s.cfg.Now()
-		j := s.store.create(spec, hash, now)
-		s.store.setCached(j)
-		st := s.store.finish(j, JobDone, table, "", now)
-		s.metrics.jobFinished(string(JobDone), false)
-		j.events.append("state", statePayload{State: JobDone, Cached: true})
-		j.events.close()
-		writeJSON(w, http.StatusOK, st)
+	if table, ok := s.cachedTable(r.Context(), hash); ok {
+		// Content-address hit (local tier or a peer's): identical
+		// canonical spec ⇒ byte-identical result, by the end-to-end
+		// determinism the invariant harness pins. Serve the cached
+		// table; no queue, no session, no run.
+		writeJSON(w, http.StatusOK, s.finishCached(spec, hash, table))
 		return
 	}
-	s.metrics.cacheLookup(false)
 
+	tenant := r.Header.Get("X-Tenant")
 	s.submitMu.Lock()
 	if s.draining {
 		s.submitMu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "draining: no new jobs accepted")
+		s.unavailable(w)
 		return
 	}
 	j := s.store.create(spec, hash, s.cfg.Now())
-	select {
-	case s.queue <- j:
-		s.metrics.jobQueued()
-		j.events.append("state", statePayload{State: JobQueued})
-		s.submitMu.Unlock()
-	default:
+	if err := s.queue.push(&workGroup{tenant: tenant, jobs: []*job{j}}); err != nil {
 		s.submitMu.Unlock()
 		s.store.remove(j.id)
-		writeError(w, http.StatusServiceUnavailable, "job queue full (%d deep)", s.cfg.QueueDepth)
+		s.shed(w, err)
 		return
 	}
+	s.metrics.jobQueued()
+	j.events.append("state", statePayload{State: JobQueued})
+	s.submitMu.Unlock()
 	writeJSON(w, http.StatusAccepted, s.store.status(j))
+}
+
+// batchRequest is the wire shape of POST /v1/batches: many job specs
+// submitted as one unit.
+type batchRequest struct {
+	Jobs []snnmap.JobSpec `json:"jobs"`
+}
+
+// batchResponse mirrors the request order: one status per submitted
+// spec. Duplicate canonical specs within a batch collapse onto one job,
+// whose status repeats at each duplicate's index.
+type batchResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// handleBatch accepts N job specs as one submission. Specs already
+// answerable from the cache tiers are born done; the rest are deduped by
+// content address and grouped by session key, one work group per key, so
+// each warm session is resolved (and at most built) once per batch
+// however many jobs share it. Admission is all-or-nothing: either every
+// group fits the queue bounds or the whole batch is shed with 429 —
+// there are no partially accepted batches.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBatchBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	specs := make([]snnmap.JobSpec, len(req.Jobs))
+	hashes := make([]string, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		norm, err := spec.Normalize()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "jobs[%d]: %v", i, err)
+			return
+		}
+		specs[i] = norm
+		hashes[i] = norm.Hash()
+	}
+	if s.isDraining() {
+		s.unavailable(w)
+		return
+	}
+
+	// Plan the batch: resolve the cache tiers per unique hash, dedupe,
+	// and group the fresh specs by session key in first-appearance
+	// order. Nothing is created in the store yet — admission must be
+	// able to shed the batch without leaving half-created jobs behind.
+	type plan struct {
+		spec snnmap.JobSpec
+		hash string
+		job  *job // created after admission
+	}
+	var (
+		cachedTables = map[string]*snnmap.Table{} // hash → cached answer
+		fresh        = map[string]*plan{}         // hash → deduped fresh spec
+		groupOrder   []string                     // session keys, first appearance
+		groupPlans   = map[string][]*plan{}       // session key → fresh specs
+	)
+	for i, spec := range specs {
+		h := hashes[i]
+		if _, ok := cachedTables[h]; ok {
+			continue
+		}
+		if _, ok := fresh[h]; ok {
+			continue
+		}
+		if table, ok := s.cachedTable(r.Context(), h); ok {
+			cachedTables[h] = table
+			continue
+		}
+		p := &plan{spec: spec, hash: h}
+		fresh[h] = p
+		key := spec.SessionKey()
+		if _, ok := groupPlans[key]; !ok {
+			groupOrder = append(groupOrder, key)
+		}
+		groupPlans[key] = append(groupPlans[key], p)
+	}
+
+	// Admit atomically: create the fresh jobs and push every group in
+	// one queue transaction; on shed, roll the created jobs back.
+	s.submitMu.Lock()
+	if s.draining {
+		s.submitMu.Unlock()
+		s.unavailable(w)
+		return
+	}
+	groups := make([]*workGroup, 0, len(groupOrder))
+	tenant := r.Header.Get("X-Tenant")
+	for _, key := range groupOrder {
+		g := &workGroup{tenant: tenant}
+		for _, p := range groupPlans[key] {
+			p.job = s.store.create(p.spec, p.hash, s.cfg.Now())
+			g.jobs = append(g.jobs, p.job)
+		}
+		groups = append(groups, g)
+	}
+	if err := s.queue.push(groups...); err != nil {
+		s.submitMu.Unlock()
+		for _, p := range fresh {
+			if p.job != nil {
+				s.store.remove(p.job.id)
+			}
+		}
+		s.shed(w, err)
+		return
+	}
+	for _, g := range groups {
+		for _, j := range g.jobs {
+			s.metrics.jobQueued()
+			j.events.append("state", statePayload{State: JobQueued})
+		}
+	}
+	s.submitMu.Unlock()
+	s.metrics.batchAccepted()
+
+	// Render statuses in input order: cached specs materialize born-done
+	// jobs now (one per unique hash), fresh ones report queued.
+	bornDone := map[string]JobStatus{}
+	resp := batchResponse{Jobs: make([]JobStatus, len(specs))}
+	for i := range specs {
+		h := hashes[i]
+		switch {
+		case fresh[h] != nil:
+			resp.Jobs[i] = s.store.status(fresh[h].job)
+		default:
+			st, ok := bornDone[h]
+			if !ok {
+				st = s.finishCached(specs[i], h, cachedTables[h])
+				bornDone[h] = st
+			}
+			resp.Jobs[i] = st
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCacheFetch serves this node's local result-cache tier to peers:
+// the raw Table JSON under its content address, 404 on a miss. It is
+// deliberately local-only — a peer's tiered lookup terminates here after
+// one hop (the ring owner) instead of cascading through the fleet.
+func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	table, ok := s.cache.get(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for %q", hash)
+		return
+	}
+	s.metrics.peerServed()
+	w.Header().Set("Content-Type", "application/json")
+	_ = table.WriteJSON(w) // a write error means the peer went away
 }
 
 // listResponse is the wire shape of GET /v1/jobs.

@@ -42,8 +42,17 @@ type Config struct {
 	// Workers bounds the job executor pool (default GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds the accepted-but-unstarted job backlog; beyond
-	// it, submissions are rejected with 503 (default 64).
+	// it, submissions are shed with 429 + Retry-After (default 64).
 	QueueDepth int
+	// TenantDepth bounds one tenant's share of the backlog (tenants are
+	// the X-Tenant request header; default QueueDepth, i.e. no extra
+	// restriction). Workers drain tenant lanes round-robin, so a tenant
+	// flooding its lane delays only itself.
+	TenantDepth int
+	// RetryAfter is the backoff advertised by load-shed responses, in
+	// the Retry-After header and the retry_after_ms body field
+	// (default 1s).
+	RetryAfter time.Duration
 	// JobTimeout bounds each job's wall clock; 0 means none. Timed-out
 	// jobs fail with a deadline error; the pipeline observes the
 	// cancellation within one placement row or replay event batch.
@@ -62,6 +71,14 @@ type Config struct {
 	// deliberately NOT part of JobSpec or its content address; 0/1 keeps
 	// the sequential replay core.
 	ReplayWorkers int
+	// FetchPeer, when set, is the second tier of the result cache: on a
+	// local miss the submit path asks it for the content address before
+	// queueing a recompute. The fleet layer implements it as a GET
+	// /v1/cache/{hash} against the consistent-hash owner of the address
+	// (internal/fleet.NewPeerFetcher); a nil hook keeps the node
+	// single-tier. The hook must be safe for concurrent use and should
+	// bound its own latency — it sits on the submission path.
+	FetchPeer func(ctx context.Context, hash string) (*snnmap.Table, bool)
 	// Now is the clock (tests inject a fixed one; default time.Now).
 	Now func() time.Time
 }
@@ -72,6 +89,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.TenantDepth <= 0 || c.TenantDepth > c.QueueDepth {
+		c.TenantDepth = c.QueueDepth
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
 	}
 	if c.SessionCap <= 0 {
 		c.SessionCap = 8
@@ -99,7 +122,7 @@ type Server struct {
 	metrics *Metrics
 	info    buildinfo.Info
 
-	queue   chan *job
+	queue   *fairQueue
 	workers sync.WaitGroup
 
 	// submitMu serializes submissions against drain: once draining, no
@@ -122,7 +145,7 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheCap),
 		metrics: newMetrics(),
 		info:    buildinfo.Read(),
-		queue:   make(chan *job, cfg.QueueDepth),
+		queue:   newFairQueue(cfg.QueueDepth, cfg.TenantDepth),
 	}
 	s.pool = newSessionPool(cfg.SessionCap, func(spec snnmap.JobSpec) (*snnmap.Pipeline, error) {
 		// Streaming delivery: job results are aggregate tables, so the
@@ -140,17 +163,59 @@ func New(cfg Config) *Server {
 		s.workers.Add(1)
 		go func() {
 			defer s.workers.Done()
-			for j := range s.queue {
-				s.runJob(j)
+			for {
+				g, ok := s.queue.pop()
+				if !ok {
+					return
+				}
+				s.runGroup(g)
 			}
 		}()
 	}
 	return s
 }
 
-// runJob executes one dequeued job through the warm-session pool on the
+// groupSession carries one work group's warm session across its jobs, so
+// a batch resolves the session pool once however many jobs it holds (and
+// however much LRU pressure concurrent groups apply). A failed fetch is
+// not memoized: each job retries the build, matching the single-job
+// path.
+type groupSession struct {
+	pipe    *snnmap.Pipeline
+	fetched bool
+}
+
+// sessionFor resolves the group's warm session, hitting the pool only
+// for the group's first job.
+func (s *Server) sessionFor(j *job, gs *groupSession) (pipe *snnmap.Pipeline, warm bool, err error) {
+	if gs.fetched {
+		return gs.pipe, true, nil
+	}
+	pipe, warm, evicted, err := s.pool.get(j.spec)
+	s.metrics.poolLookup(warm)
+	if evicted > 0 {
+		s.metrics.poolEvicted(evicted)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	gs.pipe, gs.fetched = pipe, true
+	return pipe, warm, nil
+}
+
+// runGroup executes one dequeued work group: the jobs share a session
+// key, so the warm session is resolved once and every job runs on it
+// back to back on this worker.
+func (s *Server) runGroup(g *workGroup) {
+	gs := &groupSession{}
+	for _, j := range g.jobs {
+		s.runJob(j, gs)
+	}
+}
+
+// runJob executes one job through the group's warm session on the
 // experiment engine (per-job timeout, panic capture) and finishes it.
-func (s *Server) runJob(j *job) {
+func (s *Server) runJob(j *job, gs *groupSession) {
 	jctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
 	if !s.store.markRunning(j, s.cfg.Now(), cancel) {
@@ -169,7 +234,7 @@ func (s *Server) runJob(j *job) {
 	// already relies on.
 	results := engine.Sweep(jctx, engine.Config{Workers: 1, Timeout: s.cfg.JobTimeout},
 		[]*job{j}, func(ctx context.Context, j *job) (*snnmap.Table, error) {
-			return s.execute(ctx, j)
+			return s.execute(ctx, j, gs)
 		})
 	table, err := results[0].Value, results[0].Err
 
@@ -178,6 +243,7 @@ func (s *Server) runJob(j *job) {
 	case err == nil:
 		s.cache.put(j.hash, table)
 		st := s.store.finish(j, JobDone, table, "", now)
+		s.metrics.jobExecuted()
 		s.metrics.jobFinished(string(JobDone), true)
 		j.events.append("state", statePayload{State: st.State})
 	case jctx.Err() != nil:
@@ -195,13 +261,10 @@ func (s *Server) runJob(j *job) {
 	j.events.close()
 }
 
-// execute runs the job's technique sweep on its warm session.
-func (s *Server) execute(ctx context.Context, j *job) (*snnmap.Table, error) {
-	pipe, warm, evicted, err := s.pool.get(j.spec)
-	s.metrics.poolLookup(warm)
-	if evicted > 0 {
-		s.metrics.poolEvicted(evicted)
-	}
+// execute runs the job's technique sweep (or batched seed sweep) on its
+// warm session.
+func (s *Server) execute(ctx context.Context, j *job, gs *groupSession) (*snnmap.Table, error) {
+	pipe, warm, err := s.sessionFor(j, gs)
 	if err != nil {
 		return nil, fmt.Errorf("building session: %w", err)
 	}
@@ -210,6 +273,21 @@ func (s *Server) execute(ctx context.Context, j *job) (*snnmap.Table, error) {
 	pts, err := j.spec.Partitioners()
 	if err != nil {
 		return nil, err
+	}
+
+	if len(j.spec.TechSeeds) > 0 {
+		// Batched seed sweep: the single technique re-seeded per entry
+		// through Pipeline.RunSeedsBatched — one pooled fork and one
+		// injection scratch serve the whole sweep, one report row per
+		// seed. The batched path has no per-run observer, so the SSE
+		// stream carries a single sweep event instead of per-stage ones.
+		j.events.append("sweep", map[string]any{
+			"technique": j.spec.Techniques[0], "seeds": len(j.spec.TechSeeds)})
+		reports, err := pipe.RunSeedsBatched(ctx, pts[0], j.spec.TechSeeds)
+		if err != nil {
+			return nil, err
+		}
+		return snnmap.NewReportTable(reports...)
 	}
 	obs := snnmap.ObserverFunc(func(ev snnmap.StageEvent) {
 		s.metrics.observeStage(ev.Stage, ev.Elapsed)
@@ -236,12 +314,9 @@ func (s *Server) execute(ctx context.Context, j *job) (*snnmap.Table, error) {
 // Drain returns nil when every worker exited.
 func (s *Server) Drain(ctx context.Context) error {
 	s.submitMu.Lock()
-	already := s.draining
 	s.draining = true
-	if !already {
-		close(s.queue)
-	}
 	s.submitMu.Unlock()
+	s.queue.close()
 
 	done := make(chan struct{})
 	go func() {
@@ -258,6 +333,22 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
+// Kill hard-stops the server with no drain handshake, approximating a
+// SIGKILLed worker for chaos tests: admission closes, running jobs'
+// contexts are canceled immediately (queued jobs observe the canceled
+// base context before doing any work), and Kill returns once every
+// worker goroutine exited. Unlike Drain, nothing is given time to finish
+// — a killed node never completes (or caches) a result after its death,
+// which is the idempotency property the fleet's requeue path relies on.
+func (s *Server) Kill() {
+	s.submitMu.Lock()
+	s.draining = true
+	s.submitMu.Unlock()
+	s.queue.close()
+	s.baseCancel()
+	s.workers.Wait()
+}
+
 // Stats is a point-in-time snapshot of the daemon's internal counters,
 // exported for tests and introspection (the Prometheus endpoint is the
 // operational surface).
@@ -269,6 +360,19 @@ type Stats struct {
 	// PoolBuilds counts pipeline constructions since startup — the
 	// "no new pipeline constructed" observable.
 	PoolBuilds int64
+	// PeerHits/PeerMisses count second-tier lookups through the
+	// FetchPeer hook; PeerServes counts tables this node served to peers
+	// via GET /v1/cache/{hash}.
+	PeerHits, PeerMisses, PeerServes int64
+	// Executed counts jobs that ran a pipeline to done on this node —
+	// cache- and peer-answered jobs are excluded. Summed across a fleet
+	// it is the idempotency observable: one logical job executes to
+	// completion exactly once however often it is requeued.
+	Executed int64
+	// Shed counts submissions refused by the admission queue bounds.
+	Shed int64
+	// Batches counts accepted batch submissions.
+	Batches int64
 }
 
 // Snapshot returns the current Stats.
@@ -280,6 +384,12 @@ func (s *Server) Snapshot() Stats {
 		CacheMisses: m.cacheMisses,
 		PoolHits:    m.poolHits,
 		PoolMisses:  m.poolMisses,
+		PeerHits:    m.peerHits,
+		PeerMisses:  m.peerMisses,
+		PeerServes:  m.peerServes,
+		Executed:    m.executed,
+		Shed:        m.shed,
+		Batches:     m.batches,
 	}
 	m.mu.Unlock()
 	st.CacheEntries = s.cache.len()

@@ -89,6 +89,57 @@ func submit(t *testing.T, h http.Handler, spec snnmap.JobSpec, wantCode int) Job
 	return decodeStatus(t, rec)
 }
 
+// waitRunning polls a job until it occupies a worker (skips the test if
+// it finished first — the spec was too fast to pin).
+func waitRunning(t *testing.T, h http.Handler, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur := decodeStatus(t, doRequest(t, h, http.MethodGet, "/v1/jobs/"+id, nil))
+		if cur.State == JobRunning {
+			return
+		}
+		if cur.State.terminal() {
+			t.Skipf("job finished (%s) before it could be observed running", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// decodeInto unmarshals a recorder body, failing the test on error.
+func decodeInto(t *testing.T, rec *httptest.ResponseRecorder, v any) {
+	t.Helper()
+	if err := json.Unmarshal(rec.Body.Bytes(), v); err != nil {
+		t.Fatalf("decoding %q: %v", rec.Body.String(), err)
+	}
+}
+
+// doTenantRequest submits a spec under an X-Tenant header.
+func doTenantRequest(t *testing.T, h http.Handler, tenant string, spec snnmap.JobSpec) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(b))
+	req.Header.Set("X-Tenant", tenant)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// cancelJob issues DELETE and tolerates conflicts (already terminal).
+func cancelJob(t *testing.T, h http.Handler, id string) {
+	t.Helper()
+	rec := doRequest(t, h, http.MethodDelete, "/v1/jobs/"+id, nil)
+	if rec.Code != http.StatusOK && rec.Code != http.StatusConflict {
+		t.Fatalf("cancel %s = %d %s", id, rec.Code, rec.Body.String())
+	}
+}
+
 // waitTerminal polls a job until it reaches a terminal state.
 func waitTerminal(t *testing.T, h http.Handler, id string) JobStatus {
 	t.Helper()
@@ -457,8 +508,16 @@ func TestMetricsEndpoint(t *testing.T) {
 		`snnmapd_result_cache_hits_total 1`,
 		`snnmapd_result_cache_misses_total 1`,
 		`snnmapd_result_cache_entries 1`,
+		`snnmapd_result_cache_hit_ratio 0.5`,
 		`snnmapd_session_pool_entries 1`,
 		`snnmapd_session_pool_misses_total 1`,
+		`snnmapd_session_pool_hit_ratio 0`,
+		`snnmapd_peer_cache_hits_total 0`,
+		`snnmapd_peer_cache_misses_total 0`,
+		`snnmapd_peer_cache_serves_total 0`,
+		`snnmapd_jobs_executed_total 1`,
+		`snnmapd_loadshed_total 0`,
+		`snnmapd_batches_total 0`,
 		`snnmapd_stage_seconds_bucket{stage="partition"`,
 		`snnmapd_stage_seconds_count{stage="simulate"} 2`,
 	} {

@@ -4,10 +4,12 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/hardware"
+	"repro/internal/partition"
 )
 
 // JobSpec is one mapping job as a value: the application and architecture
@@ -54,6 +56,15 @@ type JobSpec struct {
 	// (default 100 each, the CLI defaults).
 	SwarmSize  int `json:"swarm,omitempty"`
 	Iterations int `json:"iterations,omitempty"`
+	// TechSeeds, when non-empty, turns the job into a batched seed
+	// sweep: the (single, reseedable) technique is re-seeded per entry
+	// and the seeds run through Pipeline.RunSeedsBatched on the job's
+	// warm session — one report row per seed, in seed order. The app
+	// characterization still uses Seed; TechSeeds only reseeds the
+	// technique, exactly like RunSeedsBatched. The field extends the
+	// canonical form (and therefore the content address) only when set,
+	// so plain jobs hash exactly as before.
+	TechSeeds []int64 `json:"tech_seeds,omitempty"`
 }
 
 // Normalize validates the spec against the registries and fills every
@@ -114,6 +125,21 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	if s.SwarmSize < 0 || s.Iterations < 0 {
 		return s, fmt.Errorf("snnmap: negative swarm shape (%d × %d)", s.SwarmSize, s.Iterations)
 	}
+	if len(s.TechSeeds) > 0 {
+		if len(s.Techniques) != 1 {
+			return s, fmt.Errorf("snnmap: tech_seeds requires exactly one technique (got %d)", len(s.Techniques))
+		}
+		// The sweep re-seeds the technique per entry, so it must be
+		// reseedable; building the partitioner here is cheap (no app) and
+		// turns a doomed submission into a 400 instead of a failed job.
+		pts, err := s.Partitioners()
+		if err != nil {
+			return s, err
+		}
+		if _, ok := pts[0].(partition.Seeded); !ok {
+			return s, fmt.Errorf("snnmap: technique %q is deterministic (does not implement partition.Seeded); tech_seeds would repeat one result", s.Techniques[0])
+		}
+	}
 	return s, nil
 }
 
@@ -140,9 +166,21 @@ func (s JobSpec) SessionKey() string {
 // strings imply byte-identical result tables (the content-address
 // contract the service's result cache relies on). Call on normalized
 // specs.
+//
+// TechSeeds extends the line only when present, so every spec without a
+// seed sweep keeps the exact canonical form (and hash) it had before the
+// field existed.
 func (s JobSpec) Canonical() string {
-	return fmt.Sprintf("%s|techniques=%s|swarm=%d|iterations=%d",
+	c := fmt.Sprintf("%s|techniques=%s|swarm=%d|iterations=%d",
 		s.SessionKey(), strings.Join(s.Techniques, ","), s.SwarmSize, s.Iterations)
+	if len(s.TechSeeds) > 0 {
+		parts := make([]string, len(s.TechSeeds))
+		for i, seed := range s.TechSeeds {
+			parts[i] = strconv.FormatInt(seed, 10)
+		}
+		c += "|tech_seeds=" + strings.Join(parts, ",")
+	}
+	return c
 }
 
 // Hash is the spec's content address: the hex SHA-256 of its canonical

@@ -231,3 +231,58 @@ func TestRegistryConcurrentRegisterAndLookup(t *testing.T) {
 		t.Fatalf("registry holds %d entries, want %d", got, want)
 	}
 }
+
+// TestJobSpecTechSeeds pins the batched seed-sweep field: it extends
+// the canonical form (and content address) only when set, keeps the
+// session key untouched (reseeding the technique reuses the warm
+// session by construction), and is validated against the technique's
+// ability to be reseeded.
+func TestJobSpecTechSeeds(t *testing.T) {
+	base, err := JobSpec{App: "gen:modular:n=48,dur=120,seed=5", Arch: "tree", Techniques: []string{"random"}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(base.Canonical(), "tech_seeds") {
+		t.Fatalf("unset tech_seeds leaked into the canonical form: %s", base.Canonical())
+	}
+
+	swept := base
+	swept.TechSeeds = []int64{3, 1, 2}
+	swept, err = swept.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(swept.Canonical(), "tech_seeds=3,1,2") {
+		t.Fatalf("canonical form missing the seed list: %s", swept.Canonical())
+	}
+	if swept.Hash() == base.Hash() {
+		t.Fatal("tech_seeds not captured by the content address")
+	}
+	if swept.SessionKey() != base.SessionKey() {
+		t.Fatal("tech_seeds leaked into the session key")
+	}
+	// Seed order is a different sweep, not a reordering of the same one.
+	reordered := base
+	reordered.TechSeeds = []int64{1, 2, 3}
+	reordered, err = reordered.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reordered.Hash() == swept.Hash() {
+		t.Fatal("seed order not captured by the content address")
+	}
+
+	// Exactly one technique, and it must be reseedable.
+	multi := base
+	multi.Techniques = []string{"random", "pso"}
+	multi.TechSeeds = []int64{1}
+	if _, err := multi.Normalize(); err == nil || !strings.Contains(err.Error(), "exactly one technique") {
+		t.Fatalf("multi-technique sweep error = %v", err)
+	}
+	deterministic := base
+	deterministic.Techniques = []string{"greedy"}
+	deterministic.TechSeeds = []int64{1}
+	if _, err := deterministic.Normalize(); err == nil || !strings.Contains(err.Error(), "deterministic") {
+		t.Fatalf("deterministic sweep error = %v", err)
+	}
+}
