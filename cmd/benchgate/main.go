@@ -199,39 +199,64 @@ func runCompare(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	names := make([]string, 0, len(head.Benchmarks))
-	for name := range head.Benchmarks {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	var regressions []string
-	for _, name := range names {
-		h := head.Benchmarks[name]
-		b, ok := base.Benchmarks[name]
-		if !ok {
-			fmt.Fprintf(stdout, "NEW      %-60s %14.0f ns/op\n", name, h.NsPerOp)
-			continue
-		}
-		delta := (h.NsPerOp - b.NsPerOp) / b.NsPerOp
-		verdict := "ok"
-		if delta > *threshold {
-			verdict = "REGRESSED"
-			regressions = append(regressions, name)
-		}
-		fmt.Fprintf(stdout, "%-8s %-60s %14.0f -> %14.0f ns/op  (%+.1f%%)\n",
-			verdict, name, b.NsPerOp, h.NsPerOp, delta*100)
-	}
-	for name := range base.Benchmarks {
-		if _, ok := head.Benchmarks[name]; !ok {
-			fmt.Fprintf(stdout, "GONE     %-60s\n", name)
-		}
-	}
+	regressions := writeDeltaTable(stdout, base, head, *threshold)
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %s",
 			len(regressions), *threshold*100, strings.Join(regressions, ", "))
 	}
 	fmt.Fprintf(stdout, "gate passed: no benchmark regressed more than %.0f%%\n", *threshold*100)
 	return nil
+}
+
+// writeDeltaTable renders the full per-benchmark comparison — always,
+// pass or fail — so every CI log carries the reviewable benchmark
+// trajectory, not just the offenders. Rows are sorted by name (GONE
+// rows last), the header makes the columns greppable, and the summary
+// line counts every verdict. Returns the regressed benchmark names.
+func writeDeltaTable(stdout io.Writer, base, head *Artifact, threshold float64) []string {
+	names := make([]string, 0, len(head.Benchmarks))
+	for name := range head.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var gone []string
+	for name := range base.Benchmarks {
+		if _, ok := head.Benchmarks[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+
+	fmt.Fprintf(stdout, "%-9s %-60s %14s  %14s  %8s\n",
+		"VERDICT", "BENCHMARK", "BASE ns/op", "HEAD ns/op", "DELTA")
+	var regressions []string
+	var okCount, newCount int
+	for _, name := range names {
+		h := head.Benchmarks[name]
+		b, present := base.Benchmarks[name]
+		if !present {
+			fmt.Fprintf(stdout, "%-9s %-60s %14s  %14.0f  %8s\n", "NEW", name, "-", h.NsPerOp, "-")
+			newCount++
+			continue
+		}
+		delta := (h.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSED"
+			regressions = append(regressions, name)
+		} else {
+			okCount++
+		}
+		fmt.Fprintf(stdout, "%-9s %-60s %14.0f  %14.0f  %+7.1f%%\n",
+			verdict, name, b.NsPerOp, h.NsPerOp, delta*100)
+	}
+	for _, name := range gone {
+		fmt.Fprintf(stdout, "%-9s %-60s %14.0f  %14s  %8s\n",
+			"GONE", name, base.Benchmarks[name].NsPerOp, "-", "-")
+	}
+	fmt.Fprintf(stdout, "summary: %d compared (%d ok, %d regressed), %d new, %d gone; threshold %.0f%%\n",
+		okCount+len(regressions), okCount, len(regressions), newCount, len(gone), threshold*100)
+	return regressions
 }
 
 func load(path string) (*Artifact, error) {

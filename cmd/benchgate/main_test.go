@@ -71,6 +71,18 @@ func TestCompareGate(t *testing.T) {
 	if !strings.Contains(out.String(), "gate passed") {
 		t.Fatalf("missing pass line:\n%s", out.String())
 	}
+	// The per-benchmark delta table renders even on pass — header,
+	// per-row verdict, and a verdict-count summary — so CI logs always
+	// carry the reviewable benchmark trajectory.
+	for _, want := range []string{
+		"VERDICT", "BASE ns/op", "HEAD ns/op", "DELTA",
+		"ok        BenchmarkNoCReplay/mesh-8",
+		"summary: 1 compared (1 ok, 0 regressed), 0 new, 0 gone",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("delta table missing %q on pass:\n%s", want, out.String())
+		}
+	}
 
 	out.Reset()
 	bad := writeArtifact(t, dir, "bad.json", 1300000)
@@ -149,9 +161,13 @@ func TestLoadCommittedRecord(t *testing.T) {
 		t.Fatalf("record baseline: %v\n%s", err, out.String())
 	}
 	// Gated against "after" (1.0ms), not "before" (0.9ms): a 5% delta
-	// passes a 20% gate but the output must show the after-side base.
-	if !strings.Contains(out.String(), "1000000 ->") {
+	// passes a 20% gate and the table's base column must show the
+	// after-side value. The table renders on this path too.
+	if !strings.Contains(out.String(), "1000000") {
 		t.Fatalf("gate did not use the record's after artifact:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "VERDICT") || !strings.Contains(out.String(), "summary:") {
+		t.Fatalf("delta table missing for committed-record baseline:\n%s", out.String())
 	}
 
 	slow := writeArtifact(t, dir, "slow.json", 1500000)

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/fleet"
+	"repro/internal/fleet/resilience"
 	"repro/internal/service"
 )
 
@@ -88,11 +89,14 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 
 		fleetRoute = fs.Bool("fleet-route", false, "run as a fleet router over -peers instead of executing jobs")
 		peers      = fs.String("peers", "", "comma-separated worker base URLs (router: the fleet; worker: enables peer cache fetch)")
-		self       = fs.String("self", "", "this worker's advertised base URL among -peers (enables peer cache fetch)")
+		self       = fs.String("self", "", "this node's advertised base URL (worker: enables peer cache fetch + join warming; router: enables HA route replication)")
 		vnodes     = fs.Int("vnodes", 0, "consistent-hash virtual nodes per fleet member (0 = default 64; must match fleet-wide)")
 		probeIval  = fs.Duration("probe-interval", 2*time.Second, "router health-probe cadence")
 		failThresh = fs.Int("fail-threshold", 2, "consecutive failed probes before a worker is declared dead and its jobs requeued")
-		gossip     = fs.String("gossip", "", "comma-separated peer router base URLs whose /v1/fleet views are merged (router mode)")
+		gossip     = fs.String("gossip", "", "comma-separated peer router base URLs whose /v1/fleet views and route tables are merged (router mode)")
+		warmRate   = fs.Int("warm-rate", 16, "join-time cache warming rate bound, entries/second (worker mode with -peers and -self; 0 disables)")
+		warmLimit  = fs.Int("warm-limit", 512, "max cache-index entries requested per peer by the join warmer")
+		chaosSpec  = fs.String("chaos-spec", "", "arm deterministic fault points, e.g. 'router.proxy=fail:2,worker.peerfetch=every:3+delay:50ms' (dev/chaos only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -104,10 +108,17 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		fmt.Fprintf(stdout, "snnmapd %s\n", buildinfo.Read())
 		return nil
 	}
+	if *chaosSpec != "" {
+		if err := resilience.ParseChaosSpec(*chaosSpec); err != nil {
+			return fmt.Errorf("%w: -chaos-spec: %v", errBadFlags, err)
+		}
+		log.Printf("CHAOS: fault points armed from -chaos-spec %q", *chaosSpec)
+	}
 
 	if *fleetRoute {
 		return runRouter(routerOptions{
 			addr:          *addr,
+			self:          *self,
 			peers:         splitList(*peers),
 			gossip:        splitList(*gossip),
 			vnodes:        *vnodes,
@@ -124,13 +135,36 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		CacheCap:      *cacheCap,
 		ReplayWorkers: *replayW,
 	}
+	var warmer *fleet.Warmer
 	if *peers != "" && *self != "" {
 		// Fleet-attached worker: local result-cache misses consult the
 		// content address's ring owner before recomputing.
 		cfg.FetchPeer = fleet.NewPeerFetcher(*self, splitList(*peers), *vnodes, nil)
 		log.Printf("fleet peer cache enabled (self %s, %d peers)", *self, len(splitList(*peers)))
+		if *warmRate > 0 {
+			// Join-time cache warming: pull the entries the post-join ring
+			// assigns to this node from their previous owners, rate-bounded,
+			// in the background. Progress rides /metrics via ExtraMetrics;
+			// the cache itself is bound after the server exists.
+			warmer = fleet.NewWarmer(fleet.WarmerConfig{
+				Self:   *self,
+				Peers:  splitList(*peers),
+				VNodes: *vnodes,
+				Rate:   *warmRate,
+				Limit:  *warmLimit,
+			})
+			cfg.ExtraMetrics = func(w io.Writer) { _ = warmer.WritePrometheus(w) }
+		}
 	}
 	svc := service.New(cfg)
+	if warmer != nil {
+		warmer.Bind(svc)
+		go func() {
+			warmer.Run(context.Background())
+			planned, fetched, errs, _ := warmer.Progress()
+			log.Printf("cache warm pass done: %d/%d entries pulled (%d errors)", fetched, planned, errs)
+		}()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -182,6 +216,7 @@ func splitList(s string) []string {
 // routerOptions carries the fleet-router flag values.
 type routerOptions struct {
 	addr          string
+	self          string
 	peers         []string
 	gossip        []string
 	vnodes        int
@@ -195,6 +230,7 @@ type routerOptions struct {
 func runRouter(opts routerOptions, ready chan<- string) error {
 	rt, err := fleet.NewRouter(fleet.RouterConfig{
 		Peers:         opts.peers,
+		Self:          opts.self,
 		GossipPeers:   opts.gossip,
 		VNodes:        opts.vnodes,
 		ProbeInterval: opts.probeInterval,

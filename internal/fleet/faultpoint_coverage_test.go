@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	snnmap "repro"
+	"repro/internal/fleet/resilience"
+	"repro/internal/service"
+)
+
+// mapCache is a CacheStore stub for exercising the warmer without a
+// full service.
+type mapCache struct {
+	mu sync.Mutex
+	m  map[string]*snnmap.Table
+}
+
+func (c *mapCache) CacheHas(h string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[h]
+	return ok
+}
+
+func (c *mapCache) CachePut(h string, t *snnmap.Table) {
+	c.mu.Lock()
+	c.m[h] = t
+	c.mu.Unlock()
+}
+
+// TestFaultPointCoverage is the fault-injection acceptance test: every
+// compiled-in fault point is armed to fail its first hit, a workload is
+// driven across all of them — proxy, probe, replication, peer fetch,
+// requeue, cache warm — and the test asserts both that every point
+// actually fired (coverage counters) and that every operation still
+// succeeded end to end (the recovery paths the points guard are real).
+func TestFaultPointCoverage(t *testing.T) {
+	resilience.Reset()
+	t.Cleanup(resilience.Reset)
+	for _, name := range FaultPointNames() {
+		resilience.Arm(name, resilience.FaultSpec{FailFirst: 1})
+	}
+
+	workers := startWorkers(t, 3, func(int) service.Config { return service.Config{Workers: 1} }, true)
+	routers := startHARouters(t, workers, 2, 50*time.Millisecond)
+	r1 := routers[0]
+	ringAll := NewRing(0, workerURLs(workers)...)
+
+	// router.proxy: the submission's first POST is injected and the
+	// retry policy absorbs it — the client sees a clean 202.
+	slow := slowFleetSpec()
+	stSlow := submitVia(t, r1.url, slow, http.StatusAccepted)
+	waitRunningVia(t, r1.url, stSlow.ID)
+	victim := routedWorker(t, r1.rt, workers)
+
+	// A tiny spec whose ring owner is not the victim, so its cached
+	// result survives the upcoming kill.
+	var tiny snnmap.JobSpec
+	var tinyHash string
+	var owner *testWorker
+	for seed := int64(100); owner == nil; seed++ {
+		s := tinyFleetSpec()
+		s.Seed = seed
+		norm, err := s.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o, _ := ringAll.Owner(norm.Hash()); o != victim.url {
+			tiny, tinyHash = s, norm.Hash()
+			for _, w := range workers {
+				if w.url == o {
+					owner = w
+				}
+			}
+		}
+	}
+	stTiny := submitVia(t, r1.url, tiny, http.StatusAccepted)
+	if final := waitDoneVia(t, r1.url, stTiny.ID, 60*time.Second); final.State != service.JobDone {
+		t.Fatalf("tiny job = %s (%s)", final.State, final.Error)
+	}
+	ref := resultVia(t, r1.url, stTiny.ID)
+
+	// worker.peerfetch: the tiny spec at a non-owner entry node — the
+	// first fetch is injected, the retry pulls the owner's table.
+	var entry *testWorker
+	for _, w := range workers {
+		if w != owner && w != victim {
+			entry = w
+		}
+	}
+	st2 := submitVia(t, entry.url, tiny, http.StatusOK)
+	if st2.State != service.JobDone || !st2.Cached {
+		t.Fatalf("entry-node repeat = %s cached=%v, want born done", st2.State, st2.Cached)
+	}
+	if got := resultVia(t, entry.url, st2.ID); !bytes.Equal(got, ref) {
+		t.Fatal("peer-fetched table differs despite injected first attempt")
+	}
+	if hits := entry.svc.Snapshot().PeerHits; hits != 1 {
+		t.Fatalf("entry peer hits = %d, want 1", hits)
+	}
+
+	// router.requeue: kill the worker running the slow job — the first
+	// requeue attempt is injected, the sweep moves to the next successor,
+	// and the job still completes.
+	victim.kill()
+	if final := waitDoneVia(t, r1.url, stSlow.ID, 180*time.Second); final.State != service.JobDone {
+		t.Fatalf("job after worker death = %s (%s), want done", final.State, final.Error)
+	}
+
+	// worker.warm: a synthetic joiner whose post-join ring owns the tiny
+	// hash pulls it from the owner — first pull injected, retry lands it.
+	self := ""
+	for i := 0; self == ""; i++ {
+		cand := fmt.Sprintf("http://warm-joiner-%d:1", i)
+		if o, _ := NewRing(0, owner.url, cand).Owner(tinyHash); o == cand {
+			self = cand
+		}
+	}
+	cache := &mapCache{m: map[string]*snnmap.Table{}}
+	warm := NewWarmer(WarmerConfig{Self: self, Peers: []string{owner.url, self}, Rate: 50, Cache: cache})
+	warm.Run(context.Background())
+	if _, fetched, _, _ := warm.Progress(); fetched < 1 {
+		t.Fatalf("warmer fetched %d entries, want >= 1", fetched)
+	}
+	if !cache.CacheHas(tinyHash) {
+		t.Fatal("warmer did not land the owned entry despite retry")
+	}
+
+	// Coverage: every compiled-in point fired at least once. probe and
+	// replicate fire on their own cadence, so poll briefly.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		snap := resilience.Snapshot()
+		missing := ""
+		for _, name := range FaultPointNames() {
+			if snap[name].Fired < 1 {
+				missing = name
+			}
+		}
+		if missing == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fault point %s never fired; snapshot: %+v", missing, snap)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

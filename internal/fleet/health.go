@@ -7,17 +7,26 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/fleet/resilience"
 )
 
 // NodeView is one node's entry in the gossiped membership view: its
-// address, whether this observer currently believes it alive, and the
-// last instant it was seen healthy. Views are merged by LastSeen
-// recency, so a router that lost sight of a worker (e.g. a one-sided
-// network fault) relearns it from a peer router that can still reach it.
+// address, whether this observer currently believes it alive, the last
+// instant it was seen healthy, and the incarnation — an epoch counter
+// bumped every time this observer declares the node dead. Views merge
+// by (member, incarnation), not LastSeen alone: alive evidence from a
+// lower incarnation is from before a death we already witnessed and is
+// rejected, so a peer router that was merely slower to notice a crash
+// cannot flap the node back to life. Within the same incarnation,
+// strictly-newer alive evidence still resurrects — that is the case the
+// gossip channel exists for (a one-sided network fault where a peer can
+// still reach the node).
 type NodeView struct {
-	Addr     string    `json:"addr"`
-	State    string    `json:"state"` // "alive" | "dead"
-	LastSeen time.Time `json:"last_seen,omitempty"`
+	Addr        string    `json:"addr"`
+	State       string    `json:"state"` // "alive" | "dead"
+	LastSeen    time.Time `json:"last_seen,omitempty"`
+	Incarnation int64     `json:"incarnation,omitempty"`
 }
 
 const (
@@ -165,6 +174,9 @@ func (m *monitor) probeAll() {
 }
 
 func (m *monitor) probe(node string) bool {
+	if resilience.P(fpProbe).Fire() != nil {
+		return false
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/healthz", nil)
@@ -203,7 +215,7 @@ func (m *monitor) gossipAll() {
 			if json.NewDecoder(resp.Body).Decode(&fv) == nil {
 				for _, nv := range fv.Nodes {
 					if nv.State == nodeAlive {
-						m.mergeAlive(nv.Addr, nv.LastSeen)
+						m.mergeAlive(nv.Addr, nv.LastSeen, nv.Incarnation)
 					}
 				}
 			}
@@ -236,12 +248,17 @@ func (m *monitor) markAlive(node string, at time.Time) {
 	}
 }
 
-// mergeAlive applies gossiped alive evidence: only resurrect when the
+// mergeAlive applies gossiped alive evidence under (member, incarnation)
+// rules: evidence from a lower incarnation predates a death we already
+// declared and is dropped; a higher incarnation means the peer has seen
+// a whole death+revival cycle we missed and is adopted wholesale; equal
+// incarnations fall back to LastSeen recency — resurrect only when the
 // peer's observation is strictly newer than our last direct sighting.
-func (m *monitor) mergeAlive(node string, lastSeen time.Time) {
+func (m *monitor) mergeAlive(node string, lastSeen time.Time, incarnation int64) {
 	m.mu.Lock()
 	v := m.view[node]
-	if v == nil || !lastSeen.After(v.LastSeen) {
+	if v == nil || incarnation < v.Incarnation ||
+		(incarnation == v.Incarnation && !lastSeen.After(v.LastSeen)) {
 		m.mu.Unlock()
 		return
 	}
@@ -249,6 +266,7 @@ func (m *monitor) mergeAlive(node string, lastSeen time.Time) {
 	revived := v.State != nodeAlive
 	v.State = nodeAlive
 	v.LastSeen = lastSeen
+	v.Incarnation = incarnation
 	join := m.onJoin
 	m.mu.Unlock()
 	if revived && join != nil {
@@ -269,7 +287,10 @@ func (m *monitor) reportFailure(node string) {
 	m.fails[node]++
 	died := v.State == nodeAlive && m.fails[node] >= m.threshold
 	if died {
+		// Declaring death opens a new epoch: alive gossip from peers that
+		// have not yet noticed carries the old incarnation and is rejected.
 		v.State = nodeDead
+		v.Incarnation++
 	}
 	death := m.onDeath
 	m.mu.Unlock()

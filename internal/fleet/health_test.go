@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// newTestMonitor builds a monitor with a fixed clock and no probe loop.
+func newTestMonitor(nodes []string, threshold int, now func() time.Time) *monitor {
+	return newMonitor(nodes, time.Second, threshold, nil, now)
+}
+
+// TestGossipMergeRejectsStaleIncarnation pins the flap fix: after this
+// observer declares a node dead, alive gossip from a peer that was
+// merely slower to notice — carrying the pre-death incarnation, even
+// with a newer LastSeen — must not resurrect the node.
+func TestGossipMergeRejectsStaleIncarnation(t *testing.T) {
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	clock := t0
+	m := newTestMonitor([]string{"http://w1"}, 2, func() time.Time { return clock })
+
+	var deaths, joins int
+	m.onDeath = func(string) { deaths++ }
+	m.onJoin = func(string) { joins++ }
+
+	// Two consecutive failures flip the node dead and open a new epoch.
+	m.reportFailure("http://w1")
+	m.reportFailure("http://w1")
+	if deaths != 1 || m.alive("http://w1") {
+		t.Fatalf("node not dead after threshold (deaths=%d)", deaths)
+	}
+
+	// The slow peer's view: alive at incarnation 0 with a LastSeen newer
+	// than our last direct sighting (it probed after us, before the
+	// crash reached its own threshold). Under the old LastSeen-only
+	// merge this resurrected the node; by (member, incarnation) it is
+	// stale-epoch evidence and must be dropped.
+	m.mergeAlive("http://w1", t0.Add(time.Second), 0)
+	if m.alive("http://w1") || joins != 0 {
+		t.Fatalf("stale-incarnation gossip resurrected the node (joins=%d)", joins)
+	}
+}
+
+// TestGossipMergeSameIncarnationNewerSighting pins the case gossip
+// exists for: within the same epoch, a peer that can still reach the
+// node (one-sided network fault on our side) resurrects it with
+// strictly-newer alive evidence.
+func TestGossipMergeSameIncarnationNewerSighting(t *testing.T) {
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	m := newTestMonitor([]string{"http://w1"}, 2, func() time.Time { return t0 })
+
+	var joins int
+	m.onJoin = func(string) { joins++ }
+
+	m.reportFailure("http://w1")
+	m.reportFailure("http://w1")
+	// Death bumped us to incarnation 1; evidence at the same epoch with
+	// a newer sighting means the node survived (or revived) and the peer
+	// saw it after our last look.
+	m.mergeAlive("http://w1", t0.Add(time.Second), 1)
+	if !m.alive("http://w1") || joins != 1 {
+		t.Fatalf("same-epoch newer sighting did not resurrect (joins=%d)", joins)
+	}
+	// Equal LastSeen is not strictly newer: no-op.
+	m.reportFailure("http://w1")
+	m.reportFailure("http://w1")
+	m.mergeAlive("http://w1", t0.Add(time.Second), 2)
+	if m.alive("http://w1") {
+		t.Fatal("non-newer sighting resurrected the node")
+	}
+}
+
+// TestGossipMergeAdoptsHigherIncarnation pins wholesale adoption: a
+// peer that witnessed a death+revival cycle we missed entirely carries
+// a higher incarnation and wins regardless of LastSeen ordering.
+func TestGossipMergeAdoptsHigherIncarnation(t *testing.T) {
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	m := newTestMonitor([]string{"http://w1"}, 2, func() time.Time { return t0 })
+
+	m.reportFailure("http://w1")
+	m.reportFailure("http://w1") // our incarnation: 1, dead
+
+	// Peer saw two full cycles: incarnation 3, alive, but with an OLDER
+	// LastSeen than ours (its clock lags). Incarnation dominates.
+	m.mergeAlive("http://w1", t0.Add(-time.Minute), 3)
+	if !m.alive("http://w1") {
+		t.Fatal("higher-incarnation alive evidence not adopted")
+	}
+	for _, v := range m.views() {
+		if v.Addr == "http://w1" && v.Incarnation != 3 {
+			t.Fatalf("incarnation not adopted: %d", v.Incarnation)
+		}
+	}
+}
+
+// TestDeathBumpsIncarnationOncePerTransition pins that only the
+// alive→dead edge opens a new epoch; failures past the threshold on an
+// already-dead node must not inflate the counter.
+func TestDeathBumpsIncarnationOncePerTransition(t *testing.T) {
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	m := newTestMonitor([]string{"http://w1"}, 2, func() time.Time { return t0 })
+
+	for i := 0; i < 10; i++ {
+		m.reportFailure("http://w1")
+	}
+	for _, v := range m.views() {
+		if v.Addr == "http://w1" && v.Incarnation != 1 {
+			t.Fatalf("incarnation = %d after one death, want 1", v.Incarnation)
+		}
+	}
+	// Direct revival does not bump — the epoch opened at death covers
+	// the whole cycle.
+	m.markAlive("http://w1", t0.Add(time.Second))
+	m.reportFailure("http://w1")
+	m.reportFailure("http://w1")
+	for _, v := range m.views() {
+		if v.Addr == "http://w1" && v.Incarnation != 2 {
+			t.Fatalf("incarnation = %d after two deaths, want 2", v.Incarnation)
+		}
+	}
+}

@@ -16,6 +16,8 @@ type routerMetrics struct {
 	requeues    int64            // routes replayed after a node death
 	proxyErrors int64            // network-level proxy failures
 	batches     int64            // batches fully placed
+	replicas    int64            // peer routes adopted via replication
+	redirects   int64            // 307s to a route's origin router
 
 	// read-time hooks so gauges can never drift from their sources.
 	routeCount func() int
@@ -62,6 +64,18 @@ func (m *routerMetrics) batch() {
 	m.mu.Unlock()
 }
 
+func (m *routerMetrics) replica() {
+	m.mu.Lock()
+	m.replicas++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) redirect() {
+	m.mu.Lock()
+	m.redirects++
+	m.mu.Unlock()
+}
+
 // WritePrometheus renders the router metrics, deterministically ordered.
 func (m *routerMetrics) WritePrometheus(w io.Writer) error {
 	m.mu.Lock()
@@ -93,6 +107,12 @@ func (m *routerMetrics) WritePrometheus(w io.Writer) error {
 	p("# HELP snnmapd_fleet_batches_total Batches fully placed across the fleet.\n")
 	p("# TYPE snnmapd_fleet_batches_total counter\n")
 	p("snnmapd_fleet_batches_total %d\n", m.batches)
+	p("# HELP snnmapd_fleet_replica_routes_total Peer routes adopted via route-table replication.\n")
+	p("# TYPE snnmapd_fleet_replica_routes_total counter\n")
+	p("snnmapd_fleet_replica_routes_total %d\n", m.replicas)
+	p("# HELP snnmapd_fleet_redirects_total Requests 307-redirected to a route's origin router.\n")
+	p("# TYPE snnmapd_fleet_redirects_total counter\n")
+	p("snnmapd_fleet_redirects_total %d\n", m.redirects)
 
 	if m.routeCount != nil {
 		p("# HELP snnmapd_fleet_routes Jobs currently tracked by the route table.\n")

@@ -2,11 +2,13 @@ package fleet
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"time"
 
 	snnmap "repro"
+	"repro/internal/fleet/resilience"
 )
 
 // NewPeerFetcher builds the worker-side second tier of the result
@@ -29,31 +31,46 @@ func NewPeerFetcher(self string, peers []string, vnodes int, client *http.Client
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Second}
 	}
+	// One fast retry absorbs a transient connection failure; anything
+	// beyond that and the recompute is the better bet.
+	retry := resilience.Policy{MaxAttempts: 2, BaseDelay: 25 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
 	return func(ctx context.Context, hash string) (*snnmap.Table, bool) {
 		owner, ok := ring.Owner(hash)
 		if !ok || owner == self {
 			// We are the owner (or alone): the local tier already missed.
 			return nil, false
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/cache/"+hash, nil)
-		if err != nil {
-			return nil, false
-		}
-		resp, err := client.Do(req)
-		if err != nil {
-			return nil, false
-		}
-		defer func() {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-		}()
-		if resp.StatusCode != http.StatusOK {
-			return nil, false
-		}
-		table, err := snnmap.ReadTableJSON(resp.Body)
-		if err != nil {
-			return nil, false
-		}
-		return table, true
+		var table *snnmap.Table
+		err := retry.Do(ctx, func(int) error {
+			if err := resilience.P(fpPeerFetch).Fire(); err != nil {
+				return err
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/cache/"+hash, nil)
+			if err != nil {
+				return resilience.Permanent(err)
+			}
+			// The submitter's deadline bounds the fetch too: a peer hop
+			// must never outlive the request it is trying to speed up.
+			resilience.SetDeadlineHeader(req, ctx)
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}()
+			if resp.StatusCode != http.StatusOK {
+				// Not cached there (or owner draining): a definitive miss.
+				return resilience.Permanent(fmt.Errorf("peer cache: %s", resp.Status))
+			}
+			t, err := snnmap.ReadTableJSON(resp.Body)
+			if err != nil {
+				return resilience.Permanent(err)
+			}
+			table = t
+			return nil
+		})
+		return table, err == nil && table != nil
 	}
 }

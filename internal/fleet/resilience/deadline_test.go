@@ -1,0 +1,102 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestDeadlineHeaderRoundTrip pins the wire format: stamp from a
+// context, parse back to the same instant (millisecond precision).
+func TestDeadlineHeaderRoundTrip(t *testing.T) {
+	dl := time.Now().Add(3 * time.Second).Truncate(time.Millisecond)
+	ctx, cancel := context.WithDeadline(context.Background(), dl)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodGet, "http://x/", nil)
+	SetDeadlineHeader(req, ctx)
+	got, ok := ParseDeadline(req)
+	if !ok || !got.Equal(dl) {
+		t.Fatalf("round trip = %v ok=%v, want %v", got, ok, dl)
+	}
+}
+
+// TestSetDeadlineHeaderNoDeadline pins that budget-less requests stay
+// header-less.
+func TestSetDeadlineHeaderNoDeadline(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "http://x/", nil)
+	SetDeadlineHeader(req, context.Background())
+	if req.Header.Get(DeadlineHeader) != "" {
+		t.Fatal("header set without a deadline")
+	}
+}
+
+// TestWithDeadlineAppliesBudget pins the middleware: the handler's
+// context carries the client's deadline.
+func TestWithDeadlineAppliesBudget(t *testing.T) {
+	dl := time.Now().Add(5 * time.Second)
+	var seen time.Time
+	var had bool
+	h := WithDeadline(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen, had = r.Context().Deadline()
+	}))
+	req := httptest.NewRequest(http.MethodGet, "http://x/", nil)
+	req.Header.Set(DeadlineHeader, strconv.FormatInt(dl.UnixMilli(), 10))
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if !had {
+		t.Fatal("handler context has no deadline")
+	}
+	if diff := seen.Sub(dl); diff > time.Millisecond || diff < -time.Millisecond {
+		t.Fatalf("handler deadline %v, want %v", seen, dl)
+	}
+}
+
+// TestWithDeadlineExpired pins the fast-fail: a budget spent on arrival
+// is a 504 without invoking the handler.
+func TestWithDeadlineExpired(t *testing.T) {
+	called := false
+	h := WithDeadline(http.HandlerFunc(func(http.ResponseWriter, *http.Request) { called = true }))
+	req := httptest.NewRequest(http.MethodGet, "http://x/", nil)
+	req.Header.Set(DeadlineHeader, strconv.FormatInt(time.Now().Add(-time.Second).UnixMilli(), 10))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if called {
+		t.Fatal("handler ran past an expired deadline")
+	}
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline = %d, want 504", rec.Code)
+	}
+}
+
+// TestWithDeadlineNeverExtends pins that a header cannot widen an
+// existing tighter server-side deadline.
+func TestWithDeadlineNeverExtends(t *testing.T) {
+	tight := time.Now().Add(time.Second)
+	var seen time.Time
+	h := WithDeadline(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen, _ = r.Context().Deadline()
+	}))
+	req := httptest.NewRequest(http.MethodGet, "http://x/", nil)
+	req.Header.Set(DeadlineHeader, strconv.FormatInt(time.Now().Add(time.Hour).UnixMilli(), 10))
+	ctx, cancel := context.WithDeadline(req.Context(), tight)
+	defer cancel()
+	h.ServeHTTP(httptest.NewRecorder(), req.WithContext(ctx))
+	if !seen.Equal(tight) {
+		t.Fatalf("loose header widened the deadline to %v (tight was %v)", seen, tight)
+	}
+}
+
+// TestWithDeadlineMalformedIgnored pins advisory semantics: garbage in
+// the header must not reject the request.
+func TestWithDeadlineMalformedIgnored(t *testing.T) {
+	called := false
+	h := WithDeadline(http.HandlerFunc(func(http.ResponseWriter, *http.Request) { called = true }))
+	req := httptest.NewRequest(http.MethodGet, "http://x/", nil)
+	req.Header.Set(DeadlineHeader, "not-a-timestamp")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if !called {
+		t.Fatal("malformed deadline header rejected the request")
+	}
+}

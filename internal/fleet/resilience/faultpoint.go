@@ -1,0 +1,226 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected fault, so
+// callers (and tests) can tell a synthetic failure from a real one with
+// errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// IsInjected reports whether err came from an armed fault point.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// FaultSpec arms one fault point. Injection is deterministic — pure
+// functions of the point's hit counter — so a chaos run replays
+// identically: FailFirst fails hits 1..N, FailEvery fails every Kth hit
+// (counting from the Kth), Delay sleeps before every hit's verdict
+// (injected or not). Zero values disable the corresponding behavior; a
+// spec with neither failure mode set only delays (or, with all zeros,
+// merely marks the point armed for coverage accounting).
+type FaultSpec struct {
+	// FailFirst injects an error on the first N hits.
+	FailFirst int
+	// FailEvery injects an error on every Kth hit (K, 2K, 3K, ...).
+	FailEvery int
+	// Delay sleeps this long on every hit before returning.
+	Delay time.Duration
+}
+
+// Point is one named fault-injection site. Production code holds the
+// pointer (via P) and calls Fire on the guarded path; the zero state is
+// disarmed and costs one mutex-guarded counter increment.
+type Point struct {
+	name string
+
+	mu    sync.Mutex
+	hits  int64
+	fired int64
+	armed *FaultSpec
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Fire counts one hit and, when the point is armed and the spec's
+// deterministic schedule says so, returns an injected error. Callers
+// treat the error exactly like the real failure the site guards
+// (a network error, a fetch miss), so an armed point exercises the same
+// recovery path a production fault would.
+func (p *Point) Fire() error {
+	p.mu.Lock()
+	p.hits++
+	spec := p.armed
+	hit := p.hits
+	inject := false
+	if spec != nil {
+		if spec.FailFirst > 0 && hit <= int64(spec.FailFirst) {
+			inject = true
+		}
+		if spec.FailEvery > 0 && hit%int64(spec.FailEvery) == 0 {
+			inject = true
+		}
+		if inject {
+			p.fired++
+		}
+	}
+	p.mu.Unlock()
+	if spec != nil && spec.Delay > 0 {
+		time.Sleep(spec.Delay)
+	}
+	if inject {
+		return fmt.Errorf("faultpoint %s (hit %d): %w", p.name, hit, ErrInjected)
+	}
+	return nil
+}
+
+// PointStats is one point's observability snapshot.
+type PointStats struct {
+	// Hits counts Fire calls since the last Reset.
+	Hits int64
+	// Fired counts hits that injected an error.
+	Fired int64
+	// Armed reports whether a FaultSpec is currently installed.
+	Armed bool
+}
+
+// registry is the process-global fault-point table. Points register
+// lazily at first use (package-level vars in the guarded packages), so
+// the set of names is exactly the set of compiled-in sites.
+var registry = struct {
+	mu     sync.Mutex
+	points map[string]*Point
+}{points: map[string]*Point{}}
+
+// P returns the fault point named name, creating it on first use. The
+// conventional naming is "layer.path" (router.proxy, worker.warm).
+func P(name string) *Point {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	p, ok := registry.points[name]
+	if !ok {
+		p = &Point{name: name}
+		registry.points[name] = p
+	}
+	return p
+}
+
+// Arm installs a fault spec on the named point (creating it if no code
+// path has registered it yet — arming before the site loads is fine).
+func Arm(name string, spec FaultSpec) {
+	p := P(name)
+	p.mu.Lock()
+	s := spec
+	p.armed = &s
+	p.mu.Unlock()
+}
+
+// Disarm removes the named point's fault spec; its counters survive.
+func Disarm(name string) {
+	p := P(name)
+	p.mu.Lock()
+	p.armed = nil
+	p.mu.Unlock()
+}
+
+// Reset disarms every point and zeroes all counters — test isolation.
+func Reset() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, p := range registry.points {
+		p.mu.Lock()
+		p.armed = nil
+		p.hits = 0
+		p.fired = 0
+		p.mu.Unlock()
+	}
+}
+
+// Snapshot returns every registered point's stats, keyed by name.
+func Snapshot() map[string]PointStats {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]PointStats, len(registry.points))
+	for name, p := range registry.points {
+		p.mu.Lock()
+		out[name] = PointStats{Hits: p.hits, Fired: p.fired, Armed: p.armed != nil}
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// Names lists the registered points, sorted.
+func Names() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]string, 0, len(registry.points))
+	for name := range registry.points {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseChaosSpec arms fault points from the `-chaos-spec` dev-flag
+// grammar: a comma-separated list of site=mode clauses, where mode is
+//
+//	fail[:N]     fail the first N hits (default 1)
+//	every:K      fail every Kth hit
+//	delay:DUR    sleep DUR (Go duration syntax) on every hit
+//
+// Modes may be combined per site with +, e.g.
+//
+//	router.proxy=fail:2,worker.peerfetch=every:3+delay:50ms
+//
+// The spec is deterministic by construction — rerunning a workload under
+// the same spec injects the same faults at the same hits.
+func ParseChaosSpec(spec string) error {
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		site, modes, ok := strings.Cut(clause, "=")
+		if !ok {
+			return fmt.Errorf("chaos-spec clause %q: want site=mode", clause)
+		}
+		var fs FaultSpec
+		for _, mode := range strings.Split(modes, "+") {
+			kind, arg, hasArg := strings.Cut(mode, ":")
+			switch kind {
+			case "fail":
+				fs.FailFirst = 1
+				if hasArg {
+					n, err := strconv.Atoi(arg)
+					if err != nil || n < 1 {
+						return fmt.Errorf("chaos-spec %q: bad fail count %q", clause, arg)
+					}
+					fs.FailFirst = n
+				}
+			case "every":
+				k, err := strconv.Atoi(arg)
+				if err != nil || k < 1 {
+					return fmt.Errorf("chaos-spec %q: bad every period %q", clause, arg)
+				}
+				fs.FailEvery = k
+			case "delay":
+				d, err := time.ParseDuration(arg)
+				if err != nil || d < 0 {
+					return fmt.Errorf("chaos-spec %q: bad delay %q", clause, arg)
+				}
+				fs.Delay = d
+			default:
+				return fmt.Errorf("chaos-spec %q: unknown mode %q (want fail, every, delay)", clause, kind)
+			}
+		}
+		Arm(strings.TrimSpace(site), fs)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package resilience
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFaultPointDisarmed pins the no-chaos baseline: a disarmed point
+// never injects, only counts.
+func TestFaultPointDisarmed(t *testing.T) {
+	Reset()
+	p := P("test.disarmed")
+	for i := 0; i < 5; i++ {
+		if err := p.Fire(); err != nil {
+			t.Fatalf("disarmed point injected: %v", err)
+		}
+	}
+	st := Snapshot()["test.disarmed"]
+	if st.Hits != 5 || st.Fired != 0 || st.Armed {
+		t.Fatalf("stats = %+v, want 5 hits, 0 fired, disarmed", st)
+	}
+}
+
+// TestFaultPointFailFirst pins the deterministic schedule: the first N
+// hits fail, every later hit passes, and reruns replay identically.
+func TestFaultPointFailFirst(t *testing.T) {
+	Reset()
+	Arm("test.first", FaultSpec{FailFirst: 2})
+	p := P("test.first")
+	var verdicts []bool
+	for i := 0; i < 5; i++ {
+		err := p.Fire()
+		verdicts = append(verdicts, err != nil)
+		if err != nil && !IsInjected(err) {
+			t.Fatalf("injected error not marked: %v", err)
+		}
+	}
+	want := []bool{true, true, false, false, false}
+	for i := range want {
+		if verdicts[i] != want[i] {
+			t.Fatalf("hit %d injected=%v, want %v", i+1, verdicts[i], want[i])
+		}
+	}
+	if st := Snapshot()["test.first"]; st.Fired != 2 || st.Hits != 5 {
+		t.Fatalf("stats = %+v, want 5 hits 2 fired", st)
+	}
+}
+
+// TestFaultPointFailEvery pins the periodic mode.
+func TestFaultPointFailEvery(t *testing.T) {
+	Reset()
+	Arm("test.every", FaultSpec{FailEvery: 3})
+	p := P("test.every")
+	for i := 1; i <= 9; i++ {
+		err := p.Fire()
+		if (i%3 == 0) != (err != nil) {
+			t.Fatalf("hit %d injected=%v, want %v", i, err != nil, i%3 == 0)
+		}
+	}
+}
+
+// TestFaultPointDelay pins that delay specs actually stall the caller.
+func TestFaultPointDelay(t *testing.T) {
+	Reset()
+	Arm("test.delay", FaultSpec{Delay: 30 * time.Millisecond})
+	p := P("test.delay")
+	start := time.Now()
+	if err := p.Fire(); err != nil {
+		t.Fatalf("delay-only spec injected an error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delay spec slept only %v", elapsed)
+	}
+}
+
+// TestDisarmAndReset pins test-isolation semantics: Disarm keeps the
+// counters, Reset zeroes them.
+func TestDisarmAndReset(t *testing.T) {
+	Reset()
+	Arm("test.iso", FaultSpec{FailFirst: 1})
+	p := P("test.iso")
+	_ = p.Fire()
+	Disarm("test.iso")
+	if err := p.Fire(); err != nil {
+		t.Fatalf("disarmed point injected: %v", err)
+	}
+	if st := Snapshot()["test.iso"]; st.Hits != 2 || st.Fired != 1 {
+		t.Fatalf("post-disarm stats = %+v", st)
+	}
+	Reset()
+	if st := Snapshot()["test.iso"]; st.Hits != 0 || st.Fired != 0 || st.Armed {
+		t.Fatalf("post-reset stats = %+v", st)
+	}
+}
+
+// TestParseChaosSpec pins the -chaos-spec grammar, including combined
+// modes and every error class.
+func TestParseChaosSpec(t *testing.T) {
+	Reset()
+	err := ParseChaosSpec("a.one=fail, b.two=fail:3 ,c.three=every:2+delay:1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot()
+	for _, name := range []string{"a.one", "b.two", "c.three"} {
+		if !snap[name].Armed {
+			t.Fatalf("%s not armed after ParseChaosSpec", name)
+		}
+	}
+	// b.two fails the first 3 hits.
+	p := P("b.two")
+	for i := 1; i <= 4; i++ {
+		if err := p.Fire(); (i <= 3) != (err != nil) {
+			t.Fatalf("b.two hit %d injected=%v", i, err != nil)
+		}
+	}
+	for _, bad := range []string{
+		"nosite",             // missing =
+		"x=wat",              // unknown mode
+		"x=fail:0",           // bad count
+		"x=every:zero",       // bad period
+		"x=delay:notaperiod", // bad duration
+	} {
+		if err := ParseChaosSpec(bad); err == nil {
+			t.Fatalf("ParseChaosSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestNamesSorted pins deterministic registry listing.
+func TestNamesSorted(t *testing.T) {
+	Reset()
+	P("z.point")
+	P("a.point")
+	names := Names()
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "a.point") || !strings.Contains(joined, "z.point") {
+		t.Fatalf("Names() missing registered points: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy is a capped exponential backoff with deterministic jitter: the
+// shared retry discipline of every fleet RPC. The zero value is usable
+// and picks the defaults noted per field. Policies are cheap values;
+// the jitter stream is seeded per Do call from Seed and the attempt
+// number, so two runs of the same workload back off identically — chaos
+// runs replay, flaky-test hunts reproduce.
+type Policy struct {
+	// MaxAttempts bounds total tries, first included (default 3).
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// JitterFrac spreads each delay by ±frac/2 of itself (default 0.2),
+	// decorrelating a thundering herd of retriers without giving up
+	// determinism (the jitter stream is seeded).
+	JitterFrac float64
+	// Seed feeds the jitter stream (default 1).
+	Seed int64
+	// Sleep overrides the context-aware wait (tests). It must return
+	// ctx.Err() if the context fires before the delay elapses.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Policy.Do stops retrying and returns it (minus
+// the marker) immediately: the op reached a definitive answer — a 4xx,
+// a shed with Retry-After, anything where trying again is wrong.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.JitterFrac < 0 {
+		p.JitterFrac = 0
+	} else if p.JitterFrac == 0 {
+		p.JitterFrac = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+// sleepCtx waits d or until ctx fires, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Delay returns the backoff before retry attempt (1-based: Delay(1) is
+// the wait after the first failure), jitter included. Exposed so tests
+// and docs can state the schedule exactly.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	return p.delay(attempt)
+}
+
+func (p Policy) delay(attempt int) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.JitterFrac > 0 {
+		// Deterministic jitter: seeded per (policy seed, attempt), spread
+		// over [1-f/2, 1+f/2).
+		rng := rand.New(rand.NewSource(p.Seed*2654435761 + int64(attempt)))
+		d *= 1 + p.JitterFrac*(rng.Float64()-0.5)
+	}
+	return time.Duration(d)
+}
+
+// Do runs op up to MaxAttempts times, backing off between failures. It
+// stops early when op succeeds, returns a Permanent-wrapped error
+// (returned unwrapped of the marker), or ctx fires (returned joined
+// with the last op error, so the caller sees both why it stopped and
+// what kept failing). attempt is 1-based.
+func (p Policy) Do(ctx context.Context, op func(attempt int) error) error {
+	p = p.withDefaults()
+	var last error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return errors.Join(err, last)
+		}
+		err := op(attempt)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		last = err
+		if attempt >= p.MaxAttempts {
+			return fmt.Errorf("after %d attempts: %w", attempt, last)
+		}
+		if serr := p.Sleep(ctx, p.delay(attempt)); serr != nil {
+			return errors.Join(serr, last)
+		}
+	}
+}
+
+// IdempotencyKey builds the canonical idempotency key for resubmitting
+// one logical unit of work to one target: retries of the same (unit,
+// target) pair share the key — the receiver collapses them onto one job
+// — while a failover to a different target gets a fresh key.
+func IdempotencyKey(unit, target string) string {
+	return unit + "@" + target
+}

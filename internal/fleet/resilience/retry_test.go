@@ -1,0 +1,142 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// noSleep is the test clock: records requested delays, never waits.
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+}
+
+// TestRetrySucceedsAfterTransientFailures pins the basic loop: transient
+// errors retry with backoff, success stops.
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 5, Sleep: noSleep(&delays)}
+	calls := 0
+	err := p.Do(context.Background(), func(attempt int) error {
+		calls++
+		if attempt != calls {
+			t.Fatalf("attempt %d on call %d", attempt, calls)
+		}
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || len(delays) != 2 {
+		t.Fatalf("calls=%d delays=%d, want 3 calls 2 sleeps", calls, len(delays))
+	}
+}
+
+// TestRetryBackoffSchedule pins the delay curve: exponential, capped,
+// jittered deterministically (same policy ⇒ same schedule).
+func TestRetryBackoffSchedule(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond, Multiplier: 2, Seed: 7}
+	var prev []time.Duration
+	for run := 0; run < 2; run++ {
+		var cur []time.Duration
+		for attempt := 1; attempt <= 5; attempt++ {
+			cur = append(cur, p.Delay(attempt))
+		}
+		if run == 1 {
+			for i := range cur {
+				if cur[i] != prev[i] {
+					t.Fatalf("jitter not deterministic: run0 %v run1 %v", prev, cur)
+				}
+			}
+		}
+		prev = cur
+	}
+	// Growth up to the cap, within the ±10% jitter band (JitterFrac 0.2).
+	bounds := []struct{ lo, hi time.Duration }{
+		{90 * time.Millisecond, 110 * time.Millisecond},
+		{180 * time.Millisecond, 220 * time.Millisecond},
+		{360 * time.Millisecond, 440 * time.Millisecond},
+		{360 * time.Millisecond, 440 * time.Millisecond}, // capped
+		{360 * time.Millisecond, 440 * time.Millisecond}, // capped
+	}
+	for i, b := range bounds {
+		if prev[i] < b.lo || prev[i] > b.hi {
+			t.Fatalf("Delay(%d) = %v outside [%v, %v]", i+1, prev[i], b.lo, b.hi)
+		}
+	}
+}
+
+// TestRetryExhaustsAttempts pins the failure shape after the budget.
+func TestRetryExhaustsAttempts(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 3, Sleep: noSleep(&delays)}
+	calls := 0
+	base := errors.New("down")
+	err := p.Do(context.Background(), func(int) error { calls++; return base })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("exhausted error lost the cause: %v", err)
+	}
+}
+
+// TestRetryPermanentStopsImmediately pins the definitive-answer escape
+// hatch: Permanent-wrapped errors return at once, unwrapped.
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 5, Sleep: noSleep(&delays)}
+	calls := 0
+	definitive := errors.New("400 bad request")
+	err := p.Do(context.Background(), func(int) error {
+		calls++
+		return Permanent(fmt.Errorf("worker said: %w", definitive))
+	})
+	if calls != 1 || len(delays) != 0 {
+		t.Fatalf("permanent error retried (%d calls, %d sleeps)", calls, len(delays))
+	}
+	if !errors.Is(err, definitive) {
+		t.Fatalf("permanent error lost the cause: %v", err)
+	}
+	if IsPermanent(err) {
+		t.Fatalf("marker leaked to the caller: %v", err)
+	}
+}
+
+// TestRetryRespectsContext pins deadline integration: a canceled
+// context stops the loop and the error carries both the context error
+// and the last op failure.
+func TestRetryRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 10, Sleep: func(c context.Context, d time.Duration) error {
+		cancel() // fires "mid-backoff"
+		return c.Err()
+	}}
+	opErr := errors.New("still down")
+	err := p.Do(ctx, func(int) error { return opErr })
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, opErr) {
+		t.Fatalf("context stop lost a cause: %v", err)
+	}
+}
+
+// TestIdempotencyKey pins the (unit, target) contract: same pair, same
+// key; different target, different key.
+func TestIdempotencyKey(t *testing.T) {
+	a := IdempotencyKey("fleet-000001", "http://w1")
+	b := IdempotencyKey("fleet-000001", "http://w1")
+	c := IdempotencyKey("fleet-000001", "http://w2")
+	if a != b {
+		t.Fatalf("same pair, different keys: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Fatalf("different targets share a key: %q", a)
+	}
+}

@@ -110,6 +110,59 @@ func TestRingSuccessors(t *testing.T) {
 	}
 }
 
+// TestRingJoinRebalanceProperty pins the join half of consistency — the
+// property the join-time cache warmer's transfer plan rests on: after
+// Add, the only keys whose owner changed are keys the new member now
+// owns. Checked across several membership sizes so the property is not
+// an artifact of one vnode layout.
+func TestRingJoinRebalanceProperty(t *testing.T) {
+	const keys = 2000
+	joiner := "http://joiner:8080"
+	for _, members := range []int{1, 2, 3, 5, 8} {
+		nodes := make([]string, members)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("http://w%02d:8080", i)
+		}
+		r := NewRing(0, nodes...)
+		before := map[string]string{}
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("%08x", uint32(i)*2654435761)
+			o, ok := r.Owner(k)
+			if !ok {
+				t.Fatalf("members=%d: no owner for %s", members, k)
+			}
+			before[k] = o
+		}
+
+		r.Add(joiner)
+		moved := 0
+		for k, o := range before {
+			got, _ := r.Owner(k)
+			if got == o {
+				continue
+			}
+			if got != joiner {
+				t.Fatalf("members=%d: key %s moved %s -> %s on an unrelated join", members, k, o, got)
+			}
+			moved++
+		}
+		// The joiner must take a real share — a join that moves nothing
+		// would make the property vacuous (and the warmer useless).
+		if moved == 0 {
+			t.Fatalf("members=%d: join moved no keys", members)
+		}
+
+		// Remove restores the pre-join placement exactly: join and leave
+		// are inverses, so churn cannot smear ownership.
+		r.Remove(joiner)
+		for k, o := range before {
+			if got, _ := r.Owner(k); got != o {
+				t.Fatalf("members=%d: key %s not restored to %s after leave (got %s)", members, k, o, got)
+			}
+		}
+	}
+}
+
 // BenchmarkRingOwner measures the routing hot path: one placement
 // lookup on a 16-node, 64-vnode ring.
 func BenchmarkRingOwner(b *testing.B) {

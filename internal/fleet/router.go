@@ -14,6 +14,7 @@ import (
 	"time"
 
 	snnmap "repro"
+	"repro/internal/fleet/resilience"
 	"repro/internal/service"
 )
 
@@ -40,8 +41,21 @@ type RouterConfig struct {
 	// every candidate refused (default 1s).
 	RetryAfter time.Duration
 	// GossipPeers are other routers whose /v1/fleet membership views are
-	// merged into this router's (optional).
+	// merged into this router's (optional). With Self set they are also
+	// the replication set: their route tables are pulled and adopted so
+	// this router can serve jobs its siblings accepted.
 	GossipPeers []string
+	// Self is this router's own advertised base URL (optional). Setting
+	// it stamps job IDs with an origin token (`fleet-<token>-<seq>`),
+	// which is what lets a sibling router recognize — and 307-redirect —
+	// an ID it has no replica for yet. Unset, IDs stay tokenless and
+	// siblings answer 404 for them.
+	Self string
+	// Retry overrides the shared router→worker RPC retry policy (tests).
+	// The default is 2 attempts with a 50ms base backoff — one fast
+	// retry absorbs transient connection failures, anything longer is
+	// the requeue machinery's job.
+	Retry *resilience.Policy
 	// Client overrides the request/response proxy client (tests).
 	Client *http.Client
 	// StreamClient overrides the SSE relay client (tests). It must not
@@ -63,6 +77,7 @@ type route struct {
 	hash     string
 	tenant   string
 	specJSON []byte // normalized submission body, replayed on requeue
+	origin   string // minting router's ID token ("" in tokenless mode)
 
 	mu       sync.Mutex
 	node     string
@@ -125,12 +140,23 @@ type Router struct {
 	now     func() time.Time
 	mon     *monitor
 	metrics *routerMetrics
+	retry   resilience.Policy
+
+	// HA identity: this router's ID token and the token→URL map of its
+	// gossip siblings (static after construction).
+	token       string
+	gossipPeers []string
+	peerTokens  map[string]string
 
 	mu     sync.Mutex
 	ring   *Ring
 	seq    int
 	routes map[string]*route
 	order  []string
+
+	stopRep     chan struct{}
+	stopRepOnce sync.Once
+	repDone     chan struct{}
 }
 
 // NewRouter builds a router over the given worker peers. Call Start to
@@ -144,13 +170,28 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		cfg.RetryAfter = time.Second
 	}
 	rt := &Router{
-		cfg:     cfg,
-		client:  cfg.Client,
-		stream:  cfg.StreamClient,
-		now:     cfg.Now,
-		metrics: newRouterMetrics(),
-		ring:    NewRing(cfg.VNodes, peers...),
-		routes:  map[string]*route{},
+		cfg:         cfg,
+		client:      cfg.Client,
+		stream:      cfg.StreamClient,
+		now:         cfg.Now,
+		metrics:     newRouterMetrics(),
+		ring:        NewRing(cfg.VNodes, peers...),
+		routes:      map[string]*route{},
+		gossipPeers: normalizeBases(cfg.GossipPeers),
+		peerTokens:  map[string]string{},
+		stopRep:     make(chan struct{}),
+		repDone:     make(chan struct{}),
+	}
+	if self := normalizeBase(cfg.Self); self != "" {
+		rt.token = originToken(self)
+	}
+	for _, p := range rt.gossipPeers {
+		rt.peerTokens[originToken(p)] = p
+	}
+	if cfg.Retry != nil {
+		rt.retry = *cfg.Retry
+	} else {
+		rt.retry = resilience.Policy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond, MaxDelay: 300 * time.Millisecond}
 	}
 	if rt.client == nil {
 		rt.client = apiClient()
@@ -162,7 +203,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		rt.now = time.Now
 	}
 	rt.mon = newMonitor(peers, cfg.ProbeInterval, cfg.FailThreshold, rt.client, rt.now)
-	rt.mon.gossip = normalizeBases(cfg.GossipPeers)
+	rt.mon.gossip = rt.gossipPeers
 	rt.mon.onDeath = rt.nodeDied
 	rt.mon.onJoin = rt.nodeJoined
 	rt.metrics.routeCount = func() int {
@@ -174,14 +215,30 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	return rt, nil
 }
 
-// Start launches health probing.
-func (rt *Router) Start() { rt.mon.start() }
+// Start launches health probing and, when gossip peers are configured,
+// the route-replication loop.
+func (rt *Router) Start() {
+	rt.mon.start()
+	if len(rt.gossipPeers) > 0 {
+		go rt.replicateLoop(rt.cfg.ProbeInterval)
+	} else {
+		close(rt.repDone)
+	}
+}
 
-// Close stops health probing.
-func (rt *Router) Close() { rt.mon.close() }
+// Close stops health probing and replication.
+func (rt *Router) Close() {
+	rt.stopRepOnce.Do(func() { close(rt.stopRep) })
+	<-rt.repDone
+	rt.mon.close()
+}
 
 // nodeDied drops the node from the ring and requeues its in-flight
-// routes onto ring successors (health-monitor callback).
+// routes onto ring successors (health-monitor callback). Only routes
+// this router originated are swept — the origin router of a replica
+// runs the same sweep, and two routers racing to requeue one job would
+// double-execute it. A replica whose origin died requeues lazily, on
+// the first client request that observes the worker failure.
 func (rt *Router) nodeDied(node string) {
 	rt.mu.Lock()
 	rt.ring.Remove(node)
@@ -191,6 +248,9 @@ func (rt *Router) nodeDied(node string) {
 	}
 	rt.mu.Unlock()
 	for _, ro := range routes {
+		if ro.origin != rt.token {
+			continue
+		}
 		n, _, terminal := ro.snapshot()
 		if n == node && !terminal {
 			rt.requeueRoute(ro, node, false)
@@ -214,15 +274,30 @@ func (rt *Router) successors(hash string) []string {
 	return rt.ring.Successors(hash, rt.ring.Len())
 }
 
-// newRoute registers an accepted placement under a fresh router job ID.
-func (rt *Router) newRoute(hash, tenant string, specJSON []byte, node string, st service.JobStatus) *route {
+// nextID mints a router job ID. With an origin token the ID is
+// `fleet-<token>-<seq>` so sibling routers can attribute it; tokenless
+// mode keeps the flat `fleet-<seq>` format. IDs are allocated before
+// submission: the ID seeds the idempotency key stamped on the submit
+// RPC, which is what makes retrying that RPC safe.
+func (rt *Router) nextID() string {
 	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	rt.seq++
+	if rt.token != "" {
+		return fmt.Sprintf("fleet-%s-%06d", rt.token, rt.seq)
+	}
+	return fmt.Sprintf("fleet-%06d", rt.seq)
+}
+
+// newRoute registers an accepted placement under a pre-allocated ID.
+func (rt *Router) newRoute(id, hash, tenant string, specJSON []byte, node string, st service.JobStatus) *route {
+	rt.mu.Lock()
 	ro := &route{
-		id:       fmt.Sprintf("fleet-%06d", rt.seq),
+		id:       id,
 		hash:     hash,
 		tenant:   tenant,
 		specJSON: specJSON,
+		origin:   rt.token,
 		node:     node,
 		remoteID: st.ID,
 		last:     st,
@@ -242,8 +317,15 @@ func (rt *Router) lookup(id string) (*route, bool) {
 	return ro, ok
 }
 
-// doJSON issues one proxied request against a worker.
-func (rt *Router) doJSON(ctx context.Context, method, node, path string, body []byte, tenant string) (*http.Response, error) {
+// doJSON issues one proxied request against a worker. The caller's
+// deadline rides along as X-Deadline so the worker shares the client's
+// time budget, and the router.proxy fault point fires here — an armed
+// spec surfaces exactly like a network failure, on every proxy path at
+// once. headers are optional extra key/value pairs.
+func (rt *Router) doJSON(ctx context.Context, method, node, path string, body []byte, tenant string, headers ...string) (*http.Response, error) {
+	if err := resilience.P(fpProxy).Fire(); err != nil {
+		return nil, err
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -258,7 +340,44 @@ func (rt *Router) doJSON(ctx context.Context, method, node, path string, body []
 	if tenant != "" {
 		req.Header.Set("X-Tenant", tenant)
 	}
+	for i := 0; i+1 < len(headers); i += 2 {
+		req.Header.Set(headers[i], headers[i+1])
+	}
+	resilience.SetDeadlineHeader(req, ctx)
 	return rt.client.Do(req)
+}
+
+// postWithRetry POSTs body to one node under the shared retry policy,
+// returning the final HTTP status, response body and headers. Network
+// failures back off and retry (counting toward the node's death
+// threshold each time); any HTTP status is a definitive answer and
+// returns immediately. The idempotency key is what makes the retry
+// safe: if the first attempt's response was lost after the worker
+// accepted, the replay collapses onto the already-accepted job instead
+// of executing twice.
+func (rt *Router) postWithRetry(ctx context.Context, node, path string, body []byte, tenant, idemKey string, limit int64) (code int, rb []byte, hdr http.Header, err error) {
+	err = rt.retry.Do(ctx, func(int) error {
+		var headers []string
+		if idemKey != "" {
+			headers = []string{service.IdempotencyKeyHeader, idemKey}
+		}
+		resp, derr := rt.doJSON(ctx, http.MethodPost, node, path, body, tenant, headers...)
+		if derr != nil {
+			rt.metrics.proxyError()
+			rt.mon.reportFailure(node)
+			return derr
+		}
+		b, rerr := io.ReadAll(io.LimitReader(resp.Body, limit))
+		resp.Body.Close()
+		if rerr != nil {
+			rt.metrics.proxyError()
+			rt.mon.reportFailure(node)
+			return rerr
+		}
+		code, rb, hdr = resp.StatusCode, b, resp.Header
+		return nil
+	})
+	return code, rb, hdr, err
 }
 
 // submitTo walks the candidate list, placing the spec on the first node
@@ -269,41 +388,32 @@ func (rt *Router) doJSON(ctx context.Context, method, node, path string, body []
 // accepting node, its decoded status and HTTP code; or, when every
 // candidate refused, the last refusal to relay (nil body means no live
 // workers at all).
-func (rt *Router) submitTo(ctx context.Context, candidates []string, specJSON []byte, tenant string, exclude string) (node string, st service.JobStatus, code int, rf *refusal, err error) {
+func (rt *Router) submitTo(ctx context.Context, candidates []string, specJSON []byte, tenant, exclude, unit string) (node string, st service.JobStatus, code int, rf *refusal, err error) {
 	var lastRefusal *refusal
 	for _, n := range candidates {
 		if n == exclude {
 			continue
 		}
-		resp, derr := rt.doJSON(ctx, http.MethodPost, n, "/v1/jobs", specJSON, tenant)
+		status, body, hdr, derr := rt.postWithRetry(ctx, n, "/v1/jobs", specJSON, tenant, resilience.IdempotencyKey(unit, n), maxSpecBytes)
 		if derr != nil {
-			rt.metrics.proxyError()
-			rt.mon.reportFailure(n)
-			continue
+			continue // retries exhausted; failures already counted
 		}
-		body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes))
-		resp.Body.Close()
-		if rerr != nil {
-			rt.metrics.proxyError()
-			rt.mon.reportFailure(n)
-			continue
-		}
-		switch resp.StatusCode {
+		switch status {
 		case http.StatusOK, http.StatusAccepted:
-			var status service.JobStatus
-			if json.Unmarshal(body, &status) != nil {
+			var js service.JobStatus
+			if json.Unmarshal(body, &js) != nil {
 				rt.metrics.proxyError()
 				continue
 			}
-			return n, status, resp.StatusCode, nil, nil
+			return n, js, status, nil, nil
 		case http.StatusTooManyRequests:
 			rt.metrics.spill()
-			lastRefusal = &refusal{code: resp.StatusCode, body: body, retryAfter: resp.Header.Get("Retry-After")}
+			lastRefusal = &refusal{code: status, body: body, retryAfter: hdr.Get("Retry-After")}
 		case http.StatusServiceUnavailable:
-			lastRefusal = &refusal{code: resp.StatusCode, body: body, retryAfter: resp.Header.Get("Retry-After")}
+			lastRefusal = &refusal{code: status, body: body, retryAfter: hdr.Get("Retry-After")}
 		default:
 			// A definitive answer (e.g. 400): relay it, no spilling.
-			return "", service.JobStatus{}, resp.StatusCode, &refusal{code: resp.StatusCode, body: body, contentType: resp.Header.Get("Content-Type")}, nil
+			return "", service.JobStatus{}, status, &refusal{code: status, body: body, contentType: hdr.Get("Content-Type")}, nil
 		}
 	}
 	if lastRefusal != nil {
@@ -355,20 +465,19 @@ func (rt *Router) requeueRoute(ro *route, failed string, force bool) bool {
 		if n == failed {
 			continue
 		}
+		// The requeue fault point fires per successor attempt; an armed
+		// spec skips this candidate exactly as a failed resubmission would.
+		if resilience.P(fpRequeue).Fire() != nil {
+			rt.metrics.proxyError()
+			continue
+		}
 		// Background context: the requeue must not die with whichever
 		// client request happened to observe the failure.
-		resp, err := rt.doJSON(context.Background(), http.MethodPost, n, "/v1/jobs", ro.specJSON, ro.tenant)
+		code, body, _, err := rt.postWithRetry(context.Background(), n, "/v1/jobs", ro.specJSON, ro.tenant, resilience.IdempotencyKey(ro.id, n), maxSpecBytes)
 		if err != nil {
-			rt.metrics.proxyError()
-			rt.mon.reportFailure(n)
 			continue
 		}
-		body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes))
-		resp.Body.Close()
-		if rerr != nil {
-			continue
-		}
-		switch resp.StatusCode {
+		switch code {
 		case http.StatusOK, http.StatusAccepted:
 			var st service.JobStatus
 			if json.Unmarshal(body, &st) != nil {
@@ -408,10 +517,15 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", rt.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", rt.handleEvents)
 	mux.HandleFunc("GET /v1/fleet", rt.handleFleet)
+	mux.HandleFunc("GET /v1/fleet/routes", rt.handleRoutes)
 	mux.HandleFunc("GET /v1/version", rt.handleVersion)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
-	return mux
+	// Parse X-Deadline into the request context here, at the edge: the
+	// proxy hop re-stamps outgoing worker RPCs from that context
+	// (SetDeadlineHeader), so the client's one budget bounds the whole
+	// fan-out instead of evaporating at the router.
+	return resilience.WithDeadline(mux)
 }
 
 // handleSubmit places one job on the ring owner of its content address,
@@ -437,7 +551,19 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	tenant := r.Header.Get("X-Tenant")
 
-	node, st, code, rf, err := rt.submitTo(r.Context(), rt.successors(hash), specJSON, tenant, "")
+	// The ID is minted before submission: it seeds the per-target
+	// idempotency key, so a retried submit RPC collapses onto the first
+	// attempt's job instead of executing twice. A client-supplied key
+	// takes precedence as the unit — the client's own resubmission of
+	// the same intent (through any router) then lands on the same
+	// worker-side key and replays the in-flight job instead of forking
+	// a twin.
+	id := rt.nextID()
+	unit := id
+	if ck := r.Header.Get(service.IdempotencyKeyHeader); ck != "" {
+		unit = ck
+	}
+	node, st, code, rf, err := rt.submitTo(r.Context(), rt.successors(hash), specJSON, tenant, "", unit)
 	if err != nil {
 		writeBackpressure(w, http.StatusServiceUnavailable, rt.cfg.RetryAfter.Milliseconds(), "no live workers")
 		return
@@ -446,7 +572,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		rt.relayRefusal(w, rf)
 		return
 	}
-	ro := rt.newRoute(hash, tenant, specJSON, node, st)
+	ro := rt.newRoute(id, hash, tenant, specJSON, node, st)
 	rt.metrics.routed(node)
 	writeJSON(w, code, ro.rewrite(st))
 }
@@ -457,9 +583,8 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // or amnesiac worker (connection failure, or 404 from a restarted
 // process that lost its store) triggers a requeue.
 func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
-	ro, ok := rt.lookup(r.PathValue("id"))
+	ro, ok := rt.resolve(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	node, remoteID, terminal := ro.snapshot()
@@ -513,9 +638,8 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 // locally — the job either died with its node or will be discarded when
 // the worker's answer has no route to land on.
 func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
-	ro, ok := rt.lookup(r.PathValue("id"))
+	ro, ok := rt.resolve(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	node, remoteID, _ := ro.snapshot()
@@ -559,9 +683,8 @@ func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
 // recomputing an identical canonical spec reproduces the identical
 // table) and the client advised to retry.
 func (rt *Router) handleResult(w http.ResponseWriter, r *http.Request) {
-	ro, ok := rt.lookup(r.PathValue("id"))
+	ro, ok := rt.resolve(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	node, remoteID, _ := ro.snapshot()
@@ -624,9 +747,8 @@ func (rt *Router) cancelOrphan(node, remoteID string) {
 // — emitting an explicit `requeued` event so subscribers know the
 // following replay restarts the history.
 func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
-	ro, ok := rt.lookup(r.PathValue("id"))
+	ro, ok := rt.resolve(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	flusher, ok := w.(http.Flusher)
@@ -845,7 +967,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 					writeError(w, http.StatusBadRequest, "%v", err)
 					return
 				}
-				ro = rt.newRoute(hashes[i], tenant, specJSON, p.node, st)
+				ro = rt.newRoute(rt.nextID(), hashes[i], tenant, specJSON, p.node, st)
 				rt.metrics.routed(p.node)
 				shared[key] = ro
 			}
@@ -913,6 +1035,7 @@ func (rt *Router) liveNodes() []string {
 // FleetView is the wire shape of GET /v1/fleet: the router's membership
 // view (also the gossip payload merged by peer routers).
 type FleetView struct {
+	Origin   string     `json:"origin,omitempty"` // this router's ID token
 	VNodes   int        `json:"vnodes"`
 	Nodes    []NodeView `json:"nodes"`
 	Routes   int        `json:"routes"`
@@ -927,6 +1050,7 @@ func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
 	vnodes := rt.ring.vnodes
 	rt.mu.Unlock()
 	writeJSON(w, http.StatusOK, FleetView{
+		Origin:   rt.token,
 		VNodes:   vnodes,
 		Nodes:    views,
 		Routes:   routes,

@@ -9,12 +9,14 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	snnmap "repro"
+	"repro/internal/fleet/resilience"
 	"repro/internal/service"
 )
 
@@ -570,4 +572,117 @@ func TestRouterOverloadRelay(t *testing.T) {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
+}
+
+// TestRouterDeadlineAtEdge pins that deadline propagation starts at the
+// router, not the worker: a budget already spent on arrival is refused
+// 504 before any proxying, and a live budget is forwarded so the worker
+// hop observes the same clock the client started.
+func TestRouterDeadlineAtEdge(t *testing.T) {
+	workers := startWorkers(t, 1, func(int) service.Config { return service.Config{Workers: 1} }, false)
+	_, base := startRouter(t, workers)
+
+	b, err := json.Marshal(tinyFleetSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Spent budget: refused at the router edge, no job created anywhere.
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(b))
+	req.Header.Set(resilience.DeadlineHeader, "1000")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired-deadline submit via router = %d %s, want 504", resp.StatusCode, body)
+	}
+	if snap := workers[0].svc.Snapshot(); snap.CacheHits+snap.CacheMisses != 0 {
+		t.Fatal("worker performed a cache lookup despite spent budget — expired submit was proxied")
+	}
+
+	// Live budget: admitted, and the worker-side middleware sees the
+	// forwarded header (a worker-local deadline refusal would be a 504
+	// too — the 202 proves the budget survived the hop un-mangled).
+	req, _ = http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(b))
+	req.Header.Set(resilience.DeadlineHeader, strconv.FormatInt(time.Now().Add(time.Minute).UnixMilli(), 10))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("live-deadline submit via router = %d %s", resp.StatusCode, body)
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if final := waitDoneVia(t, base, st.ID, 60*time.Second); final.State != service.JobDone {
+		t.Fatalf("job with live deadline = %s (%s)", final.State, final.Error)
+	}
+}
+
+// TestRouterForwardsClientIdempotencyKey pins that a client-supplied
+// X-Idempotency-Key survives the proxy hop: resubmitting the same
+// intent through the router collapses onto the worker's already-running
+// job instead of forking a twin under the router's own retry key.
+func TestRouterForwardsClientIdempotencyKey(t *testing.T) {
+	workers := startWorkers(t, 2, func(int) service.Config { return service.Config{Workers: 1} }, false)
+	rt, base := startRouter(t, workers)
+
+	b, err := json.Marshal(slowFleetSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() (int, service.JobStatus) {
+		req, _ := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(b))
+		req.Header.Set(service.IdempotencyKeyHeader, "client-intent-1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st service.JobStatus
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxSpecBytes)).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, st
+	}
+
+	code, st := post()
+	if code != http.StatusAccepted {
+		t.Fatalf("keyed submit via router = %d", code)
+	}
+	waitRunningVia(t, base, st.ID)
+
+	code2, st2 := post()
+	if code2 != http.StatusOK {
+		t.Fatalf("keyed resubmit via router = %d, want 200 replay", code2)
+	}
+	var replays int64
+	for _, w := range workers {
+		replays += w.svc.Snapshot().IdemReplays
+	}
+	if replays != 1 {
+		t.Fatalf("worker-side idempotent replays = %d, want 1", replays)
+	}
+
+	if final := waitDoneVia(t, base, st.ID, 120*time.Second); final.State != service.JobDone {
+		t.Fatalf("job = %s (%s)", final.State, final.Error)
+	}
+	if final2 := waitDoneVia(t, base, st2.ID, 30*time.Second); final2.State != service.JobDone {
+		t.Fatalf("aliased route = %s (%s)", final2.State, final2.Error)
+	}
+	var executed int64
+	for _, w := range workers {
+		executed += w.svc.Snapshot().Executed
+	}
+	if executed != 1 {
+		t.Fatalf("fleet executed %d jobs for one keyed intent, want 1", executed)
+	}
+	_ = rt
 }

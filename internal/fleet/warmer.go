@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	snnmap "repro"
+	"repro/internal/fleet/resilience"
+)
+
+// CacheStore is the slice of the worker's result cache the warmer
+// needs; *service.Server implements it.
+type CacheStore interface {
+	CacheHas(hash string) bool
+	CachePut(hash string, table *snnmap.Table)
+}
+
+// WarmerConfig parameterizes a join-time cache warmer.
+type WarmerConfig struct {
+	// Self is this worker's own advertised base URL.
+	Self string
+	// Peers is the full fleet membership (self included or not — self is
+	// always excluded from pulls).
+	Peers []string
+	// VNodes must match the fleet's ring configuration (<=0 → 64).
+	VNodes int
+	// Rate bounds the transfer to this many entries per second (default
+	// 16) — warming rides the same wire as live traffic and must never
+	// crowd it out.
+	Rate int
+	// Limit caps the hashes requested from each peer's index (default
+	// 512, the server-side bound).
+	Limit int
+	// Cache is the local result cache to warm.
+	Cache CacheStore
+	// Client issues the index and fetch requests (default 5s timeout).
+	Client *http.Client
+}
+
+// Warmer pre-pulls the cache entries a joining worker now owns. On ring
+// join, keys move from their previous owners to the new member; until
+// its cache warms, every repeat of those keys is a peer hop or a
+// recompute. The warmer closes that window proactively: it asks each
+// peer for its hot cache index, keeps the hashes the post-join ring
+// assigns to this node, and pulls the missing tables from the peers
+// that reported them — bounded-rate, in the background, observable via
+// the snnmapd_cache_warm_* metrics families.
+type Warmer struct {
+	cfg   WarmerConfig
+	ring  *Ring
+	self  string
+	peers []string
+	retry resilience.Policy
+
+	mu      sync.Mutex
+	planned int64
+	fetched int64
+	errors  int64
+	done    bool
+}
+
+// NewWarmer builds a warmer; Run starts the transfer.
+func NewWarmer(cfg WarmerConfig) *Warmer {
+	if cfg.Rate <= 0 {
+		cfg.Rate = 16
+	}
+	if cfg.Limit <= 0 {
+		cfg.Limit = 512
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	self := normalizeBase(cfg.Self)
+	peers := make([]string, 0, len(cfg.Peers))
+	for _, p := range normalizeBases(cfg.Peers) {
+		if p != self {
+			peers = append(peers, p)
+		}
+	}
+	ring := NewRing(cfg.VNodes, peers...)
+	ring.Add(self)
+	return &Warmer{cfg: cfg, ring: ring, self: self, peers: peers,
+		retry: resilience.Policy{MaxAttempts: 2, BaseDelay: 25 * time.Millisecond, MaxDelay: 100 * time.Millisecond}}
+}
+
+// Bind attaches the cache to warm. It exists because the warmer's
+// metrics hook must be wired into the service config before the server
+// — the cache owner — is constructed; call it before Run.
+func (w *Warmer) Bind(cache CacheStore) { w.cfg.Cache = cache }
+
+// Run executes one warm pass and returns when it completes or ctx
+// fires. Call it in a goroutine at worker startup — submissions served
+// while it runs simply miss the local tier and fall through to the
+// peer-fetch path, so warming is never on any request's critical path.
+func (w *Warmer) Run(ctx context.Context) {
+	defer func() {
+		w.mu.Lock()
+		w.done = true
+		w.mu.Unlock()
+	}()
+	if w.cfg.Cache == nil {
+		return
+	}
+
+	// Plan: every peer-reported hash the post-join ring assigns to this
+	// node and the local cache lacks, remembered with the peer that has
+	// it (first reporter wins — any holder's bytes are identical).
+	type pull struct{ hash, peer string }
+	var plan []pull
+	seen := map[string]struct{}{}
+	for _, peer := range w.peers {
+		for _, h := range w.peerIndex(ctx, peer) {
+			if _, dup := seen[h]; dup {
+				continue
+			}
+			seen[h] = struct{}{}
+			if owner, ok := w.ring.Owner(h); !ok || owner != w.self {
+				continue
+			}
+			if w.cfg.Cache.CacheHas(h) {
+				continue
+			}
+			plan = append(plan, pull{hash: h, peer: peer})
+		}
+	}
+	w.mu.Lock()
+	w.planned = int64(len(plan))
+	w.mu.Unlock()
+
+	// Transfer, one entry per rate tick. A ticker (not a sleep-per-item
+	// loop) keeps the bound exact however long individual fetches take.
+	interval := time.Second / time.Duration(w.cfg.Rate)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i, p := range plan {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+		}
+		if err := w.fetch(ctx, p.peer, p.hash); err != nil {
+			w.mu.Lock()
+			w.errors++
+			w.mu.Unlock()
+			continue
+		}
+		w.mu.Lock()
+		w.fetched++
+		w.mu.Unlock()
+	}
+}
+
+// peerIndex lists one peer's hot cache hashes (best-effort).
+func (w *Warmer) peerIndex(ctx context.Context, peer string) []string {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/cache?limit=%d", peer, w.cfg.Limit), nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var idx struct {
+		Hashes []string `json:"hashes"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, maxSpecBytes)).Decode(&idx) != nil {
+		return nil
+	}
+	return idx.Hashes
+}
+
+// fetch pulls one table from the peer that reported it and installs it
+// locally. The worker.warm fault point fires per entry.
+func (w *Warmer) fetch(ctx context.Context, peer, hash string) error {
+	return w.retry.Do(ctx, func(int) error {
+		if err := resilience.P(fpWarm).Fire(); err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/cache/"+hash, nil)
+		if err != nil {
+			return resilience.Permanent(err)
+		}
+		resp, err := w.cfg.Client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+		if resp.StatusCode != http.StatusOK {
+			// Evicted (or never held) since the index was taken: skip it.
+			return resilience.Permanent(fmt.Errorf("warm %s from %s: %s", hash, peer, resp.Status))
+		}
+		table, err := snnmap.ReadTableJSON(resp.Body)
+		if err != nil {
+			return resilience.Permanent(err)
+		}
+		w.cfg.Cache.CachePut(hash, table)
+		return nil
+	})
+}
+
+// Progress snapshots the warm pass: entries planned, fetched, failed,
+// and whether the pass finished.
+func (w *Warmer) Progress() (planned, fetched, errors int64, done bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.planned, w.fetched, w.errors, w.done
+}
+
+// WritePrometheus renders the warm-progress metrics; wire it into
+// service.Config.ExtraMetrics so they ride the worker's /metrics.
+func (w *Warmer) WritePrometheus(out io.Writer) error {
+	planned, fetched, errors, done := w.Progress()
+	var b []byte
+	p := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	p("# HELP snnmapd_cache_warm_planned Cache entries the join warmer planned to pull.\n")
+	p("# TYPE snnmapd_cache_warm_planned gauge\n")
+	p("snnmapd_cache_warm_planned %d\n", planned)
+	p("# HELP snnmapd_cache_warm_fetched_total Cache entries pulled by the join warmer.\n")
+	p("# TYPE snnmapd_cache_warm_fetched_total counter\n")
+	p("snnmapd_cache_warm_fetched_total %d\n", fetched)
+	p("# HELP snnmapd_cache_warm_errors_total Join-warmer pulls that failed after retries.\n")
+	p("# TYPE snnmapd_cache_warm_errors_total counter\n")
+	p("snnmapd_cache_warm_errors_total %d\n", errors)
+	p("# HELP snnmapd_cache_warm_done Whether the join warm pass completed (1) or is still running (0).\n")
+	p("# TYPE snnmapd_cache_warm_done gauge\n")
+	if done {
+		p("snnmapd_cache_warm_done 1\n")
+	} else {
+		p("snnmapd_cache_warm_done 0\n")
+	}
+	_, err := out.Write(b)
+	return err
+}

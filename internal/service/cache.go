@@ -47,3 +47,19 @@ func (c *resultCache) len() int {
 	defer c.mu.Unlock()
 	return c.entries.len()
 }
+
+// has reports presence without touching recency — membership probes
+// (the join warmer planning its pulls) must not distort the LRU order.
+func (c *resultCache) has(hash string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries.peek(hash)
+	return ok
+}
+
+// keys lists up to limit cached hashes, most recently used first.
+func (c *resultCache) keys(limit int) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries.keys(limit)
+}

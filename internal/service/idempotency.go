@@ -1,0 +1,44 @@
+package service
+
+import "sync"
+
+// IdempotencyKeyHeader carries a submit request's idempotency key. The
+// fleet router stamps it with (route ID, target node), so a retried
+// submit RPC — the first attempt's response was lost after this node
+// accepted the job — collapses onto the already-created job instead of
+// creating a second one. Content addressing already makes duplicate
+// *execution* harmless (identical spec, identical table); the key
+// additionally dedupes the job records themselves, keeping the router's
+// route pointed at exactly one remote ID.
+const IdempotencyKeyHeader = "X-Idempotency-Key"
+
+// idemStore is the bounded key→jobID memory behind the header: recent
+// submissions only, because a key's useful life is one retry window.
+// The LRU bound means a key can age out and a very late replay create a
+// duplicate job — acceptable, since execution stays idempotent either
+// way.
+type idemStore struct {
+	mu      sync.Mutex
+	entries *lru[string]
+}
+
+func newIdemStore(capacity int) *idemStore {
+	return &idemStore{entries: newLRU[string](capacity)}
+}
+
+// lookup returns the job ID recorded for key, refreshing its recency.
+func (st *idemStore) lookup(key string) (string, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.entries.get(key)
+}
+
+// record remembers key→id (first writer wins).
+func (st *idemStore) record(key, id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.entries.get(key); ok {
+		return
+	}
+	st.entries.add(key, id)
+}

@@ -59,6 +59,19 @@ func (l *lru[V]) add(key string, val V) (evicted int) {
 	return evicted
 }
 
+// keys lists up to limit keys in recency order (most recent first)
+// without touching recency; limit <= 0 lists all.
+func (l *lru[V]) keys(limit int) []string {
+	if limit <= 0 || limit > l.order.Len() {
+		limit = l.order.Len()
+	}
+	out := make([]string, 0, limit)
+	for el := l.order.Front(); el != nil && len(out) < limit; el = el.Next() {
+		out = append(out, el.Value.(*lruItem[V]).key)
+	}
+	return out
+}
+
 // remove deletes key if present.
 func (l *lru[V]) remove(key string) {
 	if el, ok := l.entries[key]; ok {

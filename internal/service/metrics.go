@@ -60,12 +60,13 @@ type Metrics struct {
 	// through the FetchPeer hook, tables served to peers, jobs actually
 	// executed to done on this node, submissions shed by the admission
 	// bounds, and batch submissions accepted.
-	peerHits   int64
-	peerMisses int64
-	peerServes int64
-	executed   int64
-	shed       int64
-	batches    int64
+	peerHits    int64
+	peerMisses  int64
+	peerServes  int64
+	executed    int64
+	shed        int64
+	batches     int64
+	idemReplays int64
 
 	stages map[snnmap.Stage]*histogram
 
@@ -175,6 +176,12 @@ func (m *Metrics) batchAccepted() {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) idemReplay() {
+	m.mu.Lock()
+	m.idemReplays++
+	m.mu.Unlock()
+}
+
 func (m *Metrics) observeStage(stage snnmap.Stage, elapsed time.Duration) {
 	m.mu.Lock()
 	h := m.stages[stage]
@@ -259,6 +266,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p("# HELP snnmapd_batches_total Batch submissions accepted.\n")
 	p("# TYPE snnmapd_batches_total counter\n")
 	p("snnmapd_batches_total %d\n", m.batches)
+	p("# HELP snnmapd_idempotent_replays_total Keyed resubmissions answered with the already-accepted job.\n")
+	p("# TYPE snnmapd_idempotent_replays_total counter\n")
+	p("snnmapd_idempotent_replays_total %d\n", m.idemReplays)
 
 	p("# HELP snnmapd_session_pool_hits_total Jobs served by an already-warm pipeline session.\n")
 	p("# TYPE snnmapd_session_pool_hits_total counter\n")

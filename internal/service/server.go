@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	snnmap "repro"
+	"repro/internal/fleet/resilience"
 )
 
 // maxSpecBytes bounds a submission body; job specs are a handful of
@@ -20,11 +21,16 @@ const (
 	maxBatchBytes = 8 << 20
 )
 
-// Handler returns the daemon's HTTP surface on a fresh ServeMux.
+// Handler returns the daemon's HTTP surface on a fresh ServeMux,
+// wrapped in the deadline middleware: an X-Deadline header (stamped by
+// the fleet router from the client's context) becomes this request's
+// context deadline, and a budget already spent on arrival is answered
+// 504 before any work happens.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/batches", s.handleBatch)
+	mux.HandleFunc("GET /v1/cache", s.handleCacheIndex)
 	mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheFetch)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -34,7 +40,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return resilience.WithDeadline(mux)
 }
 
 // writeJSON renders v as indented JSON (trailing newline included), the
@@ -180,12 +186,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	hash := spec.Hash()
 
+	// Idempotent replay: a keyed resubmission whose first attempt this
+	// node already accepted answers with that job instead of creating a
+	// duplicate record.
+	idemKey := r.Header.Get(IdempotencyKeyHeader)
+	if idemKey != "" {
+		if id, ok := s.idem.lookup(idemKey); ok {
+			if j, ok := s.store.get(id); ok {
+				s.metrics.idemReplay()
+				writeJSON(w, http.StatusOK, s.store.status(j))
+				return
+			}
+		}
+	}
+
 	if table, ok := s.cachedTable(r.Context(), hash); ok {
 		// Content-address hit (local tier or a peer's): identical
 		// canonical spec ⇒ byte-identical result, by the end-to-end
 		// determinism the invariant harness pins. Serve the cached
 		// table; no queue, no session, no run.
-		writeJSON(w, http.StatusOK, s.finishCached(spec, hash, table))
+		st := s.finishCached(spec, hash, table)
+		if idemKey != "" {
+			s.idem.record(idemKey, st.ID)
+		}
+		writeJSON(w, http.StatusOK, st)
 		return
 	}
 
@@ -206,6 +230,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.metrics.jobQueued()
 	j.events.append("state", statePayload{State: JobQueued})
 	s.submitMu.Unlock()
+	if idemKey != "" {
+		s.idem.record(idemKey, j.id)
+	}
 	writeJSON(w, http.StatusAccepted, s.store.status(j))
 }
 
@@ -367,6 +394,32 @@ func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
 	_ = table.WriteJSON(w) // a write error means the peer went away
 }
 
+// cacheIndexLimit bounds a cache-index response; a joining warmer only
+// needs the hot end of the LRU, not a full dump.
+const cacheIndexLimit = 512
+
+// handleCacheIndex lists this node's locally cached content addresses,
+// most recently used first, bounded by ?limit (capped server-side). A
+// joining worker calls this on its new ring neighbors to plan which
+// entries to warm — hashes are cheap to ship, tables are fetched one at
+// a time through GET /v1/cache/{hash} under the warmer's rate limit.
+func (s *Server) handleCacheIndex(w http.ResponseWriter, r *http.Request) {
+	limit := cacheIndexLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Hashes []string `json:"hashes"`
+	}{Hashes: s.cache.keys(limit)})
+}
+
 // listResponse is the wire shape of GET /v1/jobs.
 type listResponse struct {
 	Jobs []JobStatus `json:"jobs"`
@@ -487,4 +540,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.metrics.WritePrometheus(w)
+	if s.cfg.ExtraMetrics != nil {
+		s.cfg.ExtraMetrics(w)
+	}
 }

@@ -28,6 +28,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -79,6 +80,12 @@ type Config struct {
 	// single-tier. The hook must be safe for concurrent use and should
 	// bound its own latency — it sits on the submission path.
 	FetchPeer func(ctx context.Context, hash string) (*snnmap.Table, bool)
+	// ExtraMetrics, when set, is appended to the /metrics exposition
+	// after the daemon's own families — the hook for co-located
+	// subsystems (the fleet cache warmer) to publish without the service
+	// layer knowing their schema. The hook must write complete, valid
+	// Prometheus text lines.
+	ExtraMetrics func(w io.Writer)
 	// Now is the clock (tests inject a fixed one; default time.Now).
 	Now func() time.Time
 }
@@ -121,6 +128,7 @@ type Server struct {
 	cache   *resultCache
 	metrics *Metrics
 	info    buildinfo.Info
+	idem    *idemStore
 
 	queue   *fairQueue
 	workers sync.WaitGroup
@@ -145,6 +153,7 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheCap),
 		metrics: newMetrics(),
 		info:    buildinfo.Read(),
+		idem:    newIdemStore(1024),
 		queue:   newFairQueue(cfg.QueueDepth, cfg.TenantDepth),
 	}
 	s.pool = newSessionPool(cfg.SessionCap, func(spec snnmap.JobSpec) (*snnmap.Pipeline, error) {
@@ -307,6 +316,20 @@ func (s *Server) execute(ctx context.Context, j *job, gs *groupSession) (*snnmap
 	return snnmap.NewReportTable(reports...)
 }
 
+// CacheHas reports whether the content address is in the local result
+// cache, without touching recency. Exported for the fleet's join-time
+// cache warmer.
+func (s *Server) CacheHas(hash string) bool { return s.cache.has(hash) }
+
+// CachePut stores a table under its content address in the local result
+// cache (first writer wins; determinism makes duplicates identical).
+// Exported for the fleet's join-time cache warmer.
+func (s *Server) CachePut(hash string, table *snnmap.Table) { s.cache.put(hash, table) }
+
+// CacheHashes lists up to limit locally cached content addresses, most
+// recently used first. Exported for the fleet's join-time cache warmer.
+func (s *Server) CacheHashes(limit int) []string { return s.cache.keys(limit) }
+
 // Drain stops the daemon gracefully: submissions are rejected from the
 // moment it is called, queued and running jobs are given until ctx
 // expires to finish, and past the deadline running jobs are canceled
@@ -373,6 +396,9 @@ type Stats struct {
 	Shed int64
 	// Batches counts accepted batch submissions.
 	Batches int64
+	// IdemReplays counts keyed submissions answered from the idempotency
+	// store — retried RPCs collapsed onto their first attempt's job.
+	IdemReplays int64
 }
 
 // Snapshot returns the current Stats.
@@ -390,6 +416,7 @@ func (s *Server) Snapshot() Stats {
 		Executed:    m.executed,
 		Shed:        m.shed,
 		Batches:     m.batches,
+		IdemReplays: m.idemReplays,
 	}
 	m.mu.Unlock()
 	st.CacheEntries = s.cache.len()
