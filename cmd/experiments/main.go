@@ -10,6 +10,7 @@
 //	ablation-aer       — AER packetization comparison
 //	ablation-topology  — NoC-tree vs NoC-mesh
 //	scenarios          — generated workload families (internal/genapp) sweep
+//	remap              — incremental remap vs static/from-scratch under drift
 //
 // Usage:
 //

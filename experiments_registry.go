@@ -164,6 +164,24 @@ func scenariosTable(rows []ScenarioRow) (*Table, error) {
 	return t, nil
 }
 
+func remapTable(rows []RemapRow) (*Table, error) {
+	t := NewTable("remap", "Incremental remap vs static and from-scratch mapping under workload drift (gen:modular, hypercut)",
+		Column{"app", ColString}, Column{"drift", ColFloat},
+		Column{"rewired_synapses", ColInt}, Column{"shifted_neurons", ColInt},
+		Column{"touched_neurons", ColInt},
+		Column{"static_cost", ColInt}, Column{"remap_cost", ColInt}, Column{"resolve_cost", ColInt},
+		Column{"remap_wall", ColDuration}, Column{"resolve_wall", ColDuration},
+	)
+	for _, r := range rows {
+		err := t.AddRow(r.App, r.Drift, r.RewiredSynapses, r.ShiftedNeurons, r.TouchedNeurons,
+			r.StaticCost, r.RemapCost, r.ResolveCost, r.RemapWall, r.ResolveWall)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
 // tabulated adapts a typed driver plus its Table converter to the
 // experiment run shape.
 func tabulated[R any](drive func(context.Context, PipelineFactory, ExpOptions) (R, error), tab func(R) (*Table, error)) func(context.Context, PipelineFactory, ExpOptions) (*Table, error) {
@@ -187,6 +205,7 @@ func init() {
 		{"ablation-aer", "AER packetization: per-synapse vs per-crossbar vs multicast (Noxim++ extension)", tabulated(runAERModeAblation, ablationAERTable)},
 		{"ablation-topology", "interconnect topology: NoC-tree vs NoC-mesh under one PSO mapping", tabulated(runTopologyAblation, ablationTopologyTable)},
 		{"scenarios", "generated workload families (internal/genapp) × techniques × tree/mesh interconnects", tabulated(runScenarios, scenariosTable)},
+		{"remap", "incremental remap vs static/from-scratch mapping across drift magnitudes (hypercut)", tabulated(runRemap, remapTable)},
 	} {
 		RegisterExperiment(e)
 	}

@@ -1,0 +1,176 @@
+package snnmap
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/genapp"
+	"repro/internal/partition"
+)
+
+// The hypercut/remap extension of the scenario property harness: for each
+// genapp family × {hypercut, neutrams} × {tree, mesh} it pins
+//
+//	(a) delta-evaluated hypergraph move gains ≡ the preserved
+//	    referenceHyperCut full-recompute oracle (and the running cut
+//	    stays bit-identical move after move);
+//	(b) partition output byte-identical across registry seeds and
+//	    pipeline worker counts (both techniques are deterministic);
+//	(c) capacity feasibility (Eq. 4–5) and spike conservation (Eq. 7–8)
+//	    hold after an incremental Remap across a workload drift, with
+//	    the remapped cost never worse than the static carry-over or a
+//	    from-scratch solve;
+//	(d) Remap on an empty delta is a no-op returning the identical
+//	    mapping.
+var propRemapTechniques = []string{"hypercut", "neutrams"}
+
+func TestHyperCutRemapInvariants(t *testing.T) {
+	ctx := context.Background()
+	for _, family := range genapp.Families() {
+		family := family
+		t.Run(family, func(t *testing.T) {
+			app, err := BuildApp(propSpec(family), AppConfig{Seed: 1, DurationMs: 300})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, archName := range propArchNames {
+				for _, techName := range propRemapTechniques {
+					archName, techName := archName, techName
+					t.Run(archName+"/"+techName, func(t *testing.T) {
+						arch, err := NewArch(archName, app.Graph, ArchSpec{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						pl, err := NewPipeline(app, arch)
+						if err != nil {
+							t.Fatal(err)
+						}
+						pt, err := NewPartitioner(techName, PartitionerSpec{Seed: 1})
+						if err != nil {
+							t.Fatal(err)
+						}
+						m, err := pl.Solve(ctx, pt)
+						if err != nil {
+							t.Fatal(err)
+						}
+
+						// (b) byte-identical output across seeds (both
+						// techniques are deterministic by design) and
+						// across pipeline worker counts.
+						ptSeeded, err := NewPartitioner(techName, PartitionerSpec{Seed: 42})
+						if err != nil {
+							t.Fatal(err)
+						}
+						mSeed, err := pl.Solve(ctx, ptSeeded)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(m.Assign, mSeed.Assign) {
+							t.Fatalf("%s output differs across seeds", techName)
+						}
+						plWorkers, err := NewPipeline(app, arch, WithWorkers(4))
+						if err != nil {
+							t.Fatal(err)
+						}
+						mWorkers, err := plWorkers.Solve(ctx, pt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(m.Assign, mWorkers.Assign) {
+							t.Fatalf("%s output differs across worker counts", techName)
+						}
+
+						// (a) delta-evaluated move gains ≡ the full-recompute
+						// oracle, starting from this technique's mapping.
+						p := pl.Problem()
+						hs, err := partition.NewHyperState(p, m.Assign)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got, want := hs.Cut(), partition.ReferenceHyperCut(p, m.Assign); got != want {
+							t.Fatalf("incremental cut %d != oracle %d", got, want)
+						}
+						cur := m.Assign.Clone()
+						for i := 0; i < p.Graph.Neurons; i += 7 {
+							dst := (cur[i] + 1 + i) % arch.Crossbars
+							after := cur.Clone()
+							after[i] = dst
+							wantDelta := partition.ReferenceHyperCut(p, after) - partition.ReferenceHyperCut(p, cur)
+							if got := hs.MoveDelta(i, dst); got != wantDelta {
+								t.Fatalf("neuron %d→%d: delta %d != oracle %d", i, dst, got, wantDelta)
+							}
+							// Apply a third of the sampled moves so the
+							// running cut is pinned over a move sequence.
+							if i%21 == 0 {
+								hs.Move(i, dst)
+								cur = after
+								if got, want := hs.Cut(), partition.ReferenceHyperCut(p, cur); got != want {
+									t.Fatalf("running cut %d != oracle %d after moving %d", got, want, i)
+								}
+							}
+						}
+
+						// (d) empty delta is a no-op returning the identical
+						// mapping — same backing assignment, not a copy.
+						same, err := pl.Remap(ctx, m, WorkloadDelta{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(same, m) {
+							t.Fatal("empty delta changed the mapping")
+						}
+						if len(same.Assign) > 0 && &same.Assign[0] != &m.Assign[0] {
+							t.Fatal("empty delta copied the mapping instead of returning it")
+						}
+
+						// (c) post-remap feasibility, cost bounds and spike
+						// conservation across a deterministic drift.
+						delta := DriftDelta(app.Graph, 0.1, 7)
+						remapped, err := pl.Remap(ctx, m, delta)
+						if err != nil {
+							t.Fatal(err)
+						}
+						g2, err := delta.Apply(app.Graph)
+						if err != nil {
+							t.Fatal(err)
+						}
+						p2, err := NewProblem(g2, arch.Crossbars, arch.CrossbarSize)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := p2.Validate(remapped.Assign); err != nil {
+							t.Fatalf("remap broke Eq. 4–5 feasibility: %v", err)
+						}
+						if got, want := remapped.Cost, p2.Cost(remapped.Assign); got != want {
+							t.Fatalf("remap cost %d != drifted-problem fitness %d", got, want)
+						}
+						if static := p2.Cost(m.Assign); remapped.Cost > static {
+							t.Fatalf("remap cost %d worse than static carry-over %d", remapped.Cost, static)
+						}
+						resolved, err := partition.Solve(pt, p2)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if remapped.Cost > resolved.Cost {
+							t.Fatalf("remap cost %d worse than from-scratch %s %d", remapped.Cost, techName, resolved.Cost)
+						}
+						// Eq. 7–8 conservation on the drifted workload: the
+						// replayed per-synapse traffic equals the analytic
+						// fitness of the remapped assignment.
+						nr, err := SimulateTraffic(g2, remapped.Assign, arch)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if nr.Stats.Injected != remapped.Cost {
+							t.Fatalf("replayed traffic %d != Eq. 7–8 fitness %d post-remap", nr.Stats.Injected, remapped.Cost)
+						}
+						if nr.Stats.Delivered != remapped.Cost {
+							t.Fatalf("delivered %d != injected %d post-remap (spikes lost or duplicated)", nr.Stats.Delivered, remapped.Cost)
+						}
+					})
+				}
+			}
+		})
+	}
+}

@@ -224,6 +224,39 @@ func CanonicalSpec(spec string) string {
 	}
 }
 
+// ValidateSpec checks a registry spec textually, without building the
+// application: the spec must resolve to a registered family (exact name,
+// legacy alias, or registered prefix) and any parameter tail must parse.
+// It is the cheap submit-time check a job API runs so an unknown
+// application rejects with a 400 instead of surfacing later as a failed
+// job; parameter *values* are still validated by the family's builder.
+func ValidateSpec(spec string) error {
+	if _, ok := longAliases[spec]; ok {
+		return nil
+	}
+	if _, ok := lookupFactory(spec); ok {
+		return nil
+	}
+	for base := spec; ; {
+		i := strings.LastIndex(base, ":")
+		if i < 0 {
+			if _, err := ByName(spec); err == nil {
+				return nil
+			}
+			known := Names()
+			sort.Strings(known)
+			return fmt.Errorf("apps: unknown application %q (known: %v)", spec, known)
+		}
+		base = base[:i]
+		if _, ok := lookupFactory(base); ok {
+			if _, err := ParseParams(spec[len(base)+1:]); err != nil {
+				return err
+			}
+			return nil
+		}
+	}
+}
+
 // ParseParams splits a "k=v,k=v" parameter tail into a key→value map,
 // rejecting malformed entries and duplicate keys. An empty tail yields an
 // empty map.

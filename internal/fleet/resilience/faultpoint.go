@@ -181,7 +181,26 @@ func Names() []string {
 //
 // The spec is deterministic by construction — rerunning a workload under
 // the same spec injects the same faults at the same hits.
+//
+// Parsing is atomic: a rejected spec arms nothing, even when earlier
+// clauses were well-formed, so a typo can never leave a half-armed chaos
+// configuration behind.
 func ParseChaosSpec(spec string) error {
+	specs, err := parseChaosSpec(spec)
+	if err != nil {
+		return err
+	}
+	for site, fs := range specs {
+		Arm(site, fs)
+	}
+	return nil
+}
+
+// parseChaosSpec parses the grammar into site → FaultSpec without arming
+// anything. A site listed twice keeps its last clause (matching the old
+// arm-in-order semantics).
+func parseChaosSpec(spec string) (map[string]FaultSpec, error) {
+	specs := map[string]FaultSpec{}
 	for _, clause := range strings.Split(spec, ",") {
 		clause = strings.TrimSpace(clause)
 		if clause == "" {
@@ -189,7 +208,11 @@ func ParseChaosSpec(spec string) error {
 		}
 		site, modes, ok := strings.Cut(clause, "=")
 		if !ok {
-			return fmt.Errorf("chaos-spec clause %q: want site=mode", clause)
+			return nil, fmt.Errorf("chaos-spec clause %q: want site=mode", clause)
+		}
+		site = strings.TrimSpace(site)
+		if site == "" {
+			return nil, fmt.Errorf("chaos-spec clause %q: empty site name", clause)
 		}
 		var fs FaultSpec
 		for _, mode := range strings.Split(modes, "+") {
@@ -200,27 +223,27 @@ func ParseChaosSpec(spec string) error {
 				if hasArg {
 					n, err := strconv.Atoi(arg)
 					if err != nil || n < 1 {
-						return fmt.Errorf("chaos-spec %q: bad fail count %q", clause, arg)
+						return nil, fmt.Errorf("chaos-spec %q: bad fail count %q", clause, arg)
 					}
 					fs.FailFirst = n
 				}
 			case "every":
 				k, err := strconv.Atoi(arg)
 				if err != nil || k < 1 {
-					return fmt.Errorf("chaos-spec %q: bad every period %q", clause, arg)
+					return nil, fmt.Errorf("chaos-spec %q: bad every period %q", clause, arg)
 				}
 				fs.FailEvery = k
 			case "delay":
 				d, err := time.ParseDuration(arg)
 				if err != nil || d < 0 {
-					return fmt.Errorf("chaos-spec %q: bad delay %q", clause, arg)
+					return nil, fmt.Errorf("chaos-spec %q: bad delay %q", clause, arg)
 				}
 				fs.Delay = d
 			default:
-				return fmt.Errorf("chaos-spec %q: unknown mode %q (want fail, every, delay)", clause, kind)
+				return nil, fmt.Errorf("chaos-spec %q: unknown mode %q (want fail, every, delay)", clause, kind)
 			}
 		}
-		Arm(strings.TrimSpace(site), fs)
+		specs[site] = fs
 	}
-	return nil
+	return specs, nil
 }

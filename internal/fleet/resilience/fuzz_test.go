@@ -1,0 +1,135 @@
+package resilience
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// renderChaosSpec re-renders a parsed site → FaultSpec map in the
+// `-chaos-spec` grammar (sites sorted, modes in fail+every+delay order).
+// Round-tripping through it pins that parsing is a function of the
+// spec's meaning, not its spelling.
+func renderChaosSpec(specs map[string]FaultSpec) string {
+	sites := make([]string, 0, len(specs))
+	for site := range specs {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	clauses := make([]string, 0, len(sites))
+	for _, site := range sites {
+		fs := specs[site]
+		var modes []string
+		if fs.FailFirst > 0 {
+			modes = append(modes, fmt.Sprintf("fail:%d", fs.FailFirst))
+		}
+		if fs.FailEvery > 0 {
+			modes = append(modes, fmt.Sprintf("every:%d", fs.FailEvery))
+		}
+		if fs.Delay > 0 {
+			modes = append(modes, fmt.Sprintf("delay:%s", fs.Delay))
+		}
+		if len(modes) == 0 {
+			// A bare "site=fail"-less clause (e.g. "site=delay:0") arms a
+			// zero spec; render it as an explicit no-op delay.
+			modes = append(modes, "delay:0s")
+		}
+		clauses = append(clauses, site+"="+strings.Join(modes, "+"))
+	}
+	return strings.Join(clauses, ",")
+}
+
+// FuzzParseChaosSpec fuzzes the `-chaos-spec` grammar end to end:
+//
+//   - parsing never panics, whatever the input;
+//   - a rejected spec arms nothing (atomicity — no half-armed chaos
+//     configuration from a partially valid spec);
+//   - an accepted spec round-trips through Snapshot: every parsed site is
+//     armed, and re-rendering the parsed specs and parsing again yields
+//     the same configuration (no silent drops).
+func FuzzParseChaosSpec(f *testing.F) {
+	// Seed corpus: the README / flag-help examples plus grammar edges.
+	for _, seed := range []string{
+		"router.proxy=fail:2,worker.peerfetch=every:3+delay:50ms",
+		"router.proxy=fail",
+		"router.requeue=fail:3",
+		"router.probe=every:7",
+		"router.replicate=delay:10ms",
+		"worker.warm=fail:1+every:2+delay:1ms",
+		"a=fail,a=every:2", // duplicate site: last clause wins
+		" spaced.site = fail:2 , other=delay:1s",
+		"",
+		",,,",
+		"=fail",        // empty site
+		"site=",        // empty mode
+		"site=nope",    // unknown mode
+		"site=fail:0",  // bad count
+		"site=every:x", // bad period
+		"site=delay:-1s",
+		"site",                // no '='
+		"site=delay:1000000h", // large but valid duration
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		Reset()
+		specs, err := parseChaosSpec(spec)
+		armErr := ParseChaosSpec(spec)
+		if (err == nil) != (armErr == nil) {
+			t.Fatalf("parse err %v but arm err %v", err, armErr)
+		}
+		snap := Snapshot()
+		if err != nil {
+			// Rejects are errors, and atomically so: nothing armed.
+			for site, st := range snap {
+				if st.Armed {
+					t.Fatalf("rejected spec %q left site %q armed", spec, site)
+				}
+			}
+			return
+		}
+		// Accepted specs round-trip through Snapshot: every parsed site
+		// is registered and armed.
+		for site := range specs {
+			st, ok := snap[site]
+			if !ok {
+				t.Fatalf("accepted spec %q: site %q missing from snapshot", spec, site)
+			}
+			if !st.Armed {
+				t.Fatalf("accepted spec %q: site %q not armed", spec, site)
+			}
+		}
+		// And through the grammar: re-rendering and re-parsing yields the
+		// same configuration.
+		rendered := renderChaosSpec(specs)
+		again, err := parseChaosSpec(rendered)
+		if err != nil {
+			t.Fatalf("re-rendered spec %q does not parse: %v", rendered, err)
+		}
+		if len(again) != len(specs) {
+			t.Fatalf("round trip dropped sites: %q → %q", spec, rendered)
+		}
+		for site, fs := range specs {
+			if again[site] != fs {
+				t.Fatalf("round trip changed %q: %+v → %+v", site, fs, again[site])
+			}
+		}
+	})
+}
+
+// TestParseChaosSpecAtomic pins the atomicity fix directly: a spec whose
+// second clause is malformed must not arm its first.
+func TestParseChaosSpecAtomic(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := ParseChaosSpec("router.proxy=fail:2,worker.warm=bogus"); err == nil {
+		t.Fatal("malformed second clause must be rejected")
+	}
+	if st := Snapshot()["router.proxy"]; st.Armed {
+		t.Fatal("rejected spec armed its leading clause")
+	}
+	if err := ParseChaosSpec("=fail"); err == nil {
+		t.Fatal("empty site name must be rejected")
+	}
+}

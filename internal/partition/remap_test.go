@@ -1,0 +1,84 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestRemapAssignmentValidation(t *testing.T) {
+	g := chainGraph(2, 2, 1)
+	p, err := NewProblem(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RemapAssignment(p, Assignment{0, 0, 1}, nil, 0); err == nil {
+		t.Fatal("short prev must fail")
+	}
+	if _, err := RemapAssignment(p, Assignment{0, 0, 0, 1}, nil, 0); err == nil {
+		t.Fatal("infeasible prev must fail")
+	}
+	if _, err := RemapAssignment(p, Assignment{0, 0, 1, 1}, []int{9}, 0); err == nil {
+		t.Fatal("out-of-range touched neuron must fail")
+	}
+}
+
+// TestRemapAssignmentImproves pins the cost bound: remapping never leaves
+// the assignment worse than prev on the (new) problem, always feasible,
+// and never mutates prev.
+func TestRemapAssignmentImproves(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(60)
+		g := randomGraph(rng, n, 5*n)
+		c := 3 + rng.Intn(4)
+		size := (n+c-1)/c + 2 + rng.Intn(3)
+		p, err := NewProblem(g, c, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := randomAssignment(rng, p)
+		keep := prev.Clone()
+		touched := make([]int, 0, n/4)
+		for i := 0; i < n/4; i++ {
+			touched = append(touched, rng.Intn(n))
+		}
+		a, err := RemapAssignment(p, prev, touched, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(prev, keep) {
+			t.Fatalf("trial %d: prev mutated", trial)
+		}
+		if err := p.Validate(a); err != nil {
+			t.Fatalf("trial %d: infeasible remap: %v", trial, err)
+		}
+		if got, was := p.Cost(a), p.Cost(prev); got > was {
+			t.Fatalf("trial %d: remap cost %d worse than prev %d", trial, got, was)
+		}
+	}
+}
+
+// TestRemapAssignmentDeterministic pins byte-identical output for
+// identical inputs (the worklist is processed in sorted order).
+func TestRemapAssignmentDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randomGraph(rng, 50, 250)
+	p, err := NewProblem(g, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := randomAssignment(rng, p)
+	touched := []int{3, 8, 8, 21, 40, 3}
+	a, err := RemapAssignment(p, prev, touched, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RemapAssignment(p, prev, touched, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RemapAssignment is not deterministic")
+	}
+}

@@ -85,6 +85,25 @@ func TestWireFormatsGolden(t *testing.T) {
 		t.Fatalf("unknown job = %d", notFound.Code)
 	}
 	goldentest.Check(t, "error_not_found.json.golden", notFound.Body.Bytes())
+
+	// Submit-time registry validation: unknown partitioner and unknown
+	// application names reject with the machine-readable 400 shape, never
+	// as late job failures.
+	badPt := spec
+	badPt.Techniques = []string{"no-such-partitioner"}
+	rej := doRequest(t, h, http.MethodPost, "/v1/jobs", badPt)
+	if rej.Code != http.StatusBadRequest {
+		t.Fatalf("unknown partitioner submit = %d %s", rej.Code, rej.Body.String())
+	}
+	goldentest.Check(t, "error_unknown_partitioner.json.golden", rej.Body.Bytes())
+
+	badApp := spec
+	badApp.App = "no-such-app"
+	rej = doRequest(t, h, http.MethodPost, "/v1/jobs", badApp)
+	if rej.Code != http.StatusBadRequest {
+		t.Fatalf("unknown app submit = %d %s", rej.Code, rej.Body.String())
+	}
+	goldentest.Check(t, "error_unknown_app.json.golden", rej.Body.Bytes())
 }
 
 // TestBackpressureAndBatchGolden pins the backpressure (429/503) and

@@ -388,6 +388,8 @@ func TestSubmitRejections(t *testing.T) {
 		{"bad technique", `{"app":"HW","techniques":["nope"]}`, "unknown partitioner"},
 		{"bad arch", `{"app":"HW","arch":"nope"}`, "unknown architecture"},
 		{"bad aer", `{"app":"HW","aer":"nope"}`, "unknown AER mode"},
+		{"bad app", `{"app":"no-such-app"}`, "unknown application"},
+		{"bad app tail", `{"app":"synth:layers"}`, "malformed parameter"},
 	}
 	for _, c := range cases {
 		req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(c.body))
@@ -397,14 +399,15 @@ func TestSubmitRejections(t *testing.T) {
 			t.Errorf("%s: = %d %s, want 400 containing %q", c.name, rec.Code, rec.Body.String(), c.want)
 		}
 	}
-	// An unknown app passes normalization (validated lazily at session
-	// build) and fails the job instead.
-	st := waitTerminal(t, h, submit(t, h, snnmap.JobSpec{App: "no-such-app"}, http.StatusAccepted).ID)
-	if st.State != JobFailed || !strings.Contains(st.Error, "unknown application") {
-		t.Fatalf("unknown-app job = %s (%q)", st.State, st.Error)
+	// A spec that is textually valid but carries a bad parameter *value*
+	// still passes normalization (values are checked by the family's
+	// builder) and fails the job at session build.
+	st := waitTerminal(t, h, submit(t, h, snnmap.JobSpec{App: "synth:layers=x"}, http.StatusAccepted).ID)
+	if st.State != JobFailed || !strings.Contains(st.Error, "layers") {
+		t.Fatalf("bad-parameter job = %s (%q)", st.State, st.Error)
 	}
 	// And a failed job must never be cached.
-	st2 := submit(t, h, snnmap.JobSpec{App: "no-such-app"}, http.StatusAccepted)
+	st2 := submit(t, h, snnmap.JobSpec{App: "synth:layers=x"}, http.StatusAccepted)
 	if st2.Cached {
 		t.Fatal("failed spec served from cache")
 	}

@@ -228,6 +228,9 @@ func init() {
 	RegisterPartitioner("kl", func(PartitionerSpec) (Partitioner, error) {
 		return partition.KLRefine{Base: partition.Greedy{}}, nil
 	})
+	RegisterPartitioner("hypercut", func(PartitionerSpec) (Partitioner, error) {
+		return partition.HyperCut{}, nil
+	})
 	RegisterPartitioner("sa", func(spec PartitionerSpec) (Partitioner, error) {
 		return partition.Annealing{Seed: spec.seed()}, nil
 	})

@@ -1,0 +1,93 @@
+package snnmap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/partition"
+)
+
+// Mapping is a partition result as a value the session layer can carry
+// across workload drift: the technique that produced it, the assignment,
+// and the assignment's fitness F (Eq. 7–8) on the problem it was solved
+// for. Solve produces one; Remap updates one.
+type Mapping struct {
+	// Technique names the partitioner that produced the assignment.
+	Technique string `json:"technique"`
+	// Assign maps every neuron to its crossbar.
+	Assign Assignment `json:"assign"`
+	// Cost is the Eq. 7–8 fitness of Assign on the mapping's problem.
+	Cost int64 `json:"cost"`
+}
+
+// Solve runs only the partition stage on the warm session and returns the
+// result as a Mapping — the entry point of the incremental remap loop
+// (Solve once, then Remap per workload delta), and a cheap way to score
+// techniques without paying placement and replay.
+func (pl *Pipeline) Solve(ctx context.Context, pt Partitioner) (Mapping, error) {
+	if pt == nil {
+		return Mapping{}, errors.New("snnmap: nil partitioner")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Mapping{}, fmt.Errorf("snnmap: solve not started: %w", err)
+	}
+	res, err := partition.Solve(pt, pl.problem)
+	if err != nil {
+		return Mapping{}, err
+	}
+	return Mapping{Technique: res.Technique, Assign: res.Assign, Cost: res.Cost}, nil
+}
+
+// Remap updates a previous mapping for a perturbed workload instead of
+// re-solving from scratch: the delta is applied to the session's graph
+// (never mutating it), and only the neurons the delta touches — endpoints
+// of added/removed synapses, rate-shifted neurons and their fan-outs —
+// are re-legalized, with improving changes propagating through their
+// synaptic neighborhoods without ever leaving the touched region, so the
+// repair's work scales with the delta, not the graph
+// (partition.RemapAssignment).
+//
+// Contract:
+//   - an empty delta returns prev unchanged — identical, not merely
+//     equivalent;
+//   - otherwise the returned mapping is capacity-feasible (Eq. 4–5) on
+//     the perturbed problem and its Cost is the Eq. 7–8 fitness there,
+//     never worse than prev's own cost on the perturbed problem;
+//   - relative to a from-scratch solve the result is cost-bounded, not
+//     guaranteed identical: the drift sweep of the `remap` experiment
+//     (and the property harness) pins remap cost ≤ from-scratch cost for
+//     the deterministic techniques on small drifts.
+//
+// The deltas never add or remove neurons, so prev stays feasible and the
+// session's architecture sizing carries over unchanged.
+func (pl *Pipeline) Remap(ctx context.Context, prev Mapping, delta WorkloadDelta) (Mapping, error) {
+	if prev.Assign == nil {
+		return Mapping{}, errors.New("snnmap: remap of nil mapping (Solve first)")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Mapping{}, fmt.Errorf("snnmap: remap not started: %w", err)
+	}
+	if delta.Empty() {
+		return prev, nil
+	}
+	g, err := delta.Apply(pl.app.Graph)
+	if err != nil {
+		return Mapping{}, err
+	}
+	p, err := partition.NewProblem(g, pl.arch.Crossbars, pl.arch.CrossbarSize)
+	if err != nil {
+		return Mapping{}, err
+	}
+	a, err := partition.RemapAssignment(p, prev.Assign, delta.Touched(g), 0)
+	if err != nil {
+		return Mapping{}, err
+	}
+	return Mapping{Technique: prev.Technique, Assign: a, Cost: p.Cost(a)}, nil
+}

@@ -27,6 +27,12 @@ import (
 //     per-synapse interconnect traffic;
 //  5. streaming ≡ trace — the streaming delivery path reports exactly what
 //     the trace-accumulating path reports.
+//
+// The hypergraph-cut and incremental-remap invariants (delta moves ≡ the
+// referenceHyperCut oracle, cross-seed/worker determinism, post-remap
+// feasibility and conservation, empty-delta no-op) extend this harness in
+// hypercut_prop_test.go over the same family × technique × architecture
+// grid.
 
 // propSpec sizes one harness workload: `go test -short` shrinks the
 // networks and characterization runs so the full family × partitioner ×

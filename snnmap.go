@@ -75,6 +75,11 @@ type (
 	SpikeGraph = graph.SpikeGraph
 	// Problem is a partitioning instance.
 	Problem = partition.Problem
+	// WorkloadDelta perturbs a characterized workload (synapse churn and
+	// rate drift) for incremental remapping.
+	WorkloadDelta = graph.WorkloadDelta
+	// RateShift rescales one neuron's firing rate inside a WorkloadDelta.
+	RateShift = graph.RateShift
 	// Delivery is one spike arrival on the interconnect.
 	Delivery = noc.Delivery
 	// NoCStats aggregates interconnect-level statistics.
@@ -105,6 +110,9 @@ var (
 	Neutrams partition.Partitioner = partition.Neutrams{}
 	// GreedyPartitioner is the deterministic traffic-aware heuristic.
 	GreedyPartitioner partition.Partitioner = partition.Greedy{}
+	// HyperCutPartitioner is the connectivity-cut hypergraph partitioner
+	// (multicast-aware FM/KL local search over per-hyperedge pin counts).
+	HyperCutPartitioner partition.Partitioner = partition.HyperCut{}
 )
 
 // BuildApp resolves a name against the application registry and constructs

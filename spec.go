@@ -73,12 +73,18 @@ type JobSpec struct {
 // and re-rendered, the application spec is canonicalized textually
 // (legacy aliases collapse, parameter tails re-render in sorted key
 // order — apps.CanonicalSpec), and the CLI defaults are applied. The
-// application spec is otherwise validated lazily (building an app is
-// expensive); unknown app names surface when the job's session is built.
+// application spec is validated textually (family known, parameter tail
+// well-formed — apps.ValidateSpec) without building the app, so a job
+// naming an unknown application rejects at submit time instead of
+// surfacing later as a failed job; parameter values are still checked by
+// the family's builder when the session is built.
 func (s JobSpec) Normalize() (JobSpec, error) {
 	s.App = strings.TrimSpace(s.App)
 	if s.App == "" {
 		return s, fmt.Errorf("snnmap: job spec without an application")
+	}
+	if err := apps.ValidateSpec(s.App); err != nil {
+		return s, fmt.Errorf("snnmap: %w", err)
 	}
 	// Textual canonicalization (legacy aliases, parameter-tail order) so
 	// equivalent app spellings share one content address and session key.

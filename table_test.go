@@ -142,7 +142,7 @@ func TestExperimentRegistry(t *testing.T) {
 	want := []string{
 		"fig5", "table2", "fig6", "fig7", "accuracy",
 		"ablation-optimizer", "ablation-aer", "ablation-topology",
-		"scenarios",
+		"scenarios", "remap",
 	}
 	if got := ExperimentNames(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("experiment registry = %v, want %v", got, want)
@@ -158,7 +158,7 @@ func TestExperimentRegistry(t *testing.T) {
 }
 
 func TestPartitionerAndArchRegistries(t *testing.T) {
-	wantPT := []string{"pso", "pacman", "neutrams", "greedy", "kl", "sa", "ga", "random"}
+	wantPT := []string{"pso", "pacman", "neutrams", "greedy", "kl", "hypercut", "sa", "ga", "random"}
 	if got := PartitionerNames(); !reflect.DeepEqual(got, wantPT) {
 		t.Fatalf("partitioner registry = %v, want %v", got, wantPT)
 	}
