@@ -34,17 +34,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 
 	snnmap "repro"
 	"repro/internal/buildinfo"
+	"repro/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
+	slog.SetDefault(slog.New(obs.NewLogHandler(os.Stderr, slog.LevelInfo)))
 	switch err := run(os.Args[1:], os.Stdout); {
 	case err == nil:
 	case errors.Is(err, flag.ErrHelp):
@@ -54,7 +54,8 @@ func main() {
 		// The FlagSet already reported the offending flag and usage.
 		os.Exit(2)
 	default:
-		log.Fatal(err)
+		slog.Error("experiments failed", "error", err)
+		os.Exit(1)
 	}
 }
 

@@ -29,19 +29,21 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	snnmap "repro"
 	"repro/internal/buildinfo"
 	"repro/internal/hardware"
 	"repro/internal/noc"
+	"repro/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("snnmap: ")
+	slog.SetDefault(slog.New(obs.NewLogHandler(os.Stderr, slog.LevelInfo)))
 	switch err := run(os.Args[1:], os.Stdout); {
 	case err == nil:
 	case errors.Is(err, flag.ErrHelp):
@@ -51,7 +53,8 @@ func main() {
 		// The FlagSet already reported the offending flag and usage.
 		os.Exit(2)
 	default:
-		log.Fatal(err)
+		slog.Error("snnmap failed", "error", err)
+		os.Exit(1)
 	}
 }
 
@@ -84,6 +87,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		format    = fs.String("format", "text", "output format: text, json or csv")
 		outPath   = fs.String("o", "", "write output to FILE instead of stdout")
 		asJSON    = fs.Bool("json", false, "deprecated: alias for -format json")
+		trace     = fs.Bool("trace", false, "record the run's span tree and print it to stderr after the reports")
 		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -141,14 +145,27 @@ func run(args []string, stdout io.Writer) (err error) {
 		techniques = append(techniques, pt)
 	}
 
+	opts := []snnmap.Option{
+		snnmap.WithWorkers(*parallel), snnmap.WithReplayWorkers(*replayW), snnmap.WithTimeout(*timeout),
+	}
+	var collector *traceCollector
+	if *trace {
+		collector = newTraceCollector()
+		opts = append(opts, snnmap.WithObserver(collector))
+	}
 	pipe, err := snnmap.NewPipelineByName(
 		spec, snnmap.AppConfig{Seed: *seed, DurationMs: *duration},
 		*topology, snnmap.ArchSpec{Crossbars: *crossbars, CrossbarSize: *size, AER: aerMode},
-		snnmap.WithWorkers(*parallel), snnmap.WithReplayWorkers(*replayW), snnmap.WithTimeout(*timeout))
+		opts...)
 	if err != nil {
 		return err
 	}
 	reports, err := pipe.Compare(context.Background(), techniques)
+	if collector != nil {
+		// Print the tree even for failed runs — a trace of a run that
+		// died mid-stage is exactly what the flag is for.
+		collector.write(os.Stderr)
+	}
 	if err != nil {
 		return err
 	}
@@ -167,6 +184,76 @@ func run(args []string, stdout io.Writer) (err error) {
 		out = f
 	}
 	return write(out, reports, pipe.Arch(), *format)
+}
+
+// traceCollector records one span tree for a CLI run: a root span with
+// one child per technique and one grandchild per pipeline stage (plus
+// per-shard spans for sharded replays). Compare interleaves stage events
+// from concurrent techniques, so the technique map is mutex-guarded.
+type traceCollector struct {
+	rec  *obs.Recorder
+	root *obs.Span
+
+	mu    sync.Mutex
+	techs map[string]*obs.Span
+}
+
+func newTraceCollector() *traceCollector {
+	rec := obs.NewRecorder(0)
+	return &traceCollector{rec: rec, root: rec.StartRoot("snnmap"), techs: map[string]*obs.Span{}}
+}
+
+// OnStage implements snnmap.Observer.
+func (t *traceCollector) OnStage(ev snnmap.StageEvent) {
+	end := time.Now()
+	t.mu.Lock()
+	tech := t.techs[ev.Technique]
+	if tech == nil {
+		// First event for this technique: its stage began when the
+		// technique did, so backdating by the stage's elapsed time puts
+		// the technique span's start where the run actually started.
+		tech = t.root.StartChildAt("technique", end.Add(-ev.Elapsed))
+		tech.SetAttr(obs.String("technique", ev.Technique))
+		t.techs[ev.Technique] = tech
+	}
+	t.mu.Unlock()
+	sp := tech.StartChildAt(ev.Stage.String(), end.Add(-ev.Elapsed))
+	switch {
+	case ev.Partition != nil:
+		sp.SetAttr(obs.Int64("cost", ev.Partition.Cost))
+	case ev.NoC != nil:
+		sp.SetAttr(
+			obs.Int64("injected", ev.NoC.Stats.Injected),
+			obs.Int64("delivered", ev.NoC.Stats.Delivered),
+			obs.Int64("cycles", ev.NoC.Stats.Cycles),
+		)
+		for i, sh := range ev.ReplayShards {
+			c := sp.StartChildAt(fmt.Sprintf("shard %d", i), end.Add(-sh.Elapsed))
+			c.SetAttr(
+				obs.Int("router_lo", sh.Lo), obs.Int("router_hi", sh.Hi),
+				obs.Int64("delivered", sh.Delivered),
+			)
+			c.EndAt(end)
+		}
+	case ev.Metrics != nil:
+		sp.SetAttr(
+			obs.Int64("delivered", ev.Metrics.Delivered),
+			obs.Float("avg_latency_cycles", ev.Metrics.AvgLatencyCycles),
+			obs.Float("isi_avg_cycles", ev.Metrics.ISIAvgCycles),
+		)
+	}
+	sp.EndAt(end)
+}
+
+// write closes the open spans and renders the tree as indented text.
+func (t *traceCollector) write(w io.Writer) {
+	t.mu.Lock()
+	for _, sp := range t.techs {
+		sp.End()
+	}
+	t.mu.Unlock()
+	t.root.End()
+	obs.BuildTree(t.root.TraceIDString(), t.rec.Nodes(t.root.Context().TraceID)).WriteText(w)
 }
 
 func write(w io.Writer, reports []*snnmap.Report, arch snnmap.Arch, format string) error {

@@ -13,7 +13,11 @@
 //	curl -s 'localhost:8080/v1/jobs/job-000001/result?format=csv'
 //
 // Operational surface: GET /healthz (flips to 503 while draining),
-// GET /metrics (Prometheus text), GET /v1/version. SIGINT/SIGTERM
+// GET /metrics (Prometheus text), GET /v1/version, and per-job
+// distributed traces at GET /v1/jobs/{id}/trace (disable recording
+// with -tracing=false). -debug-addr serves net/http/pprof on a
+// separate, opt-in listener. Logs are structured (log/slog); records
+// created under a traced request carry trace_id/span_id. SIGINT/SIGTERM
 // triggers a graceful drain: new jobs are rejected, accepted jobs finish
 // (bounded by -drain-timeout, after which running jobs are canceled —
 // the pipeline observes cancellation within one replay event batch).
@@ -35,9 +39,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; served only when -debug-addr is set
 	"os"
 	"os/signal"
 	"strings"
@@ -47,12 +52,15 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/fleet"
 	"repro/internal/fleet/resilience"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("snnmapd: ")
+	// Structured logging from the first line: the obs handler stamps
+	// trace_id/span_id onto any record whose context carries a span, so
+	// daemon logs join against /v1/jobs/{id}/trace output.
+	slog.SetDefault(slog.New(obs.NewLogHandler(os.Stderr, slog.LevelInfo)))
 	switch err := run(os.Args[1:], os.Stdout, nil); {
 	case err == nil:
 	case errors.Is(err, flag.ErrHelp):
@@ -62,7 +70,8 @@ func main() {
 		// The FlagSet already reported the offending flag and usage.
 		os.Exit(2)
 	default:
-		log.Fatal(err)
+		slog.Error("snnmapd failed", "error", err)
+		os.Exit(1)
 	}
 }
 
@@ -97,6 +106,10 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		warmRate   = fs.Int("warm-rate", 16, "join-time cache warming rate bound, entries/second (worker mode with -peers and -self; 0 disables)")
 		warmLimit  = fs.Int("warm-limit", 512, "max cache-index entries requested per peer by the join warmer")
 		chaosSpec  = fs.String("chaos-spec", "", "arm deterministic fault points, e.g. 'router.proxy=fail:2,worker.peerfetch=every:3+delay:50ms' (dev/chaos only)")
+
+		tracing   = fs.Bool("tracing", true, "record per-job span trees, served at GET /v1/jobs/{id}/trace")
+		traceCap  = fs.Int("trace-cap", 0, "span recorder ring capacity, finished spans kept (0 = default 4096)")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof on this address (empty = profiling off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -112,35 +125,50 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		if err := resilience.ParseChaosSpec(*chaosSpec); err != nil {
 			return fmt.Errorf("%w: -chaos-spec: %v", errBadFlags, err)
 		}
-		log.Printf("CHAOS: fault points armed from -chaos-spec %q", *chaosSpec)
+		slog.Warn("chaos fault points armed", "spec", *chaosSpec)
+	}
+	if *debugAddr != "" {
+		// Opt-in profiling surface, on its own listener so the pprof
+		// handlers never ride the public job API address.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		slog.Info("pprof debug server listening", "url", "http://"+dln.Addr().String()+"/debug/pprof/")
+		go func() { _ = http.Serve(dln, http.DefaultServeMux) }()
 	}
 
 	if *fleetRoute {
 		return runRouter(routerOptions{
-			addr:          *addr,
-			self:          *self,
-			peers:         splitList(*peers),
-			gossip:        splitList(*gossip),
-			vnodes:        *vnodes,
-			probeInterval: *probeIval,
-			failThreshold: *failThresh,
+			addr:            *addr,
+			self:            *self,
+			peers:           splitList(*peers),
+			gossip:          splitList(*gossip),
+			vnodes:          *vnodes,
+			probeInterval:   *probeIval,
+			failThreshold:   *failThresh,
+			tracingDisabled: !*tracing,
+			traceCap:        *traceCap,
 		}, ready)
 	}
 
 	cfg := service.Config{
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		JobTimeout:    *jobTimeout,
-		SessionCap:    *sessions,
-		CacheCap:      *cacheCap,
-		ReplayWorkers: *replayW,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		JobTimeout:      *jobTimeout,
+		SessionCap:      *sessions,
+		CacheCap:        *cacheCap,
+		ReplayWorkers:   *replayW,
+		TracingDisabled: !*tracing,
+		TraceCap:        *traceCap,
+		Log:             slog.Default(),
 	}
 	var warmer *fleet.Warmer
 	if *peers != "" && *self != "" {
 		// Fleet-attached worker: local result-cache misses consult the
 		// content address's ring owner before recomputing.
 		cfg.FetchPeer = fleet.NewPeerFetcher(*self, splitList(*peers), *vnodes, nil)
-		log.Printf("fleet peer cache enabled (self %s, %d peers)", *self, len(splitList(*peers)))
+		slog.Info("fleet peer cache enabled", "self", *self, "peers", len(splitList(*peers)))
 		if *warmRate > 0 {
 			// Join-time cache warming: pull the entries the post-join ring
 			// assigns to this node from their previous owners, rate-bounded,
@@ -162,14 +190,14 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		go func() {
 			warmer.Run(context.Background())
 			planned, fetched, errs, _ := warmer.Progress()
-			log.Printf("cache warm pass done: %d/%d entries pulled (%d errors)", fetched, planned, errs)
+			slog.Info("cache warm pass done", "fetched", fetched, "planned", planned, "errors", errs)
 		}()
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("listening on http://%s", ln.Addr())
+	slog.Info("listening", "url", "http://"+ln.Addr().String())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -187,18 +215,18 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		stop() // restore default signal handling: a second signal kills
 	}
 
-	log.Printf("signal received; draining (budget %s)", *drainTimeout)
+	slog.Info("signal received; draining", "budget", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := svc.Drain(dctx); err != nil {
-		log.Printf("drain deadline expired; running jobs canceled (%v)", err)
+		slog.Warn("drain deadline expired; running jobs canceled", "error", err)
 	}
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer scancel()
 	if err := httpSrv.Shutdown(sctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
-	log.Printf("drained; bye")
+	slog.Info("drained; bye")
 	return nil
 }
 
@@ -215,13 +243,15 @@ func splitList(s string) []string {
 
 // routerOptions carries the fleet-router flag values.
 type routerOptions struct {
-	addr          string
-	self          string
-	peers         []string
-	gossip        []string
-	vnodes        int
-	probeInterval time.Duration
-	failThreshold int
+	addr            string
+	self            string
+	peers           []string
+	gossip          []string
+	vnodes          int
+	probeInterval   time.Duration
+	failThreshold   int
+	tracingDisabled bool
+	traceCap        int
 }
 
 // runRouter serves the fleet router until a signal stops it. The router
@@ -229,12 +259,15 @@ type routerOptions struct {
 // listener and the health prober.
 func runRouter(opts routerOptions, ready chan<- string) error {
 	rt, err := fleet.NewRouter(fleet.RouterConfig{
-		Peers:         opts.peers,
-		Self:          opts.self,
-		GossipPeers:   opts.gossip,
-		VNodes:        opts.vnodes,
-		ProbeInterval: opts.probeInterval,
-		FailThreshold: opts.failThreshold,
+		Peers:           opts.peers,
+		Self:            opts.self,
+		GossipPeers:     opts.gossip,
+		VNodes:          opts.vnodes,
+		ProbeInterval:   opts.probeInterval,
+		FailThreshold:   opts.failThreshold,
+		TracingDisabled: opts.tracingDisabled,
+		TraceCap:        opts.traceCap,
+		Log:             slog.Default(),
 	})
 	if err != nil {
 		return err
@@ -246,7 +279,7 @@ func runRouter(opts routerOptions, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("fleet router listening on http://%s (%d workers)", ln.Addr(), len(opts.peers))
+	slog.Info("fleet router listening", "url", "http://"+ln.Addr().String(), "workers", len(opts.peers))
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -268,6 +301,6 @@ func runRouter(opts routerOptions, ready chan<- string) error {
 	if err := httpSrv.Shutdown(sctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
-	log.Printf("router stopped; bye")
+	slog.Info("router stopped; bye")
 	return nil
 }

@@ -66,11 +66,17 @@ func Budget(outer, inner int) (int, int) {
 
 // Result is the outcome of one job: its index in the job slice, the
 // value produced, the error captured (nil on success), and the job's
-// wall clock.
+// wall clock split into pool queue-wait and run time.
 type Result[R any] struct {
-	Index   int
-	Value   R
-	Err     error
+	Index int
+	Value R
+	Err   error
+	// Wait is how long the job sat in the sweep's dispatch queue before
+	// a worker picked it up — the pool-contention component of latency,
+	// distinct from the job's own run time below.
+	Wait time.Duration
+	// Elapsed is the job's wall clock once running (including a
+	// timed-out job's time until abandonment).
 	Elapsed time.Duration
 }
 
@@ -91,6 +97,7 @@ func Sweep[J, R any](ctx context.Context, cfg Config, jobs []J, fn func(context.
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	sweepStart := time.Now()
 	if workers == 1 {
 		// Sequential fast path: strict job order on the calling
 		// goroutine (runJob itself is also inline unless a timeout or
@@ -100,7 +107,7 @@ func Sweep[J, R any](ctx context.Context, cfg Config, jobs []J, fn func(context.
 				results[i] = Result[R]{Index: i, Err: fmt.Errorf("engine: job %d not started: %w", i, err)}
 				continue
 			}
-			results[i] = runJob(ctx, cfg, i, jobs[i], fn)
+			results[i] = runJob(ctx, cfg, sweepStart, i, jobs[i], fn)
 		}
 		return results
 	}
@@ -112,7 +119,7 @@ func Sweep[J, R any](ctx context.Context, cfg Config, jobs []J, fn func(context.
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runJob(ctx, cfg, i, jobs[i], fn)
+				results[i] = runJob(ctx, cfg, sweepStart, i, jobs[i], fn)
 			}
 		}()
 	}
@@ -141,8 +148,9 @@ func Sweep[J, R any](ctx context.Context, cfg Config, jobs []J, fn func(context.
 // the job runs on its own goroutine so it can be abandoned on deadline
 // (the buffered channel lets it still finish and exit); job functions
 // that honor their context stop promptly.
-func runJob[J, R any](ctx context.Context, cfg Config, index int, job J, fn func(context.Context, J) (R, error)) Result[R] {
+func runJob[J, R any](ctx context.Context, cfg Config, sweepStart time.Time, index int, job J, fn func(context.Context, J) (R, error)) Result[R] {
 	start := time.Now()
+	wait := start.Sub(sweepStart)
 	jctx := ctx
 	if cfg.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -152,6 +160,7 @@ func runJob[J, R any](ctx context.Context, cfg Config, index int, job J, fn func
 	if jctx.Done() == nil {
 		// Nothing can interrupt the job: run it inline.
 		r := invoke(jctx, index, job, fn)
+		r.Wait = wait
 		r.Elapsed = time.Since(start)
 		return r
 	}
@@ -159,12 +168,14 @@ func runJob[J, R any](ctx context.Context, cfg Config, index int, job J, fn func
 	go func() { done <- invoke(jctx, index, job, fn) }()
 	select {
 	case r := <-done:
+		r.Wait = wait
 		r.Elapsed = time.Since(start)
 		return r
 	case <-jctx.Done():
 		return Result[R]{
 			Index:   index,
 			Err:     fmt.Errorf("engine: job %d: %w", index, jctx.Err()),
+			Wait:    wait,
 			Elapsed: time.Since(start),
 		}
 	}

@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/fleet/resilience"
+	"repro/internal/service"
+)
+
+// TestFleetViewChaosOutcomes pins the chaos-observability contract:
+// GET /v1/fleet carries every registered fault point's hit/fired/armed
+// stats, so a -chaos-spec run's outcomes are inspectable from any
+// router without log spelunking.
+func TestFleetViewChaosOutcomes(t *testing.T) {
+	resilience.Reset()
+	t.Cleanup(resilience.Reset)
+	resilience.Arm(fpProxy, resilience.FaultSpec{FailFirst: 1})
+
+	workers := startWorkers(t, 2, func(int) service.Config { return service.Config{Workers: 1} }, false)
+	_, base := startRouter(t, workers)
+
+	// One submission: the armed proxy point injects on the first POST
+	// and the retry policy recovers, leaving hits >= fired >= 1.
+	st := submitVia(t, base, tinyFleetSpec(), http.StatusAccepted)
+	waitDoneVia(t, base, st.ID, 60*time.Second)
+
+	resp, body := getBody(t, base+"/v1/fleet")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet view = %d", resp.StatusCode)
+	}
+	var fv FleetView
+	if err := json.Unmarshal(body, &fv); err != nil {
+		t.Fatal(err)
+	}
+	if fv.Chaos == nil {
+		t.Fatalf("fleet view has no chaos field: %s", body)
+	}
+	ps, ok := fv.Chaos[fpProxy]
+	if !ok {
+		t.Fatalf("chaos field lacks %s: %v", fpProxy, fv.Chaos)
+	}
+	if ps.Fired < 1 || ps.Hits < ps.Fired {
+		t.Fatalf("%s stats = %+v, want fired >= 1 and hits >= fired", fpProxy, ps)
+	}
+	if !ps.Armed {
+		t.Fatalf("%s should still report armed: %+v", fpProxy, ps)
+	}
+	// The wire shape is part of the contract: lower-case JSON keys.
+	var raw struct {
+		Chaos map[string]map[string]any `json:"chaos"`
+	}
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"hits", "fired", "armed"} {
+		if _, ok := raw.Chaos[fpProxy][key]; !ok {
+			t.Fatalf("chaos[%s] lacks %q key: %s", fpProxy, key, body)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // routerMetrics aggregates the router's fleet-level counters in the
@@ -92,7 +94,7 @@ func (m *routerMetrics) WritePrometheus(w io.Writer) error {
 	}
 	sort.Strings(nodes)
 	for _, n := range nodes {
-		p("snnmapd_fleet_routed_total{node=%q} %d\n", n, m.routedBy[n])
+		p("snnmapd_fleet_routed_total{node=\"%s\"} %d\n", obs.PromLabel(n), m.routedBy[n])
 	}
 
 	p("# HELP snnmapd_fleet_spills_total Placements spilled past a shedding or draining ring owner.\n")

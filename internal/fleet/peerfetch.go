@@ -42,7 +42,7 @@ func NewPeerFetcher(self string, peers []string, vnodes int, client *http.Client
 		}
 		var table *snnmap.Table
 		err := retry.Do(ctx, func(int) error {
-			if err := resilience.P(fpPeerFetch).Fire(); err != nil {
+			if err := resilience.P(fpPeerFetch).FireCtx(ctx); err != nil {
 				return err
 			}
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/cache/"+hash, nil)

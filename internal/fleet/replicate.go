@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/fleet/resilience"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -54,6 +55,11 @@ type routeRecord struct {
 	Terminal bool              `json:"terminal"`
 	Requeues int               `json:"requeues"`
 	Last     service.JobStatus `json:"last"`
+	// Trace is the route's trace identity in traceparent form ("" when
+	// the origin router had tracing off). A sibling that later requeues
+	// the replica parents its requeue span here, keeping one trace ID
+	// across router deaths as well as worker deaths.
+	Trace string `json:"trace,omitempty"`
 }
 
 // routeTable is the GET /v1/fleet/routes payload.
@@ -79,7 +85,7 @@ func (rt *Router) handleRoutes(w http.ResponseWriter, r *http.Request) {
 	tbl := routeTable{Origin: rt.token, Routes: make([]routeRecord, 0, len(routes))}
 	for _, ro := range routes {
 		ro.mu.Lock()
-		tbl.Routes = append(tbl.Routes, routeRecord{
+		rec := routeRecord{
 			ID:       ro.id,
 			Hash:     ro.hash,
 			Tenant:   ro.tenant,
@@ -89,8 +95,12 @@ func (rt *Router) handleRoutes(w http.ResponseWriter, r *http.Request) {
 			Terminal: ro.terminal,
 			Requeues: ro.requeues,
 			Last:     ro.last,
-		})
+		}
+		if ro.trace.Valid() {
+			rec.Trace = ro.trace.Traceparent()
+		}
 		ro.mu.Unlock()
+		tbl.Routes = append(tbl.Routes, rec)
 	}
 	writeJSON(w, http.StatusOK, tbl)
 }
@@ -158,6 +168,10 @@ func (rt *Router) mergeRoutes(recs []routeRecord) {
 		if origin == rt.token || rec.ID == "" || rec.Node == "" {
 			continue
 		}
+		var trace obs.SpanContext
+		if rec.Trace != "" {
+			trace, _ = obs.ParseTraceparent(rec.Trace)
+		}
 		rt.mu.Lock()
 		ro, known := rt.routes[rec.ID]
 		if !known {
@@ -172,6 +186,7 @@ func (rt *Router) mergeRoutes(recs []routeRecord) {
 				terminal: rec.Terminal,
 				requeues: rec.Requeues,
 				last:     rec.Last,
+				trace:    trace,
 			}
 			rt.routes[rec.ID] = ro
 			rt.order = append(rt.order, rec.ID)
@@ -188,6 +203,9 @@ func (rt *Router) mergeRoutes(recs []routeRecord) {
 			ro.terminal = rec.Terminal
 			ro.requeues = rec.Requeues
 			ro.last = rec.Last
+		}
+		if !ro.trace.Valid() && trace.Valid() {
+			ro.trace = trace
 		}
 		ro.mu.Unlock()
 	}

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrInjected is the sentinel wrapped by every injected fault, so
@@ -54,7 +57,13 @@ func (p *Point) Name() string { return p.name }
 // treat the error exactly like the real failure the site guards
 // (a network error, a fetch miss), so an armed point exercises the same
 // recovery path a production fault would.
-func (p *Point) Fire() error {
+func (p *Point) Fire() error { return p.FireCtx(context.Background()) }
+
+// FireCtx is Fire with trace visibility: when the hit injects a fault
+// and ctx carries a span, a "fault.injected" event lands on that span,
+// so a chaos run's synthetic failures show up in the job's trace right
+// where they bit.
+func (p *Point) FireCtx(ctx context.Context) error {
 	p.mu.Lock()
 	p.hits++
 	spec := p.armed
@@ -76,19 +85,23 @@ func (p *Point) Fire() error {
 		time.Sleep(spec.Delay)
 	}
 	if inject {
+		obs.AddEvent(ctx, "fault.injected",
+			obs.String("site", p.name), obs.Int64("hit", hit))
 		return fmt.Errorf("faultpoint %s (hit %d): %w", p.name, hit, ErrInjected)
 	}
 	return nil
 }
 
-// PointStats is one point's observability snapshot.
+// PointStats is one point's observability snapshot. The JSON shape is
+// served on the fleet view (GET /v1/fleet) so -chaos-spec outcomes are
+// inspectable over the wire.
 type PointStats struct {
 	// Hits counts Fire calls since the last Reset.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Fired counts hits that injected an error.
-	Fired int64
+	Fired int64 `json:"fired"`
 	// Armed reports whether a FaultSpec is currently installed.
-	Armed bool
+	Armed bool `json:"armed"`
 }
 
 // registry is the process-global fault-point table. Points register

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -15,6 +16,7 @@ import (
 
 	snnmap "repro"
 	"repro/internal/fleet/resilience"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -56,6 +58,17 @@ type RouterConfig struct {
 	// retry absorbs transient connection failures, anything longer is
 	// the requeue machinery's job.
 	Retry *resilience.Policy
+	// TracingDisabled turns off the router's span recorder. The zero
+	// value traces: every proxied submission gets a router-side span, and
+	// GET /v1/jobs/{id}/trace merges it with the worker's span tree.
+	TracingDisabled bool
+	// TraceCap bounds the span recorder's ring (<=0 picks the obs
+	// package default).
+	TraceCap int
+	// Log is the router's structured logger; nil means silent (the
+	// fleet binary passes slog.Default(), tests and benchmarks stay
+	// quiet).
+	Log *slog.Logger
 	// Client overrides the request/response proxy client (tests).
 	Client *http.Client
 	// StreamClient overrides the SSE relay client (tests). It must not
@@ -85,6 +98,19 @@ type route struct {
 	terminal bool
 	requeues int
 	last     service.JobStatus // last worker-observed status (raw IDs)
+	// trace is the router-side span that parented the worker job (the
+	// proxy or scatter span). Requeues open new spans under it, so a
+	// job keeps one trace ID across however many workers execute it; it
+	// rides the replication record so siblings continue the same trace.
+	trace obs.SpanContext
+}
+
+// traceContext returns the route's trace identity (zero when the
+// minting router had tracing off).
+func (ro *route) traceContext() obs.SpanContext {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	return ro.trace
 }
 
 // snapshot returns the current placement.
@@ -141,6 +167,8 @@ type Router struct {
 	mon     *monitor
 	metrics *routerMetrics
 	retry   resilience.Policy
+	tracer  *obs.Recorder // nil when tracing is disabled
+	log     *slog.Logger
 
 	// HA identity: this router's ID token and the token→URL map of its
 	// gossip siblings (static after construction).
@@ -181,6 +209,13 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		peerTokens:  map[string]string{},
 		stopRep:     make(chan struct{}),
 		repDone:     make(chan struct{}),
+	}
+	if !cfg.TracingDisabled {
+		rt.tracer = obs.NewRecorder(cfg.TraceCap)
+	}
+	rt.log = cfg.Log
+	if rt.log == nil {
+		rt.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
 	}
 	if self := normalizeBase(cfg.Self); self != "" {
 		rt.token = originToken(self)
@@ -240,6 +275,7 @@ func (rt *Router) Close() {
 // double-execute it. A replica whose origin died requeues lazily, on
 // the first client request that observes the worker failure.
 func (rt *Router) nodeDied(node string) {
+	rt.log.Warn("node dead; requeueing its routes", "node", node)
 	rt.mu.Lock()
 	rt.ring.Remove(node)
 	routes := make([]*route, 0, len(rt.order))
@@ -290,7 +326,9 @@ func (rt *Router) nextID() string {
 }
 
 // newRoute registers an accepted placement under a pre-allocated ID.
-func (rt *Router) newRoute(id, hash, tenant string, specJSON []byte, node string, st service.JobStatus) *route {
+// trace is the router-side span that parented the submission (zero
+// with tracing off).
+func (rt *Router) newRoute(id, hash, tenant string, specJSON []byte, node string, st service.JobStatus, trace obs.SpanContext) *route {
 	rt.mu.Lock()
 	ro := &route{
 		id:       id,
@@ -302,6 +340,7 @@ func (rt *Router) newRoute(id, hash, tenant string, specJSON []byte, node string
 		remoteID: st.ID,
 		last:     st,
 		terminal: isTerminal(st.State),
+		trace:    trace,
 	}
 	rt.routes[ro.id] = ro
 	rt.order = append(rt.order, ro.id)
@@ -321,9 +360,11 @@ func (rt *Router) lookup(id string) (*route, bool) {
 // deadline rides along as X-Deadline so the worker shares the client's
 // time budget, and the router.proxy fault point fires here — an armed
 // spec surfaces exactly like a network failure, on every proxy path at
-// once. headers are optional extra key/value pairs.
+// once. When ctx carries a span its identity rides along as a
+// traceparent header, so the worker-side spans land in the same trace.
+// headers are optional extra key/value pairs.
 func (rt *Router) doJSON(ctx context.Context, method, node, path string, body []byte, tenant string, headers ...string) (*http.Response, error) {
-	if err := resilience.P(fpProxy).Fire(); err != nil {
+	if err := resilience.P(fpProxy).FireCtx(ctx); err != nil {
 		return nil, err
 	}
 	var rd io.Reader
@@ -343,8 +384,20 @@ func (rt *Router) doJSON(ctx context.Context, method, node, path string, body []
 	for i := 0; i+1 < len(headers); i += 2 {
 		req.Header.Set(headers[i], headers[i+1])
 	}
+	obs.Inject(req.Header, obs.FromContext(ctx))
 	resilience.SetDeadlineHeader(req, ctx)
 	return rt.client.Do(req)
+}
+
+// startProxySpan opens a router-side span, continuing the client's
+// trace when the request carries a traceparent header. Returns nil
+// (a no-op span) when tracing is disabled.
+func (rt *Router) startProxySpan(h http.Header, name string) *obs.Span {
+	if rt.tracer == nil {
+		return nil
+	}
+	parent, _ := obs.Extract(h)
+	return rt.tracer.StartSpan(name, parent)
 }
 
 // postWithRetry POSTs body to one node under the shared retry policy,
@@ -408,8 +461,10 @@ func (rt *Router) submitTo(ctx context.Context, candidates []string, specJSON []
 			return n, js, status, nil, nil
 		case http.StatusTooManyRequests:
 			rt.metrics.spill()
+			obs.AddEvent(ctx, "spill", obs.String("node", n), obs.Int("code", status))
 			lastRefusal = &refusal{code: status, body: body, retryAfter: hdr.Get("Retry-After")}
 		case http.StatusServiceUnavailable:
+			obs.AddEvent(ctx, "spill", obs.String("node", n), obs.Int("code", status))
 			lastRefusal = &refusal{code: status, body: body, retryAfter: hdr.Get("Retry-After")}
 		default:
 			// A definitive answer (e.g. 400): relay it, no spilling.
@@ -461,19 +516,30 @@ func (rt *Router) requeueRoute(ro *route, failed string, force bool) bool {
 		return false
 	}
 	orphanID := ro.remoteID
+	// The requeue span continues the job's original trace (the stored
+	// proxy-span identity survives node deaths and replication), so the
+	// replacement execution's worker spans land in the same tree as the
+	// first attempt's — one trace tells the job's whole story.
+	var sp *obs.Span
+	if rt.tracer != nil && ro.trace.Valid() {
+		sp = rt.tracer.StartSpan("router.requeue", ro.trace)
+		sp.SetAttr(obs.String("job_id", ro.id), obs.String("failed", failed))
+	}
+	defer sp.End()
+	// Background context: the requeue must not die with whichever
+	// client request happened to observe the failure.
+	ctx := obs.ContextWith(context.Background(), sp)
 	for _, n := range rt.successors(ro.hash) {
 		if n == failed {
 			continue
 		}
 		// The requeue fault point fires per successor attempt; an armed
 		// spec skips this candidate exactly as a failed resubmission would.
-		if resilience.P(fpRequeue).Fire() != nil {
+		if resilience.P(fpRequeue).FireCtx(ctx) != nil {
 			rt.metrics.proxyError()
 			continue
 		}
-		// Background context: the requeue must not die with whichever
-		// client request happened to observe the failure.
-		code, body, _, err := rt.postWithRetry(context.Background(), n, "/v1/jobs", ro.specJSON, ro.tenant, resilience.IdempotencyKey(ro.id, n), maxSpecBytes)
+		code, body, _, err := rt.postWithRetry(ctx, n, "/v1/jobs", ro.specJSON, ro.tenant, resilience.IdempotencyKey(ro.id, n), maxSpecBytes)
 		if err != nil {
 			continue
 		}
@@ -489,6 +555,8 @@ func (rt *Router) requeueRoute(ro *route, failed string, force bool) bool {
 			ro.terminal = isTerminal(st.State)
 			ro.requeues++
 			rt.metrics.requeue()
+			sp.SetAttr(obs.String("node", n), obs.Int("requeues", ro.requeues))
+			rt.log.Info("route requeued", "job_id", ro.id, "from", failed, "to", n, "trace_id", ro.trace.TraceID.String())
 			// Best-effort cancel of the orphan on the failed node. A true
 			// death makes this a no-op (nothing is listening); a false
 			// positive — the node was alive and merely slow — leaves a
@@ -502,6 +570,8 @@ func (rt *Router) requeueRoute(ro *route, failed string, force bool) bool {
 			continue
 		}
 	}
+	sp.SetAttr(obs.String("error", "no successor accepted"))
+	rt.log.Warn("route requeue failed", "job_id", ro.id, "from", failed)
 	return false
 }
 
@@ -515,6 +585,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", rt.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", rt.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", rt.handleEvents)
 	mux.HandleFunc("GET /v1/fleet", rt.handleFleet)
 	mux.HandleFunc("GET /v1/fleet/routes", rt.handleRoutes)
@@ -563,16 +634,28 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if ck := r.Header.Get(service.IdempotencyKeyHeader); ck != "" {
 		unit = ck
 	}
-	node, st, code, rf, err := rt.submitTo(r.Context(), rt.successors(hash), specJSON, tenant, "", unit)
+
+	// The proxy span parents the worker-side job span (via traceparent on
+	// the submit RPC); its identity is kept on the route so a later
+	// requeue — possibly by a sibling router — continues the same trace.
+	sp := rt.startProxySpan(r.Header, "router.proxy")
+	sp.SetAttr(obs.String("job_id", id), obs.String("hash", hash))
+	defer sp.End()
+	ctx := obs.ContextWith(r.Context(), sp)
+
+	node, st, code, rf, err := rt.submitTo(ctx, rt.successors(hash), specJSON, tenant, "", unit)
 	if err != nil {
+		sp.SetAttr(obs.String("error", "no live workers"))
 		writeBackpressure(w, http.StatusServiceUnavailable, rt.cfg.RetryAfter.Milliseconds(), "no live workers")
 		return
 	}
 	if rf != nil {
+		sp.SetAttr(obs.Int("refused", rf.code))
 		rt.relayRefusal(w, rf)
 		return
 	}
-	ro := rt.newRoute(id, hash, tenant, specJSON, node, st)
+	sp.SetAttr(obs.String("node", node))
+	ro := rt.newRoute(id, hash, tenant, specJSON, node, st, sp.Context())
 	rt.metrics.routed(node)
 	writeJSON(w, code, ro.rewrite(st))
 }
@@ -722,6 +805,45 @@ func (rt *Router) handleResult(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.Copy(w, resp.Body)
 }
 
+// handleTrace serves the job's end-to-end span tree: the worker's
+// recorded tree (fetched live) merged with this router's own spans for
+// the trace — proxy, scatter and requeue spans. A dead worker only
+// shrinks the tree: its spans are lost but the router-side spans still
+// render, which is exactly the partial story an operator debugging the
+// death needs. The route's stored trace identity survives requeues and
+// replication, so any sibling router serves the same trace.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	ro, ok := rt.resolve(w, r)
+	if !ok {
+		return
+	}
+	node, remoteID, _ := ro.snapshot()
+	var nodes []*obs.SpanNode
+	traceID := ""
+	resp, err := rt.doJSON(r.Context(), http.MethodGet, node, "/v1/jobs/"+remoteID+"/trace", nil, "")
+	if err == nil {
+		if resp.StatusCode == http.StatusOK {
+			var wt obs.Tree
+			if json.NewDecoder(io.LimitReader(resp.Body, maxBatchBytes)).Decode(&wt) == nil {
+				nodes = wt.Flatten()
+				traceID = wt.TraceID
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+	}
+	if tc := ro.traceContext(); rt.tracer != nil && tc.Valid() {
+		nodes = append(nodes, rt.tracer.Nodes(tc.TraceID)...)
+		traceID = tc.TraceID.String()
+	}
+	if len(nodes) == 0 {
+		writeError(w, http.StatusNotFound, "no trace recorded for job %q", ro.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, obs.BuildTree(traceID, nodes))
+}
+
 // cancelOrphan DELETEs a job left behind on a node the router stopped
 // trusting (requeue already moved the route elsewhere). Failures are
 // expected — the node is usually gone — and ignored.
@@ -865,6 +987,13 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	tenant := r.Header.Get("X-Tenant")
 
+	// One batch span covers the scatter; each per-owner sub-batch gets a
+	// scatter child, which in turn parents that worker's batch span — so
+	// every job of the batch hangs off one trace, as siblings.
+	batchSp := rt.startProxySpan(r.Header, "router.batch")
+	batchSp.SetAttr(obs.Int("jobs", len(req.Jobs)))
+	defer batchSp.End()
+
 	// Scatter: sub-batch per ring owner, input order preserved within
 	// each. An empty ring (every worker dead) fails fast.
 	type subBatch struct {
@@ -893,6 +1022,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		node     string
 		statuses []service.JobStatus
 		indices  []int
+		trace    obs.SpanContext // the scatter span that parented the sub-batch
 	}
 	var placements []placed
 	rollback := func() {
@@ -930,8 +1060,12 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 				candidates = append(candidates, n)
 			}
 		}
-		st, rf, err := rt.submitBatchTo(r.Context(), candidates, body, tenant)
+		scatterSp := batchSp.StartChild("router.scatter")
+		scatterSp.SetAttr(obs.String("owner", sb.owner), obs.Int("jobs", len(sb.indices)))
+		st, rf, err := rt.submitBatchTo(obs.ContextWith(r.Context(), scatterSp), candidates, body, tenant)
 		if err != nil || rf != nil {
+			scatterSp.SetAttr(obs.String("error", "sub-batch refused"))
+			scatterSp.End()
 			rollback()
 			if rf != nil {
 				rt.relayRefusal(w, rf)
@@ -940,12 +1074,14 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
+		scatterSp.SetAttr(obs.String("node", st.node))
+		scatterSp.End()
 		if len(st.statuses) != len(sb.indices) {
 			rollback()
 			writeError(w, http.StatusBadGateway, "worker %s returned %d statuses for %d jobs", st.node, len(st.statuses), len(sb.indices))
 			return
 		}
-		placements = append(placements, placed{node: st.node, statuses: st.statuses, indices: sb.indices})
+		placements = append(placements, placed{node: st.node, statuses: st.statuses, indices: sb.indices, trace: scatterSp.Context()})
 	}
 
 	// Merge: one route per distinct remote job (duplicate hashes collapse
@@ -967,7 +1103,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 					writeError(w, http.StatusBadRequest, "%v", err)
 					return
 				}
-				ro = rt.newRoute(rt.nextID(), hashes[i], tenant, specJSON, p.node, st)
+				ro = rt.newRoute(rt.nextID(), hashes[i], tenant, specJSON, p.node, st, p.trace)
 				rt.metrics.routed(p.node)
 				shared[key] = ro
 			}
@@ -1012,8 +1148,10 @@ func (rt *Router) submitBatchTo(ctx context.Context, candidates []string, body [
 			return &batchPlacement{node: n, statuses: br.Jobs}, nil, nil
 		case http.StatusTooManyRequests:
 			rt.metrics.spill()
+			obs.AddEvent(ctx, "spill", obs.String("node", n), obs.Int("code", resp.StatusCode))
 			lastRefusal = &refusal{code: resp.StatusCode, body: rb, retryAfter: resp.Header.Get("Retry-After")}
 		case http.StatusServiceUnavailable:
+			obs.AddEvent(ctx, "spill", obs.String("node", n), obs.Int("code", resp.StatusCode))
 			lastRefusal = &refusal{code: resp.StatusCode, body: rb, retryAfter: resp.Header.Get("Retry-After")}
 		default:
 			return nil, &refusal{code: resp.StatusCode, body: rb, contentType: resp.Header.Get("Content-Type")}, nil
@@ -1040,6 +1178,12 @@ type FleetView struct {
 	Nodes    []NodeView `json:"nodes"`
 	Routes   int        `json:"routes"`
 	Requeues int64      `json:"requeues"`
+	// Chaos reports the fault-injection sites this process has hit —
+	// per-site hit/fired counters plus the armed flag — so a -chaos-spec
+	// run's outcomes are observable without grepping logs. Empty when no
+	// site has registered yet. (Gossip peers decode only Nodes; the
+	// extra field is ignored by the merge.)
+	Chaos map[string]resilience.PointStats `json:"chaos,omitempty"`
 }
 
 func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
@@ -1055,6 +1199,7 @@ func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
 		Nodes:    views,
 		Routes:   routes,
 		Requeues: rt.metrics.requeueCount(),
+		Chaos:    resilience.Snapshot(),
 	})
 }
 

@@ -186,7 +186,7 @@ func (w *Warmer) peerIndex(ctx context.Context, peer string) []string {
 // locally. The worker.warm fault point fires per entry.
 func (w *Warmer) fetch(ctx context.Context, peer, hash string) error {
 	return w.retry.Do(ctx, func(int) error {
-		if err := resilience.P(fpWarm).Fire(); err != nil {
+		if err := resilience.P(fpWarm).FireCtx(ctx); err != nil {
 			return err
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/cache/"+hash, nil)

@@ -7,7 +7,18 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// ShardStat is one replay worker's share of a sharded run: the router
+// range it owned, how many deliveries it performed, and its wall-clock
+// busy time. Workers run concurrently, so Elapsed values overlap; the
+// spread between them is the load-imbalance signal a trace surfaces.
+type ShardStat struct {
+	Lo, Hi    int // router range [Lo, Hi)
+	Delivered int64
+	Elapsed   time.Duration
+}
 
 // This file implements the region-sharded parallel replay core: routers
 // are partitioned into contiguous index ranges, each range is simulated
@@ -242,6 +253,7 @@ type regionWorker struct {
 	hops           int64
 	deliveries     []Delivery
 	energy         []energyEv
+	elapsed        time.Duration
 	done           bool
 }
 
@@ -346,10 +358,20 @@ func (s *Simulator) runSharded(plan [][2]int) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			t0 := time.Now()
 			w.run()
+			w.elapsed = time.Since(t0)
 		}()
 	}
 	wg.Wait()
+
+	s.shardStats = make([]ShardStat, len(workers))
+	for i, w := range workers {
+		s.shardStats[i] = ShardStat{
+			Lo: w.reg.lo, Hi: w.reg.hi,
+			Delivered: w.delivered, Elapsed: w.elapsed,
+		}
+	}
 
 	// Collect the flight pools (into a fresh backing array — the chunks
 	// handed out above alias the old one) so the free-list survives the

@@ -275,13 +275,16 @@ type Simulator struct {
 	portWanted [][]uint64
 	wide       bool
 
-	pending   []Packet // injection requests, sorted at Run
-	arrivals  arrivalQueue
-	nextID    int64
-	nextSeq   int64
-	result    Result
-	endpointR []int // endpoint -> router
-	routerE   []int // router -> endpoint or -1
+	pending  []Packet // injection requests, sorted at Run
+	arrivals arrivalQueue
+	nextID   int64
+	nextSeq  int64
+	result   Result
+	// shardStats records per-region replay timing of the last sharded
+	// Run (nil for sequential runs); see ShardStats.
+	shardStats []ShardStat
+	endpointR  []int // endpoint -> router
+	routerE    []int // router -> endpoint or -1
 
 	// routeTable[r][dst] caches topology.Route for O(1) lookups.
 	routeTable [][]uint8
@@ -477,9 +480,21 @@ func (s *Simulator) Reset() {
 	s.nextID = 0
 	s.nextSeq = 0
 	s.result = Result{}
+	s.shardStats = nil
 	s.sink = nil
 	s.ctx = nil
 	s.ran = false
+}
+
+// ShardStats reports the per-region timing of the last sharded Run: one
+// entry per replay worker with its router range and wall-clock busy
+// time. Empty after a sequential run (or before any run) — the timings
+// feed observability spans, so they live beside Result rather than in
+// it, keeping Result bit-identical across worker counts.
+func (s *Simulator) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shardStats))
+	copy(out, s.shardStats)
+	return out
 }
 
 // route returns the cached output port at router r toward endpoint dst.

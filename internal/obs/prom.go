@@ -1,0 +1,31 @@
+package obs
+
+import "strings"
+
+// PromLabel escapes a Prometheus label value per the text exposition
+// format: backslash, double-quote and newline become backslash escapes,
+// everything else — including raw multi-byte UTF-8 — passes through
+// unchanged. This is deliberately NOT Go's %q, which \u-escapes
+// non-ASCII runes and escapes control characters the format wants
+// verbatim; a node URL or tenant name containing such bytes would render
+// as a value no Prometheus parser reads back to the original string.
+func PromLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,28 @@
+package obs
+
+import "testing"
+
+// TestPromLabel pins the text-exposition escaping rules: exactly
+// backslash, double-quote and newline are escaped, everything else —
+// raw UTF-8 included — passes through byte-for-byte. Go's %q would
+// \u-escape the non-ASCII cases, which is the bug this replaces.
+func TestPromLabel(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", ""},
+		{"plain", "worker-3.example:8080", "worker-3.example:8080"},
+		{"backslash", `a\b`, `a\\b`},
+		{"quote", `say "hi"`, `say \"hi\"`},
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"all three", "\\\"\n", `\\\"\n`},
+		{"utf8 passthrough", "tenant-日本-héllo", "tenant-日本-héllo"},
+		{"tab untouched", "a\tb", "a\tb"},
+		{"mixed", "p\\q\"r\ns-ü", `p\\q\"r\ns-ü`},
+	}
+	for _, c := range cases {
+		if got := PromLabel(c.in); got != c.want {
+			t.Errorf("%s: PromLabel(%q) = %q, want %q", c.name, c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// EventNode is the wire form of a span event.
+type EventNode struct {
+	Name  string            `json:"name"`
+	Time  time.Time         `json:"time"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanNode is the wire form of one finished span. Flat nodes (Children
+// nil) are what the Recorder stores; BuildTree links them into a tree.
+type SpanNode struct {
+	Name       string            `json:"name"`
+	SpanID     string            `json:"span_id"`
+	Parent     string            `json:"parent_id,omitempty"`
+	Start      time.Time         `json:"start"`
+	End        time.Time         `json:"end"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Events     []EventNode       `json:"events,omitempty"`
+	Children   []*SpanNode       `json:"children,omitempty"`
+}
+
+// Duration returns the span's wall-clock length.
+func (n *SpanNode) Duration() time.Duration { return n.End.Sub(n.Start) }
+
+// Tree is the JSON shape served by GET /v1/jobs/{id}/trace: every
+// recorded span of one trace, nested under its roots.
+type Tree struct {
+	TraceID string      `json:"trace_id"`
+	Spans   int         `json:"spans"`
+	Roots   []*SpanNode `json:"roots"`
+}
+
+// BuildTree nests flat span nodes by parent link. Nodes are deduplicated
+// by span ID (first occurrence wins — the router merges its own spans
+// with a worker tree, and a replicated route may yield overlap). Spans
+// whose parent is absent from the set become roots, so a partial trace
+// (a dead worker's spans lost) still renders. Siblings sort by start
+// time with span ID as the tie-break, making the tree deterministic.
+func BuildTree(traceID string, nodes []*SpanNode) *Tree {
+	byID := make(map[string]*SpanNode, len(nodes))
+	order := make([]*SpanNode, 0, len(nodes))
+	for _, n := range nodes {
+		if n == nil || n.SpanID == "" {
+			continue
+		}
+		if _, dup := byID[n.SpanID]; dup {
+			continue
+		}
+		c := *n
+		c.Children = nil
+		c.DurationUS = c.End.Sub(c.Start).Microseconds()
+		byID[c.SpanID] = &c
+		order = append(order, &c)
+	}
+	t := &Tree{TraceID: traceID, Spans: len(order)}
+	for _, n := range order {
+		if n.Parent != "" {
+			if p, ok := byID[n.Parent]; ok {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		t.Roots = append(t.Roots, n)
+	}
+	for _, n := range order {
+		sortSpans(n.Children)
+	}
+	sortSpans(t.Roots)
+	return t
+}
+
+func sortSpans(ns []*SpanNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		if !ns[i].Start.Equal(ns[j].Start) {
+			return ns[i].Start.Before(ns[j].Start)
+		}
+		return ns[i].SpanID < ns[j].SpanID
+	})
+}
+
+// Flatten returns every span in the tree as flat nodes (Children nil),
+// depth-first. The router uses this to merge a worker's tree with its
+// own spans before rebuilding.
+func (t *Tree) Flatten() []*SpanNode {
+	var out []*SpanNode
+	var walk func(ns []*SpanNode)
+	walk = func(ns []*SpanNode) {
+		for _, n := range ns {
+			c := *n
+			c.Children = nil
+			out = append(out, &c)
+			walk(n.Children)
+		}
+	}
+	walk(t.Roots)
+	return out
+}
+
+// WriteText renders the tree as an indented text outline — the shape
+// `snnmap -trace` prints for a local run.
+func (t *Tree) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "trace %s (%d spans)\n", t.TraceID, t.Spans)
+	var walk func(ns []*SpanNode, depth int)
+	walk = func(ns []*SpanNode, depth int) {
+		for _, n := range ns {
+			fmt.Fprintf(w, "%*s%s  %v", 2*depth+2, "", n.Name, n.Duration().Round(time.Microsecond))
+			if len(n.Attrs) > 0 {
+				keys := make([]string, 0, len(n.Attrs))
+				for k := range n.Attrs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Fprintf(w, " %s=%s", k, n.Attrs[k])
+				}
+			}
+			fmt.Fprintln(w)
+			for _, e := range n.Events {
+				fmt.Fprintf(w, "%*s! %s\n", 2*depth+4, "", e.Name)
+			}
+			walk(n.Children, depth+1)
+		}
+	}
+	walk(t.Roots, 0)
+}

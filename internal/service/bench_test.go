@@ -107,6 +107,45 @@ func BenchmarkServiceWarmVsCold(b *testing.B) {
 	})
 }
 
+// BenchmarkTracingOverhead runs the same warm-session job shape with
+// the span recorder off and on. The disabled lane is the one that must
+// stay in the noise against the pre-tracing seed (every span handle is
+// nil and every obs call returns immediately); the enabled lane prices
+// what -tracing=true actually costs per job.
+func BenchmarkTracingOverhead(b *testing.B) {
+	spec := snnmap.JobSpec{
+		App:        "gen:modular:n=96,dur=150,seed=5",
+		Arch:       "tree",
+		Techniques: []string{"greedy"},
+	}
+	for _, mode := range []struct {
+		name     string
+		disabled bool
+	}{
+		{"disabled", true},
+		{"enabled", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := New(Config{Workers: 1, CacheCap: 1 << 20, TracingDisabled: mode.disabled})
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				_ = s.Drain(ctx)
+			}()
+			h := s.Handler()
+			benchSubmitAndWait(b, h, spec) // prime the session
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				varied := spec
+				varied.Techniques = []string{"pso"}
+				varied.SwarmSize = 4
+				varied.Iterations = 1 + i // unique spec: cache miss, warm session
+				benchSubmitAndWait(b, h, varied)
+			}
+		})
+	}
+}
+
 // BenchmarkServiceBatch measures the grouped batch path: four unique
 // jobs sharing one session key admitted as a single /v1/batches call,
 // executed back to back on one warm session. Comparing one op here

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	snnmap "repro"
+	"repro/internal/obs"
 )
 
 // JobState is the lifecycle of one mapping job.
@@ -47,6 +48,9 @@ type job struct {
 	table    *snnmap.Table
 	events   *eventLog
 	cancel   context.CancelFunc
+	// trace is set once at creation (nil when tracing is disabled) and
+	// immutable thereafter, so readers need no store lock.
+	trace *jobTrace
 }
 
 // JobStatus is the wire shape of a job on every status-bearing endpoint
@@ -84,7 +88,7 @@ func newJobStore() *jobStore {
 	return &jobStore{jobs: make(map[string]*job)}
 }
 
-func (s *jobStore) create(spec snnmap.JobSpec, hash string, now time.Time) *job {
+func (s *jobStore) create(spec snnmap.JobSpec, hash string, now time.Time, tr *jobTrace) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
@@ -95,6 +99,10 @@ func (s *jobStore) create(spec snnmap.JobSpec, hash string, now time.Time) *job 
 		state:   JobQueued,
 		created: now,
 		events:  newEventLog(),
+		trace:   tr,
+	}
+	if tr != nil {
+		tr.root.SetAttr(obs.String("job_id", j.id), obs.String("hash", hash))
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)

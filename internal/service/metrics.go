@@ -9,6 +9,7 @@ import (
 	"time"
 
 	snnmap "repro"
+	"repro/internal/obs"
 )
 
 // stageBuckets are the upper bounds (seconds) of the per-stage latency
@@ -222,7 +223,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	}
 	sort.Strings(states)
 	for _, s := range states {
-		p("snnmapd_jobs_total{state=%q} %d\n", s, m.jobsTotal[s])
+		p("snnmapd_jobs_total{state=\"%s\"} %d\n", obs.PromLabel(s), m.jobsTotal[s])
 	}
 
 	p("# HELP snnmapd_jobs_queued Jobs accepted and waiting for a worker.\n")
@@ -298,11 +299,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	for _, s := range stages {
 		h := m.stages[s]
 		for i, ub := range stageBuckets {
-			p("snnmapd_stage_seconds_bucket{stage=%q,le=%q} %d\n", s.String(), fmtFloat(ub), h.counts[i])
+			p("snnmapd_stage_seconds_bucket{stage=\"%s\",le=\"%s\"} %d\n", obs.PromLabel(s.String()), fmtFloat(ub), h.counts[i])
 		}
-		p("snnmapd_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", s.String(), h.count)
-		p("snnmapd_stage_seconds_sum{stage=%q} %s\n", s.String(), fmtFloat(h.sum))
-		p("snnmapd_stage_seconds_count{stage=%q} %d\n", s.String(), h.count)
+		p("snnmapd_stage_seconds_bucket{stage=\"%s\",le=\"+Inf\"} %d\n", obs.PromLabel(s.String()), h.count)
+		p("snnmapd_stage_seconds_sum{stage=\"%s\"} %s\n", obs.PromLabel(s.String()), fmtFloat(h.sum))
+		p("snnmapd_stage_seconds_count{stage=\"%s\"} %d\n", obs.PromLabel(s.String()), h.count)
 	}
 
 	_, err := w.Write(b)

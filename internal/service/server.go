@@ -11,6 +11,7 @@ import (
 
 	snnmap "repro"
 	"repro/internal/fleet/resilience"
+	"repro/internal/obs"
 )
 
 // maxSpecBytes bounds a submission body; job specs are a handful of
@@ -37,6 +38,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -128,32 +130,43 @@ func (s *Server) isDraining() bool {
 // against the content address's ring owner. A peer hit is promoted into
 // the local tier so the next identical request is answered without a
 // network hop.
+// The lookup span (hit/miss, tier) hangs off whatever span ctx carries.
 func (s *Server) cachedTable(ctx context.Context, hash string) (*snnmap.Table, bool) {
+	ctx, sp := obs.StartChild(ctx, "cache.lookup")
+	defer sp.End()
 	if table, ok := s.cache.get(hash); ok {
 		s.metrics.cacheLookup(true)
+		sp.SetAttr(obs.Bool("hit", true), obs.String("tier", "local"))
 		return table, true
 	}
 	s.metrics.cacheLookup(false)
 	if s.cfg.FetchPeer == nil {
+		sp.SetAttr(obs.Bool("hit", false))
 		return nil, false
 	}
 	table, ok := s.cfg.FetchPeer(ctx, hash)
 	s.metrics.peerLookup(ok)
 	if !ok {
+		sp.SetAttr(obs.Bool("hit", false), obs.String("tier", "peer"))
 		return nil, false
 	}
 	s.cache.put(hash, table)
+	sp.SetAttr(obs.Bool("hit", true), obs.String("tier", "peer"))
 	return table, true
 }
 
 // finishCached materializes a born-done job answered from the cache
 // tiers: created, finished and event-logged without touching a worker.
-func (s *Server) finishCached(spec snnmap.JobSpec, hash string, table *snnmap.Table) JobStatus {
+func (s *Server) finishCached(spec snnmap.JobSpec, hash string, table *snnmap.Table, tr *jobTrace) JobStatus {
 	now := s.cfg.Now()
-	j := s.store.create(spec, hash, now)
+	j := s.store.create(spec, hash, now, tr)
 	s.store.setCached(j)
 	st := s.store.finish(j, JobDone, table, "", now)
 	s.metrics.jobFinished(string(JobDone), false)
+	if tr != nil {
+		tr.root.SetAttr(obs.Bool("cached", true))
+		tr.finish(JobDone, "")
+	}
 	j.events.append("state", statePayload{State: JobDone, Cached: true})
 	j.events.close()
 	return st
@@ -200,12 +213,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	if table, ok := s.cachedTable(r.Context(), hash); ok {
+	// The job root span continues the router's trace (traceparent) or
+	// starts a fresh one; the cache lookup becomes its first child.
+	tr := s.startJobTrace(r.Header, spec)
+	ctx := obs.ContextWith(r.Context(), tr.rootSpan())
+
+	if table, ok := s.cachedTable(ctx, hash); ok {
 		// Content-address hit (local tier or a peer's): identical
 		// canonical spec ⇒ byte-identical result, by the end-to-end
 		// determinism the invariant harness pins. Serve the cached
 		// table; no queue, no session, no run.
-		st := s.finishCached(spec, hash, table)
+		st := s.finishCached(spec, hash, table, tr)
 		if idemKey != "" {
 			s.idem.record(idemKey, st.ID)
 		}
@@ -220,7 +238,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.unavailable(w)
 		return
 	}
-	j := s.store.create(spec, hash, s.cfg.Now())
+	j := s.store.create(spec, hash, s.cfg.Now(), tr)
+	tr.startQueued()
 	if err := s.queue.push(&workGroup{tenant: tenant, jobs: []*job{j}}); err != nil {
 		s.submitMu.Unlock()
 		s.store.remove(j.id)
@@ -284,6 +303,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The batch span is the common parent of every job in the batch:
+	// the router's scatter span (traceparent) parents it, and each
+	// created job's root span becomes its child, so a scattered batch
+	// renders as sibling jobs under one trace.
+	var batchSp *obs.Span
+	if s.tracer != nil {
+		parent, _ := obs.Extract(r.Header)
+		batchSp = s.tracer.StartSpan("batch", parent)
+		batchSp.SetAttr(obs.Int("jobs", len(req.Jobs)))
+	}
+	bctx := obs.ContextWith(r.Context(), batchSp)
+	defer batchSp.End()
+
 	// Plan the batch: resolve the cache tiers per unique hash, dedupe,
 	// and group the fresh specs by session key in first-appearance
 	// order. Nothing is created in the store yet — admission must be
@@ -307,7 +339,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if _, ok := fresh[h]; ok {
 			continue
 		}
-		if table, ok := s.cachedTable(r.Context(), h); ok {
+		if table, ok := s.cachedTable(bctx, h); ok {
 			cachedTables[h] = table
 			continue
 		}
@@ -333,7 +365,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for _, key := range groupOrder {
 		g := &workGroup{tenant: tenant}
 		for _, p := range groupPlans[key] {
-			p.job = s.store.create(p.spec, p.hash, s.cfg.Now())
+			p.job = s.store.create(p.spec, p.hash, s.cfg.Now(), childJobTrace(batchSp, p.spec))
+			p.job.trace.startQueued()
 			g.jobs = append(g.jobs, p.job)
 		}
 		groups = append(groups, g)
@@ -369,7 +402,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		default:
 			st, ok := bornDone[h]
 			if !ok {
-				st = s.finishCached(specs[i], h, cachedTables[h])
+				st = s.finishCached(specs[i], h, cachedTables[h], childJobTrace(batchSp, specs[i]))
 				bornDone[h] = st
 			}
 			resp.Jobs[i] = st

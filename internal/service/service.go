@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -36,6 +37,7 @@ import (
 	snnmap "repro"
 	"repro/internal/buildinfo"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Config parameterizes the daemon.
@@ -86,6 +88,20 @@ type Config struct {
 	// layer knowing their schema. The hook must write complete, valid
 	// Prometheus text lines.
 	ExtraMetrics func(w io.Writer)
+	// TracingDisabled turns off span recording entirely: no recorder is
+	// allocated, every span handle is nil, and GET /v1/jobs/{id}/trace
+	// answers 404. The zero value keeps tracing on — observability is
+	// the default, opting out is the deployment decision.
+	TracingDisabled bool
+	// TraceCap bounds the span ring recorder (default obs.DefaultCap).
+	TraceCap int
+	// Log is the structured logger for job lifecycle anomalies. Lines
+	// carry job_id/trace_id so they join against traces and the SSE
+	// stream. Nil means silent — a library must not write to process
+	// output unasked (and go test interleaves a binary's stderr into
+	// benchmark stdout, so a chatty default would corrupt bench
+	// artifacts); cmd/snnmapd passes slog.Default().
+	Log *slog.Logger
 	// Now is the clock (tests inject a fixed one; default time.Now).
 	Now func() time.Time
 }
@@ -112,6 +128,9 @@ func (c Config) withDefaults() Config {
 	if c.PipelineWorkers == 0 {
 		c.PipelineWorkers = 1
 	}
+	if c.Log == nil {
+		c.Log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -129,6 +148,8 @@ type Server struct {
 	metrics *Metrics
 	info    buildinfo.Info
 	idem    *idemStore
+	// tracer records finished spans; nil when Config.TracingDisabled.
+	tracer *obs.Recorder
 
 	queue   *fairQueue
 	workers sync.WaitGroup
@@ -155,6 +176,9 @@ func New(cfg Config) *Server {
 		info:    buildinfo.Read(),
 		idem:    newIdemStore(1024),
 		queue:   newFairQueue(cfg.QueueDepth, cfg.TenantDepth),
+	}
+	if !cfg.TracingDisabled {
+		s.tracer = obs.NewRecorder(cfg.TraceCap)
 	}
 	s.pool = newSessionPool(cfg.SessionCap, func(spec snnmap.JobSpec) (*snnmap.Pipeline, error) {
 		// Streaming delivery: job results are aggregate tables, so the
@@ -231,21 +255,31 @@ func (s *Server) runJob(j *job, gs *groupSession) {
 		// Canceled while queued.
 		s.metrics.jobDequeued()
 		s.metrics.jobFinished(string(JobCanceled), false)
+		j.trace.finish(JobCanceled, "canceled while queued")
 		j.events.append("state", statePayload{State: JobCanceled})
 		j.events.close()
 		return
 	}
 	s.metrics.jobStarted()
+	j.trace.dequeued()
 	j.events.append("state", statePayload{State: JobRunning})
 
 	// One engine sweep of one job: the engine contributes the per-job
 	// timeout and panic→error capture every other sweep in this module
-	// already relies on.
+	// already relies on. The run span wraps the sweep and carries the
+	// engine's queue-wait vs. run split.
+	jctx = obs.ContextWith(jctx, j.trace.rootSpan())
+	_, runSp := obs.StartChild(jctx, "run")
 	results := engine.Sweep(jctx, engine.Config{Workers: 1, Timeout: s.cfg.JobTimeout},
 		[]*job{j}, func(ctx context.Context, j *job) (*snnmap.Table, error) {
-			return s.execute(ctx, j, gs)
+			return s.execute(obs.ContextWith(ctx, runSp), j, gs)
 		})
 	table, err := results[0].Value, results[0].Err
+	runSp.SetAttr(
+		obs.DurationAttr("engine_wait", results[0].Wait),
+		obs.DurationAttr("engine_run", results[0].Elapsed),
+	)
+	runSp.End()
 
 	now := s.cfg.Now()
 	switch {
@@ -254,6 +288,7 @@ func (s *Server) runJob(j *job, gs *groupSession) {
 		st := s.store.finish(j, JobDone, table, "", now)
 		s.metrics.jobExecuted()
 		s.metrics.jobFinished(string(JobDone), true)
+		j.trace.finish(JobDone, "")
 		j.events.append("state", statePayload{State: st.State})
 	case jctx.Err() != nil:
 		// The job context itself fired: a client DELETE or the drain
@@ -261,10 +296,16 @@ func (s *Server) runJob(j *job, gs *groupSession) {
 		// instead and land in the failed branch with a deadline error.
 		st := s.store.finish(j, JobCanceled, nil, err.Error(), now)
 		s.metrics.jobFinished(string(JobCanceled), true)
+		j.trace.finish(JobCanceled, st.Error)
+		s.cfg.Log.Info("job canceled",
+			"job_id", j.id, "trace_id", j.trace.traceID().String(), "error", st.Error)
 		j.events.append("state", statePayload{State: st.State, Error: st.Error})
 	default:
 		st := s.store.finish(j, JobFailed, nil, err.Error(), now)
 		s.metrics.jobFinished(string(JobFailed), true)
+		j.trace.finish(JobFailed, st.Error)
+		s.cfg.Log.Warn("job failed",
+			"job_id", j.id, "trace_id", j.trace.traceID().String(), "error", st.Error)
 		j.events.append("state", statePayload{State: st.State, Error: st.Error})
 	}
 	j.events.close()
@@ -273,7 +314,10 @@ func (s *Server) runJob(j *job, gs *groupSession) {
 // execute runs the job's technique sweep (or batched seed sweep) on its
 // warm session.
 func (s *Server) execute(ctx context.Context, j *job, gs *groupSession) (*snnmap.Table, error) {
+	_, sessSp := obs.StartChild(ctx, "session")
 	pipe, warm, err := s.sessionFor(j, gs)
+	sessSp.SetAttr(obs.String("key", j.spec.SessionKey()), obs.Bool("warm", warm))
+	sessSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("building session: %w", err)
 	}
@@ -289,25 +333,39 @@ func (s *Server) execute(ctx context.Context, j *job, gs *groupSession) (*snnmap
 		// through Pipeline.RunSeedsBatched — one pooled fork and one
 		// injection scratch serve the whole sweep, one report row per
 		// seed. The batched path has no per-run observer, so the SSE
-		// stream carries a single sweep event instead of per-stage ones.
+		// stream carries a single sweep event instead of per-stage ones
+		// and the trace a single sweep span instead of stage spans.
 		j.events.append("sweep", map[string]any{
 			"technique": j.spec.Techniques[0], "seeds": len(j.spec.TechSeeds)})
+		_, sweepSp := obs.StartChild(ctx, "sweep")
+		sweepSp.SetAttr(
+			obs.String("technique", j.spec.Techniques[0]),
+			obs.Int("seeds", len(j.spec.TechSeeds)))
 		reports, err := pipe.RunSeedsBatched(ctx, pts[0], j.spec.TechSeeds)
+		sweepSp.End()
 		if err != nil {
 			return nil, err
 		}
 		return snnmap.NewReportTable(reports...)
 	}
-	obs := snnmap.ObserverFunc(func(ev snnmap.StageEvent) {
+	// Techniques run sequentially within a job — the executor pool is
+	// the concurrency knob — so each job's SSE stream stays in stage
+	// order per technique, and the observer can hang stage spans off the
+	// current technique span without synchronization.
+	var techSp *obs.Span
+	observer := snnmap.ObserverFunc(func(ev snnmap.StageEvent) {
+		// The stage span and the histogram observation share one
+		// duration, so metrics and traces agree by construction.
+		stageSpan(techSp, ev)
 		s.metrics.observeStage(ev.Stage, ev.Elapsed)
 		j.events.append("stage", stagePayload(ev))
 	})
-	// Techniques run sequentially within a job — the executor pool is
-	// the concurrency knob — so each job's SSE stream stays in stage
-	// order per technique.
 	reports := make([]*snnmap.Report, 0, len(pts))
-	for _, pt := range pts {
-		rep, err := pipe.RunObserved(ctx, pt, obs)
+	for i, pt := range pts {
+		_, techSp = obs.StartChild(ctx, "technique")
+		techSp.SetAttr(obs.String("technique", j.spec.Techniques[i]))
+		rep, err := pipe.RunObserved(ctx, pt, observer)
+		techSp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -339,6 +397,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.submitMu.Lock()
 	s.draining = true
 	s.submitMu.Unlock()
+	s.cfg.Log.Info("draining", "backlog", s.queue.backlog())
 	s.queue.close()
 
 	done := make(chan struct{})

@@ -66,6 +66,11 @@ type StageEvent struct {
 	Placement Assignment
 	// NoC is set after StageSimulate.
 	NoC *noc.Result
+	// ReplayShards is set after StageSimulate when the replay ran on the
+	// sharded parallel core: one entry per replay worker with its router
+	// range and busy time (empty for sequential replays). Observability
+	// consumers turn these into per-shard trace spans.
+	ReplayShards []noc.ShardStat
 	// Metrics is set after StageAnalyze.
 	Metrics *MetricsReport
 }
@@ -422,7 +427,7 @@ func (pl *Pipeline) runWith(ctx context.Context, sim *noc.Simulator, sc *traffic
 	rep.NoC = nocRes.Stats
 	rep.GlobalEnergyPJ = nocRes.Stats.EnergyPJ
 	rep.TotalEnergyPJ = rep.LocalEnergyPJ + rep.GlobalEnergyPJ
-	pl.observe(obs, StageEvent{Stage: StageSimulate, Technique: res.Technique, Elapsed: time.Since(start), NoC: nocRes})
+	pl.observe(obs, StageEvent{Stage: StageSimulate, Technique: res.Technique, Elapsed: time.Since(start), NoC: nocRes, ReplayShards: sim.ShardStats()})
 	if err := ctx.Err(); err != nil {
 		return nil, nil, fmt.Errorf("snnmap: %s: aborted after simulation: %w", res.Technique, err)
 	}
